@@ -1,0 +1,101 @@
+//! The query-generation configuration `C = (G, Q(u_o), P, ε)` (Section III).
+
+use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
+use fairsqg_measures::DiversityConfig;
+use fairsqg_query::{QueryTemplate, RefinementDomains};
+
+/// Everything a generation algorithm needs: the graph, the template with its
+/// refinement domains, the groups with coverage constraints, the tolerance
+/// `ε`, and the diversity-measure configuration.
+#[derive(Clone, Copy)]
+pub struct Configuration<'a> {
+    /// The data graph `G`.
+    pub graph: &'a Graph,
+    /// The query template `Q(u_o)`.
+    pub template: &'a QueryTemplate,
+    /// Refinement domains of the template's variables.
+    pub domains: &'a RefinementDomains,
+    /// Disjoint node groups `P`.
+    pub groups: &'a GroupSet,
+    /// Coverage constraints `c_i` (one per group).
+    pub spec: &'a CoverageSpec,
+    /// ε-dominance tolerance (`ε > 0`).
+    pub eps: f64,
+    /// Diversity measure parameters (λ, relevance, pair sampling).
+    pub diversity: DiversityConfig,
+    /// Optional **sorted** restriction of the output population: only these
+    /// nodes may appear in any instance's answer. Use it to layer
+    /// constraints the template language cannot express — e.g. a regular
+    /// path query evaluated with `fairsqg-rpq` ("papers citing-transitively
+    /// a seminal paper"). `None` = the full label population.
+    pub output_restriction: Option<&'a [NodeId]>,
+}
+
+impl<'a> Configuration<'a> {
+    /// Creates a configuration, validating basic coherence.
+    ///
+    /// # Panics
+    /// Panics if `eps <= 0` or the coverage spec's group count does not
+    /// match the group set.
+    pub fn new(
+        graph: &'a Graph,
+        template: &'a QueryTemplate,
+        domains: &'a RefinementDomains,
+        groups: &'a GroupSet,
+        spec: &'a CoverageSpec,
+        eps: f64,
+        diversity: DiversityConfig,
+    ) -> Self {
+        assert!(eps > 0.0, "epsilon must be positive");
+        assert_eq!(
+            groups.len(),
+            spec.len(),
+            "coverage spec must have one constraint per group"
+        );
+        assert_eq!(
+            domains.var_count(),
+            template.var_count(),
+            "domains must cover every template variable"
+        );
+        Self {
+            graph,
+            template,
+            domains,
+            groups,
+            spec,
+            eps,
+            diversity,
+            output_restriction: None,
+        }
+    }
+
+    /// Restricts the output population (see
+    /// [`output_restriction`](Self::output_restriction)). The slice must be
+    /// sorted ascending.
+    pub fn with_output_restriction(mut self, restriction: &'a [NodeId]) -> Self {
+        debug_assert!(
+            restriction.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted"
+        );
+        self.output_restriction = Some(restriction);
+        self
+    }
+}
+
+/// Statistics gathered during a generation run; the pruning experiments of
+/// Section V compare `verified` across algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GenStats {
+    /// Instances constructed by a spawner (lattice nodes touched).
+    pub spawned: u64,
+    /// Instances actually verified against the graph (match set computed).
+    pub verified: u64,
+    /// Evaluator cache hits (instance reached by multiple lattice paths).
+    pub cache_hits: u64,
+    /// Subtrees cut because an instance was infeasible (Lemma 2 pruning).
+    pub pruned_infeasible: u64,
+    /// Instances skipped by "sandwich" pruning (Lemma 3, BiQGen only).
+    pub pruned_sandwich: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: std::time::Duration,
+}

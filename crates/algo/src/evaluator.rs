@@ -1,0 +1,270 @@
+//! Instance verification: matching, measuring, caching, and `incVerify`.
+
+use crate::config::Configuration;
+use fairsqg_graph::NodeId;
+use fairsqg_matcher::{match_output_set, MatchOptions};
+use fairsqg_measures::{coverage_score, is_feasible, DiversityMeasure, Objectives};
+use fairsqg_query::{ConcreteQuery, Instantiation};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The verified state of one query instance.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The output match set `q(u_o, G)`, sorted ascending.
+    pub matches: Vec<NodeId>,
+    /// Per-group match counts `|q(G) ∩ P_i|`.
+    pub counts: Vec<u32>,
+    /// The instance's bi-objective coordinate `(δ(q), f(q))`.
+    pub objectives: Objectives,
+    /// Whether the instance is feasible (`|q(G) ∩ P_i| ≥ c_i` for all `i`).
+    pub feasible: bool,
+}
+
+/// Verifies instances against the graph with memoization.
+///
+/// `incVerify` (Section IV): when the caller knows a verified lattice
+/// *ancestor* of the instance, the ancestor's match set bounds the
+/// instance's (Lemma 2 (2): refinement shrinks match sets), so only those
+/// nodes are re-checked as output candidates.
+pub struct Evaluator<'a> {
+    cfg: Configuration<'a>,
+    measure: DiversityMeasure<'a>,
+    cache: HashMap<Instantiation, Rc<EvalResult>>,
+    verified: u64,
+    cache_hits: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for a configuration.
+    pub fn new(cfg: Configuration<'a>) -> Self {
+        let measure = DiversityMeasure::new(cfg.graph, cfg.template.output_label(), cfg.diversity);
+        Self {
+            cfg,
+            measure,
+            cache: HashMap::new(),
+            verified: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// The configuration this evaluator serves.
+    pub fn config(&self) -> &Configuration<'a> {
+        &self.cfg
+    }
+
+    /// The diversity measure (exposes `δ_max = |V_uo|` for indicators).
+    pub fn measure(&self) -> &DiversityMeasure<'a> {
+        &self.measure
+    }
+
+    /// Number of instances actually verified (not served from cache).
+    pub fn verified_count(&self) -> u64 {
+        self.verified
+    }
+
+    /// Number of cache hits.
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Returns the cached result for `inst`, if already verified.
+    pub fn cached(&self, inst: &Instantiation) -> Option<Rc<EvalResult>> {
+        self.cache.get(inst).cloned()
+    }
+
+    /// Verifies `inst` from scratch.
+    pub fn verify(&mut self, inst: &Instantiation) -> Rc<EvalResult> {
+        self.verify_inc(inst, None)
+    }
+
+    /// Verifies `inst`, optionally restricting output candidates to a
+    /// verified ancestor's match set (`incVerify`).
+    ///
+    /// Soundness requires `inst` to refine the ancestor; this is asserted in
+    /// debug builds via the cached ancestor lookup at call sites.
+    pub fn verify_inc(
+        &mut self,
+        inst: &Instantiation,
+        ancestor_matches: Option<&[NodeId]>,
+    ) -> Rc<EvalResult> {
+        if let Some(hit) = self.cache.get(inst) {
+            self.cache_hits += 1;
+            return Rc::clone(hit);
+        }
+        self.verified += 1;
+        let query = ConcreteQuery::materialize(self.cfg.template, self.cfg.domains, inst);
+        // An ancestor's match set is already inside the configuration's
+        // output restriction (the root was verified under it), so the
+        // tighter of the two suffices.
+        let restriction = ancestor_matches.or(self.cfg.output_restriction);
+        let matches = match_output_set(
+            self.cfg.graph,
+            &query,
+            MatchOptions {
+                restrict_output: restriction,
+            },
+        );
+        let counts = self.cfg.groups.count_in_groups(&matches);
+        let delta = self.measure.score(&matches);
+        let fcov = coverage_score(&counts, self.cfg.spec);
+        let feasible = is_feasible(&counts, self.cfg.spec);
+        let result = Rc::new(EvalResult {
+            matches,
+            counts,
+            objectives: Objectives::new(delta, fcov),
+            feasible,
+        });
+        self.cache.insert(inst.clone(), Rc::clone(&result));
+        result
+    }
+
+    /// Cheap certain-infeasibility test **without subgraph matching**: the
+    /// match set of `u_o` is contained in its literal-filtered candidate
+    /// set, so if the candidates already fail a group constraint the
+    /// instance cannot be feasible. `true` means *certainly infeasible*;
+    /// `false` is inconclusive. Costs `O(|V(u_o)|)` instead of `T_q`.
+    pub fn quick_infeasible(&self, inst: &Instantiation) -> bool {
+        if let Some(hit) = self.cache.get(inst) {
+            return !hit.feasible;
+        }
+        let query = ConcreteQuery::materialize(self.cfg.template, self.cfg.domains, inst);
+        let cands = match self.cfg.output_restriction {
+            Some(pool) => fairsqg_matcher::candidates_from_pool(
+                self.cfg.graph,
+                &query,
+                self.cfg.template.output(),
+                pool,
+            ),
+            None => fairsqg_matcher::candidates(self.cfg.graph, &query, self.cfg.template.output()),
+        };
+        let counts = self.cfg.groups.count_in_groups(&cands);
+        !is_feasible(&counts, self.cfg.spec)
+    }
+
+    /// Verifies `inst` using the best cached lattice ancestor (the verified
+    /// parent with the smallest match set) to restrict candidates.
+    pub fn verify_with_best_parent(&mut self, inst: &Instantiation) -> Rc<EvalResult> {
+        if let Some(hit) = self.cache.get(inst) {
+            self.cache_hits += 1;
+            return Rc::clone(hit);
+        }
+        // Look up direct lattice parents in the cache.
+        let mut best: Option<Rc<EvalResult>> = None;
+        for x in 0..inst.var_count() {
+            if let Some(parent) = inst.relax_step(x) {
+                if let Some(r) = self.cache.get(&parent) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| r.matches.len() < b.matches.len())
+                    {
+                        best = Some(Rc::clone(r));
+                    }
+                }
+            }
+        }
+        match best {
+            Some(parent) => self.verify_inc(inst, Some(&parent.matches)),
+            None => self.verify_inc(inst, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::talent_fixture;
+
+    #[test]
+    fn verify_caches() {
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let mut ev = Evaluator::new(cfg);
+        let root = Instantiation::root(fx.domains());
+        let a = ev.verify(&root);
+        let b = ev.verify(&root);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(ev.verified_count(), 1);
+        assert_eq!(ev.cache_hit_count(), 1);
+    }
+
+    #[test]
+    fn inc_verify_agrees_with_full_verify() {
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let root = Instantiation::root(fx.domains());
+
+        let mut full = Evaluator::new(cfg);
+        let mut inc = Evaluator::new(cfg);
+        let root_res = inc.verify(&root);
+
+        // Walk a refinement chain; verify children incrementally vs fresh.
+        let mut chain = vec![root.clone()];
+        let mut cur = root;
+        loop {
+            let mut advanced = false;
+            for x in 0..fx.domains().var_count() {
+                if let Some(next) = cur.refine_step(x, fx.domains()) {
+                    cur = next;
+                    chain.push(cur.clone());
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        let mut parent_matches = root_res.matches.clone();
+        for inst in &chain[1..] {
+            let fresh = full.verify(inst);
+            let incremental = inc.verify_inc(inst, Some(&parent_matches));
+            assert_eq!(fresh.matches, incremental.matches);
+            assert_eq!(fresh.counts, incremental.counts);
+            assert!(
+                (fresh.objectives.delta - incremental.objectives.delta).abs() < 1e-9
+                    && (fresh.objectives.fcov - incremental.objectives.fcov).abs() < 1e-9
+            );
+            parent_matches = incremental.matches.clone();
+        }
+    }
+
+    #[test]
+    fn refinement_monotonicity_lemma2() {
+        // Lemma 2 (2): q' ⪰ q  ⇒  q'(G) ⊆ q(G) and δ(q') ≤ δ(q).
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let mut ev = Evaluator::new(cfg);
+        let lat = fairsqg_query::InstanceLattice::new(fx.domains());
+        for inst in lat.enumerate() {
+            let r = ev.verify(&inst);
+            for (_, child) in lat.children(&inst) {
+                let rc = ev.verify(&child);
+                assert!(
+                    rc.matches.iter().all(|m| r.matches.contains(m)),
+                    "match-set containment violated"
+                );
+                assert!(
+                    rc.objectives.delta <= r.objectives.delta + 1e-9,
+                    "diversity monotonicity violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_with_best_parent_is_consistent() {
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let lat = fairsqg_query::InstanceLattice::new(fx.domains());
+
+        let mut plain = Evaluator::new(cfg);
+        let mut smart = Evaluator::new(cfg);
+        // BFS order guarantees parents verified before children.
+        for inst in lat.enumerate() {
+            let a = plain.verify(&inst);
+            let b = smart.verify_with_best_parent(&inst);
+            assert_eq!(a.matches, b.matches, "mismatch at {inst:?}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Procedure `Spawn` (Section IV-A): constructs the refined children of a
+//! verified instance, with **template refinement** against the `d`-hop
+//! neighborhood `G_q^d` of the current match set.
+//!
+//! Template refinement (paper, "Template refinement"):
+//!
+//! 1. a range variable `u.A op x` only steps to constants that actually
+//!    occur as `w.A` on some node `w ∈ G_q^d` with `L(w) = L(u)` — binding
+//!    any skipped in-between constant yields the *same* match set, hence the
+//!    same objectives, so nothing Pareto-relevant is lost;
+//! 2. an edge variable `x_e` on `e = (u, u')` is "fixed to 0" (never
+//!    refined to 1) when no `L_Q(e)`-labeled edge connects suitable nodes in
+//!    `G_q^d` — the refined instance could not match anything.
+
+use crate::config::Configuration;
+use crate::evaluator::EvalResult;
+use fairsqg_graph::AttrValue;
+use fairsqg_query::{DomainValue, Instantiation, VarKind};
+use std::collections::HashSet;
+
+/// Spawner options.
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnOptions {
+    /// Enable template refinement (`G_q^d` domain restriction).
+    pub template_refinement: bool,
+    /// Skip the neighborhood computation when the match set exceeds this
+    /// size (the BFS would touch most of the graph anyway). `0` = no limit.
+    pub neighborhood_seed_cap: usize,
+}
+
+impl Default for SpawnOptions {
+    fn default() -> Self {
+        Self {
+            template_refinement: true,
+            neighborhood_seed_cap: 4096,
+        }
+    }
+}
+
+/// Spawns the refined children of `inst` (one per refinable variable),
+/// returning `(stepped variable, child)` pairs.
+pub fn spawn_refinements(
+    cfg: &Configuration<'_>,
+    inst: &Instantiation,
+    result: &EvalResult,
+    opts: SpawnOptions,
+) -> Vec<(usize, Instantiation)> {
+    if !opts.template_refinement
+        || result.matches.is_empty()
+        || (opts.neighborhood_seed_cap > 0 && result.matches.len() > opts.neighborhood_seed_cap)
+    {
+        return plain_refinements(cfg, inst);
+    }
+
+    // G_q^d: d-hop neighborhood of the match set, d = template diameter.
+    let d = cfg.template.diameter();
+    let hood = cfg.graph.d_hop_neighborhood(&result.matches, d);
+
+    let mut children = Vec::new();
+    for (x, dom) in cfg.domains.domains().iter().enumerate() {
+        match dom.kind {
+            VarKind::Range { literal } => {
+                let lit = cfg.template.range_literals()[literal];
+                let label = cfg.template.nodes()[lit.node.index()].label;
+                // Values of `lit.attr` on same-labeled neighborhood nodes.
+                let observed: HashSet<AttrValue> = hood
+                    .iter()
+                    .filter(|&&w| cfg.graph.label(w) == label)
+                    .filter_map(|&w| cfg.graph.attr(w, lit.attr))
+                    .collect();
+                // First more-refined index whose constant is observed.
+                let mut cursor = inst.clone();
+                while let Some(next) = cursor.refine_step(x, cfg.domains) {
+                    let keep = match next.value(x, cfg.domains) {
+                        DomainValue::Const(c) => observed.contains(c),
+                        _ => true,
+                    };
+                    if keep {
+                        children.push((x, next));
+                        break;
+                    }
+                    cursor = next;
+                }
+            }
+            VarKind::Edge { edge } => {
+                if let Some(next) = inst.refine_step(x, cfg.domains) {
+                    let e = cfg.template.edges()[edge];
+                    let src_label = cfg.template.nodes()[e.src.index()].label;
+                    let dst_label = cfg.template.nodes()[e.dst.index()].label;
+                    // "Fix x_e to 0" when no suitable edge exists in G_q^d.
+                    let hood_set: HashSet<_> = hood.iter().copied().collect();
+                    let exists = hood
+                        .iter()
+                        .filter(|&&w| cfg.graph.label(w) == src_label)
+                        .any(|&w| {
+                            cfg.graph.out_neighbors(w).iter().any(|&(t, l)| {
+                                l == e.label
+                                    && cfg.graph.label(t) == dst_label
+                                    && hood_set.contains(&t)
+                            })
+                        });
+                    if exists {
+                        children.push((x, next));
+                    }
+                }
+            }
+        }
+    }
+    children
+}
+
+/// Children without template refinement: one ±1 step per variable.
+pub fn plain_refinements(
+    cfg: &Configuration<'_>,
+    inst: &Instantiation,
+) -> Vec<(usize, Instantiation)> {
+    (0..cfg.domains.var_count())
+        .filter_map(|x| inst.refine_step(x, cfg.domains).map(|c| (x, c)))
+        .collect()
+}
+
+/// Children in the relaxation direction (`SpawnB` of BiQGen): one −1 step
+/// per variable.
+pub fn spawn_relaxations(inst: &Instantiation) -> Vec<(usize, Instantiation)> {
+    (0..inst.var_count())
+        .filter_map(|x| inst.relax_step(x).map(|p| (x, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Evaluator;
+    use crate::test_support::talent_fixture;
+
+    #[test]
+    fn plain_spawn_steps_every_variable() {
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let root = Instantiation::root(fx.domains());
+        let kids = plain_refinements(&cfg, &root);
+        assert_eq!(kids.len(), fx.domains().var_count());
+    }
+
+    #[test]
+    fn template_refinement_only_proposes_observed_values() {
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let mut ev = Evaluator::new(cfg);
+        let root = Instantiation::root(fx.domains());
+        let r = ev.verify(&root);
+        assert!(r.feasible);
+        let kids = spawn_refinements(&cfg, &root, &r, SpawnOptions::default());
+        assert!(!kids.is_empty());
+        // Every proposed child's match behavior must match a plain child
+        // chain: spawning skips only objective-equivalent bindings, so each
+        // refined child evaluates to the same match set as the densest
+        // skipped predecessor would.
+        for (x, child) in &kids {
+            assert!(child.strictly_refines(&root));
+            assert_eq!(
+                child
+                    .indices()
+                    .iter()
+                    .zip(root.indices())
+                    .filter(|(a, b)| a != b)
+                    .count(),
+                1
+            );
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn skipped_bindings_are_objective_equivalent() {
+        // Core soundness of template refinement: if Spawn jumps from index i
+        // to j > i+1 for a range variable, all intermediate instances have
+        // the same match set as index j.
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3);
+        let mut ev = Evaluator::new(cfg);
+        let root = Instantiation::root(fx.domains());
+        let r = ev.verify(&root);
+        let kids = spawn_refinements(&cfg, &root, &r, SpawnOptions::default());
+        for (x, child) in kids {
+            let target_idx = child.indices()[x];
+            // Walk intermediate indices (if any were skipped).
+            for mid_idx in (root.indices()[x] + 1)..target_idx {
+                let mut mid = root.indices().to_vec();
+                mid[x] = mid_idx;
+                let mid_inst = Instantiation::new(mid);
+                let mid_r = ev.verify(&mid_inst);
+                let child_r = ev.verify(&child);
+                assert_eq!(
+                    mid_r.matches, child_r.matches,
+                    "skipped binding changed the match set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxations_mirror_refinements() {
+        let fx = talent_fixture();
+        let bottom = Instantiation::bottom(fx.domains());
+        let ups = spawn_relaxations(&bottom);
+        assert_eq!(ups.len(), fx.domains().var_count());
+        let root = Instantiation::root(fx.domains());
+        assert!(spawn_relaxations(&root).is_empty());
+    }
+}

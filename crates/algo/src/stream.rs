@@ -1,0 +1,111 @@
+//! Instance streams for online generation and workload benchmarking
+//! (Section V simulates streams "by randomly instantiating fixed query
+//! templates").
+
+use fairsqg_query::{Instantiation, RefinementDomains};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// A without-replacement stream: a seeded shuffle of the full instance
+/// space. Suitable when `|I(Q)|` is moderate (the paper's workloads are
+/// 800–1400 instances).
+#[derive(Debug, Clone)]
+pub struct ShuffledStream {
+    order: Vec<Instantiation>,
+    pos: usize,
+}
+
+impl ShuffledStream {
+    /// Creates a shuffled stream over all instances of `domains`.
+    pub fn new(domains: &RefinementDomains, seed: u64) -> Self {
+        let lat = fairsqg_query::InstanceLattice::new(domains);
+        let mut order = lat.enumerate();
+        let mut rng = Pcg64Mcg::new((seed as u128) << 1 | 1);
+        order.shuffle(&mut rng);
+        Self { order, pos: 0 }
+    }
+
+    /// Remaining stream length.
+    pub fn remaining(&self) -> usize {
+        self.order.len() - self.pos
+    }
+}
+
+impl Iterator for ShuffledStream {
+    type Item = Instantiation;
+
+    fn next(&mut self) -> Option<Instantiation> {
+        let item = self.order.get(self.pos).cloned();
+        self.pos += 1;
+        item
+    }
+}
+
+/// A with-replacement stream: uniformly random instantiations, unbounded.
+/// Use `.take(n)` to bound it.
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    sizes: Vec<u16>,
+    rng: Pcg64Mcg,
+}
+
+impl RandomStream {
+    /// Creates an unbounded random stream over `domains`.
+    pub fn new(domains: &RefinementDomains, seed: u64) -> Self {
+        Self {
+            sizes: domains.domains().iter().map(|d| d.len() as u16).collect(),
+            rng: Pcg64Mcg::new((seed as u128) << 1 | 1),
+        }
+    }
+}
+
+impl Iterator for RandomStream {
+    type Item = Instantiation;
+
+    fn next(&mut self) -> Option<Instantiation> {
+        let idx = self
+            .sizes
+            .iter()
+            .map(|&s| self.rng.gen_range(0..s))
+            .collect();
+        Some(Instantiation::new(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::talent_fixture;
+
+    #[test]
+    fn shuffled_stream_covers_space_exactly_once() {
+        let fx = talent_fixture();
+        let stream = ShuffledStream::new(fx.domains(), 3);
+        let items: Vec<_> = stream.collect();
+        assert_eq!(items.len() as u64, fx.domains().instance_space_size());
+        let set: std::collections::HashSet<_> = items.iter().collect();
+        assert_eq!(set.len(), items.len());
+    }
+
+    #[test]
+    fn shuffled_stream_is_deterministic() {
+        let fx = talent_fixture();
+        let a: Vec<_> = ShuffledStream::new(fx.domains(), 11).collect();
+        let b: Vec<_> = ShuffledStream::new(fx.domains(), 11).collect();
+        let c: Vec<_> = ShuffledStream::new(fx.domains(), 12).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_stream_produces_valid_indices() {
+        let fx = talent_fixture();
+        let stream = RandomStream::new(fx.domains(), 5);
+        for inst in stream.take(100) {
+            for (x, &i) in inst.indices().iter().enumerate() {
+                assert!((i as usize) < fx.domains().domain(x).len());
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the ε-Pareto archive (`Update`, Fig. 5) on
+//! random insertion sequences: the box antichain, single-factor coverage
+//! of every offered point, the Theorem 2 size bound, and rescaling.
+
+use fairsqg_algo::{EpsParetoArchive, EvalResult};
+use fairsqg_measures::Objectives;
+use fairsqg_query::Instantiation;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn entry(id: u16, delta: f64, fcov: f64) -> (Instantiation, Rc<EvalResult>) {
+    (
+        Instantiation::new(vec![id]),
+        Rc::new(EvalResult {
+            matches: Vec::new(),
+            counts: Vec::new(),
+            objectives: Objectives::new(delta, fcov),
+            feasible: true,
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any insertion sequence: (1) archived boxes form an antichain
+    /// with unique representatives; (2) every offered objective is
+    /// shifted-ε-covered; (3) the per-axis Theorem 2 size bound holds.
+    #[test]
+    fn archive_invariants(
+        offers in proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0), 1..60),
+        eps in 0.05f64..0.9,
+    ) {
+        let mut archive = EpsParetoArchive::new(eps);
+        let mut universe = Vec::new();
+        for (i, &(d, f)) in offers.iter().enumerate() {
+            let (inst, r) = entry(i as u16, d, f);
+            archive.update(&inst, &r);
+            universe.push(Objectives::new(d, f));
+        }
+
+        // (1) antichain + unique boxes.
+        for (i, a) in archive.entries().iter().enumerate() {
+            for (j, b) in archive.entries().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.bx.dominates(&b.bx));
+                    prop_assert!(a.bx != b.bx);
+                }
+            }
+        }
+
+        // (2) coverage of everything offered.
+        prop_assert!(archive.covers_shifted(&universe));
+
+        // (3) size bound: per-axis chain length.
+        let dmax = universe.iter().map(|o| o.delta).fold(0.0, f64::max);
+        let fmax = universe.iter().map(|o| o.fcov).fold(0.0, f64::max);
+        let bound_d = ((1.0 + dmax).ln() / (1.0 + eps).ln()).floor() as usize + 2;
+        let bound_f = ((1.0 + fmax).ln() / (1.0 + eps).ln()).floor() as usize + 2;
+        prop_assert!(
+            archive.len() <= bound_d.min(bound_f),
+            "size {} exceeds bound {}",
+            archive.len(),
+            bound_d.min(bound_f)
+        );
+    }
+
+    /// The archive result is insensitive to duplicate offers.
+    #[test]
+    fn idempotent_under_reoffer(
+        offers in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..30),
+        eps in 0.1f64..0.5,
+    ) {
+        let mut a1 = EpsParetoArchive::new(eps);
+        for (i, &(d, f)) in offers.iter().enumerate() {
+            let (inst, r) = entry(i as u16, d, f);
+            a1.update(&inst, &r);
+        }
+        let snapshot: Vec<_> = a1
+            .entries()
+            .iter()
+            .map(|e| (e.objectives().delta.to_bits(), e.objectives().fcov.to_bits()))
+            .collect();
+        // Re-offer everything; nothing should change.
+        for (i, &(d, f)) in offers.iter().enumerate() {
+            let (inst, r) = entry(i as u16, d, f);
+            a1.update(&inst, &r);
+        }
+        let after: Vec<_> = a1
+            .entries()
+            .iter()
+            .map(|e| (e.objectives().delta.to_bits(), e.objectives().fcov.to_bits()))
+            .collect();
+        prop_assert_eq!(snapshot, after);
+    }
+
+    /// Rescaling to a larger ε never grows the archive and keeps covering
+    /// every offered point within the compounded factor `(1+ε)² − 1`.
+    #[test]
+    fn rescale_shrinks_and_covers(
+        offers in proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 1..40),
+        eps in 0.02f64..0.2,
+        grow in 1.5f64..4.0,
+    ) {
+        let mut archive = EpsParetoArchive::new(eps);
+        let mut universe = Vec::new();
+        for (i, &(d, f)) in offers.iter().enumerate() {
+            let (inst, r) = entry(i as u16, d, f);
+            archive.update(&inst, &r);
+            universe.push(Objectives::new(d, f));
+        }
+        let before = archive.len();
+        let new_eps = eps * grow;
+        archive.rescale(new_eps);
+        prop_assert!(archive.len() <= before);
+        let compounded = (1.0 + new_eps) * (1.0 + new_eps) - 1.0;
+        prop_assert!(archive.covers_shifted_within(&universe, compounded));
+    }
+}

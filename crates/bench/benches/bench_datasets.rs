@@ -1,0 +1,41 @@
+//! Criterion counterpart of Fig. 10(a): algorithm runtime over the three
+//! datasets under the paper's default setting (`|Q| = 3`, `|X| = 3`,
+//! `|P| = 2`, `ε = 0.01`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsqg_bench::common::{configuration, run, Algo};
+use fairsqg_bench::scales::ExpScale;
+use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+
+fn bench_datasets(c: &mut Criterion) {
+    let scale = ExpScale::SMALL;
+    let mut group = c.benchmark_group("fig10a_datasets");
+    group.sample_size(10);
+    for (kind, n) in [
+        (DatasetKind::Dbp, scale.dbp),
+        (DatasetKind::Lki, scale.lki),
+        (DatasetKind::Cite, scale.cite),
+    ] {
+        let params = WorkloadParams {
+            coverage: CoverageMode::AutoFraction(0.5),
+            ..WorkloadParams::default()
+        };
+        let w = workload(kind, n, &params);
+        for algo in Algo::LINEUP {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), kind.name()),
+                &algo,
+                |b, &algo| {
+                    b.iter(|| {
+                        let cfg = configuration(&w, 0.01);
+                        run(cfg, algo, false)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion counterpart of Fig. 10(b): runtime sensitivity to ε on the
+//! LKI workload. Enumeration baselines are flat; RfQGen/BiQGen get
+//! slightly faster at large ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsqg_bench::common::{configuration, run, Algo};
+use fairsqg_bench::scales::ExpScale;
+use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+
+fn bench_epsilon(c: &mut Criterion) {
+    let scale = ExpScale::SMALL;
+    let params = WorkloadParams {
+        template_edges: 4,
+        range_vars: 1,
+        edge_vars: 2,
+        coverage: CoverageMode::AutoFraction(0.5),
+        max_values_per_range_var: 24,
+        ..WorkloadParams::default()
+    };
+    let w = workload(DatasetKind::Lki, scale.lki, &params);
+
+    let mut group = c.benchmark_group("fig10b_epsilon");
+    group.sample_size(10);
+    for &eps in &[0.2f64, 0.6, 1.0] {
+        for algo in [Algo::EnumQGen, Algo::RfQGen, Algo::BiQGen] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("eps_{eps}")),
+                &(algo, eps),
+                |b, &(algo, eps)| {
+                    b.iter(|| {
+                        let cfg = configuration(&w, eps);
+                        run(cfg, algo, false)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon);
+criterion_main!(benches);

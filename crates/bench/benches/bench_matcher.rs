@@ -1,0 +1,51 @@
+//! Microbenchmarks of the matching substrate: single-instance verification
+//! cost (`T_q` in Theorem 2), with and without incremental verification —
+//! the per-instance cost everything in Fig. 10 multiplies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsqg_bench::scales::ExpScale;
+use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+use fairsqg_matcher::{match_output_set, MatchOptions};
+use fairsqg_query::{ConcreteQuery, Instantiation};
+
+fn bench_verification(c: &mut Criterion) {
+    let scale = ExpScale::SMALL;
+    let params = WorkloadParams {
+        coverage: CoverageMode::AutoFraction(0.5),
+        ..WorkloadParams::default()
+    };
+    let w = workload(DatasetKind::Lki, scale.lki, &params);
+
+    let root = Instantiation::root(&w.domains);
+    let root_q = ConcreteQuery::materialize(&w.template, &w.domains, &root);
+    let root_matches = match_output_set(&w.graph, &root_q, MatchOptions::default());
+
+    // A mid-lattice instance: refine the first variable halfway.
+    let mut idx = vec![0u16; w.domains.var_count()];
+    idx[0] = (w.domains.domain(0).len() / 2) as u16;
+    let mid = Instantiation::new(idx);
+    let mid_q = ConcreteQuery::materialize(&w.template, &w.domains, &mid);
+
+    let mut group = c.benchmark_group("matcher_T_q");
+    group.bench_function(BenchmarkId::new("full", "root"), |b| {
+        b.iter(|| match_output_set(&w.graph, &root_q, MatchOptions::default()))
+    });
+    group.bench_function(BenchmarkId::new("full", "mid"), |b| {
+        b.iter(|| match_output_set(&w.graph, &mid_q, MatchOptions::default()))
+    });
+    group.bench_function(BenchmarkId::new("incVerify", "mid"), |b| {
+        b.iter(|| {
+            match_output_set(
+                &w.graph,
+                &mid_q,
+                MatchOptions {
+                    restrict_output: Some(&root_matches),
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion counterpart of Fig. 11(a): OnlineQGen delay per streamed
+//! instance for different `k` and window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsqg_algo::{OnlineOptions, OnlineQGen, ShuffledStream};
+use fairsqg_bench::common::configuration;
+use fairsqg_bench::scales::ExpScale;
+use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+
+fn bench_online(c: &mut Criterion) {
+    let scale = ExpScale::SMALL;
+    let params = WorkloadParams {
+        template_edges: 4,
+        range_vars: 2,
+        edge_vars: 1,
+        coverage: CoverageMode::AutoFraction(0.5),
+        max_values_per_range_var: 16,
+        ..WorkloadParams::default()
+    };
+    let w = workload(DatasetKind::Lki, scale.lki, &params);
+    let stream: Vec<_> = ShuffledStream::new(&w.domains, 0xBE).take(80).collect();
+
+    let mut group = c.benchmark_group("fig11a_online");
+    group.sample_size(10);
+    for &k in &[5usize, 10, 20] {
+        for &win in &[10usize, 40] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), format!("w{win}")),
+                &(k, win),
+                |b, &(k, win)| {
+                    b.iter(|| {
+                        let cfg = configuration(&w, 0.01);
+                        let mut gen = OnlineQGen::new(
+                            cfg,
+                            OnlineOptions {
+                                k,
+                                window: win,
+                                initial_eps: 0.01,
+                            },
+                        );
+                        for inst in &stream {
+                            gen.push(inst);
+                        }
+                        gen.eps()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

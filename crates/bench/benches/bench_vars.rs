@@ -1,0 +1,74 @@
+//! Criterion counterpart of Fig. 10(c)/(d): runtime vs the number of range
+//! variables (DBP) and edge variables (LKI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsqg_bench::common::{configuration, run, Algo};
+use fairsqg_bench::scales::ExpScale;
+use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+
+fn bench_range_vars(c: &mut Criterion) {
+    let scale = ExpScale::SMALL;
+    let mut group = c.benchmark_group("fig10c_range_vars");
+    group.sample_size(10);
+    for xl in [2usize, 3, 4] {
+        let params = WorkloadParams {
+            template_edges: 4,
+            range_vars: xl,
+            edge_vars: 0,
+            coverage: CoverageMode::AutoFraction(0.5),
+            max_values_per_range_var: match xl {
+                2 => 30,
+                3 => 9,
+                _ => 5,
+            },
+            ..WorkloadParams::default()
+        };
+        let w = workload(DatasetKind::Dbp, scale.dbp, &params);
+        for algo in [Algo::EnumQGen, Algo::RfQGen, Algo::BiQGen] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("XL_{xl}")),
+                &algo,
+                |b, &algo| {
+                    b.iter(|| {
+                        let cfg = configuration(&w, 0.01);
+                        run(cfg, algo, false)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_edge_vars(c: &mut Criterion) {
+    let scale = ExpScale::SMALL;
+    let mut group = c.benchmark_group("fig10d_edge_vars");
+    group.sample_size(10);
+    for xe in [2usize, 3, 4] {
+        let params = WorkloadParams {
+            template_edges: 5,
+            range_vars: 1,
+            edge_vars: xe,
+            coverage: CoverageMode::AutoFraction(0.5),
+            max_values_per_range_var: 30,
+            ..WorkloadParams::default()
+        };
+        let w = workload(DatasetKind::Lki, scale.lki, &params);
+        for algo in [Algo::EnumQGen, Algo::RfQGen, Algo::BiQGen] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("XE_{xe}")),
+                &algo,
+                |b, &algo| {
+                    b.iter(|| {
+                        let cfg = configuration(&w, 0.01);
+                        run(cfg, algo, false)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_vars, bench_edge_vars);
+criterion_main!(benches);

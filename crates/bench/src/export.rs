@@ -1,0 +1,103 @@
+//! JSON export of generated query workloads (the query-benchmarking
+//! application of Section IV-C: ship a size-`k` set of fair, diverse
+//! benchmark queries to a driver).
+
+use crate::render::render_workload_instance;
+use fairsqg_algo::Generated;
+use fairsqg_datagen::Workload;
+use serde::Serialize;
+
+/// One exported query of a workload.
+#[derive(Debug, Serialize)]
+pub struct ExportedQuery {
+    /// Human-readable variable bindings.
+    pub bindings: String,
+    /// Raw per-variable domain indices (machine-consumable identity).
+    pub indices: Vec<u16>,
+    /// Diversity objective δ.
+    pub delta: f64,
+    /// Coverage objective f.
+    pub fcov: f64,
+    /// Answer size `|q(G)|`.
+    pub matches: usize,
+    /// Per-group coverage counts.
+    pub group_counts: Vec<u32>,
+}
+
+/// An exported workload.
+#[derive(Debug, Serialize)]
+pub struct ExportedWorkload {
+    /// Dataset name.
+    pub dataset: String,
+    /// Graph size `|V|`.
+    pub nodes: usize,
+    /// Graph size `|E|`.
+    pub edges: usize,
+    /// The ε the set conforms to.
+    pub eps: f64,
+    /// Per-group coverage constraints `c_i`.
+    pub coverage: Vec<u32>,
+    /// The queries, sorted by decreasing coverage score.
+    pub queries: Vec<ExportedQuery>,
+}
+
+/// Serializes a generated set over a workload as pretty JSON.
+pub fn workload_json(w: &Workload, generated: &Generated) -> String {
+    let mut queries: Vec<ExportedQuery> = generated
+        .entries
+        .iter()
+        .map(|e| ExportedQuery {
+            bindings: render_workload_instance(w, &e.inst),
+            indices: e.inst.indices().to_vec(),
+            delta: e.result.objectives.delta,
+            fcov: e.result.objectives.fcov,
+            matches: e.result.matches.len(),
+            group_counts: e.result.counts.clone(),
+        })
+        .collect();
+    queries.sort_by(|a, b| b.fcov.partial_cmp(&a.fcov).unwrap());
+    let export = ExportedWorkload {
+        dataset: w.name.clone(),
+        nodes: w.graph.node_count(),
+        edges: w.graph.edge_count(),
+        eps: generated.eps,
+        coverage: w.spec.constraints().to_vec(),
+        queries,
+    };
+    serde_json::to_string_pretty(&export).expect("workload export is serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::configuration;
+    use fairsqg_algo::{biqgen, BiQGenOptions};
+    use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+
+    #[test]
+    fn export_is_valid_json_with_all_queries() {
+        let params = WorkloadParams {
+            coverage: CoverageMode::AutoFraction(0.5),
+            max_values_per_range_var: 4,
+            ..WorkloadParams::default()
+        };
+        let w = workload(DatasetKind::Cite, 200, &params);
+        let cfg = configuration(&w, 0.2);
+        let gen = biqgen(cfg, BiQGenOptions::default());
+        let json = workload_json(&w, &gen);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["dataset"], "Cite");
+        assert_eq!(
+            parsed["queries"].as_array().unwrap().len(),
+            gen.entries.len()
+        );
+        // Sorted by decreasing coverage.
+        let fcovs: Vec<f64> = parsed["queries"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|q| q["fcov"].as_f64().unwrap())
+            .collect();
+        assert!(fcovs.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,145 @@
+//! Exp-2 (RQ2): efficiency — Fig. 10(a)–(d).
+
+use crate::common::{configuration, run, Algo};
+use crate::scales::ExpScale;
+use fairsqg_datagen::{workload, CoverageMode, DatasetKind, WorkloadParams};
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Fig. 10(a): runtime of the four algorithms over the three datasets
+/// (same setting as Fig. 9(a)). The paper: BiQGen fastest, outperforming
+/// EnumQGen / RfQGen by ≈4.4× / ≈2.5× on average.
+pub fn fig10a(scale: &ExpScale) -> String {
+    let mut rows = Vec::new();
+    for (kind, n) in [
+        (DatasetKind::Dbp, scale.dbp),
+        (DatasetKind::Lki, scale.lki),
+        (DatasetKind::Cite, scale.cite),
+    ] {
+        let params = WorkloadParams {
+            coverage: CoverageMode::AutoFraction(0.5),
+            ..WorkloadParams::default()
+        };
+        let w = workload(kind, n, &params);
+        let cfg = configuration(&w, 0.01);
+        for algo in Algo::LINEUP {
+            let out = run(cfg, algo, false);
+            rows.push(vec![
+                w.name.clone(),
+                algo.name().to_string(),
+                ms(out.stats.elapsed),
+                out.stats.verified.to_string(),
+                out.stats.pruned_infeasible.to_string(),
+                out.stats.pruned_sandwich.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Fig 10(a) — runtime over real-life-style graphs (|Q|=3, |X|=3, eps=0.01)\n{}",
+        crate::common::render_table(
+            &[
+                "dataset",
+                "algorithm",
+                "time_ms",
+                "verified",
+                "pruned_inf",
+                "pruned_sand"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Fig. 10(b): runtime vs ε over LKI (same setting as Fig. 9(b)).
+/// Enumeration baselines are insensitive; Rf/Bi get slightly faster with
+/// larger ε (more instances are ε-dominated early).
+pub fn fig10b(scale: &ExpScale) -> String {
+    let params = WorkloadParams {
+        template_edges: 4,
+        range_vars: 1,
+        edge_vars: 2,
+        coverage: CoverageMode::AutoFraction(0.5),
+        max_values_per_range_var: 24,
+        ..WorkloadParams::default()
+    };
+    let w = workload(DatasetKind::Lki, scale.lki, &params);
+    let mut rows = Vec::new();
+    for &eps in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        let cfg = configuration(&w, eps);
+        for algo in Algo::LINEUP {
+            let out = run(cfg, algo, false);
+            rows.push(vec![
+                format!("{eps:.1}"),
+                algo.name().to_string(),
+                ms(out.stats.elapsed),
+                out.stats.verified.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Fig 10(b) — runtime vs epsilon (LKI)\n{}",
+        crate::common::render_table(&["eps", "algorithm", "time_ms", "verified"], &rows)
+    )
+}
+
+/// Fig. 10(c): runtime vs `|X_L|` over DBP (setting of Fig. 9(c)).
+pub fn fig10c(scale: &ExpScale) -> String {
+    let mut rows = Vec::new();
+    for xl in 2..=5usize {
+        let params = WorkloadParams {
+            template_edges: 4,
+            range_vars: xl,
+            edge_vars: 0,
+            coverage: CoverageMode::AutoFraction(0.5),
+            max_values_per_range_var: super::fig9::cap_for_range_vars_pub(xl),
+            ..WorkloadParams::default()
+        };
+        let w = workload(DatasetKind::Dbp, scale.dbp, &params);
+        let cfg = configuration(&w, 0.01);
+        for algo in Algo::LINEUP {
+            let out = run(cfg, algo, false);
+            rows.push(vec![
+                xl.to_string(),
+                algo.name().to_string(),
+                ms(out.stats.elapsed),
+                out.stats.verified.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Fig 10(c) — runtime vs |X_L| (DBP, |Q|=4)\n{}",
+        crate::common::render_table(&["|X_L|", "algorithm", "time_ms", "verified"], &rows)
+    )
+}
+
+/// Fig. 10(d): runtime vs `|X_E|` over LKI (setting of Fig. 9(d)).
+pub fn fig10d(scale: &ExpScale) -> String {
+    let mut rows = Vec::new();
+    for xe in 2..=5usize {
+        let params = WorkloadParams {
+            template_edges: 5,
+            range_vars: 1,
+            edge_vars: xe,
+            coverage: CoverageMode::AutoFraction(0.5),
+            max_values_per_range_var: 30,
+            ..WorkloadParams::default()
+        };
+        let w = workload(DatasetKind::Lki, scale.lki, &params);
+        let cfg = configuration(&w, 0.01);
+        for algo in Algo::LINEUP {
+            let out = run(cfg, algo, false);
+            rows.push(vec![
+                xe.to_string(),
+                algo.name().to_string(),
+                ms(out.stats.elapsed),
+                out.stats.verified.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "Fig 10(d) — runtime vs |X_E| (LKI, |Q|=5)\n{}",
+        crate::common::render_table(&["|X_E|", "algorithm", "time_ms", "verified"], &rows)
+    )
+}

@@ -1,0 +1,12 @@
+//! Rendering helpers (delegating to [`fairsqg_query`]'s display module),
+//! plus a workload-level convenience wrapper.
+
+pub use fairsqg_query::{render_instance, render_template};
+
+use fairsqg_datagen::Workload;
+use fairsqg_query::Instantiation;
+
+/// Renders a workload's instance bindings.
+pub fn render_workload_instance(w: &Workload, inst: &Instantiation) -> String {
+    render_instance(w.graph.schema(), &w.template, &w.domains, inst)
+}

@@ -1,0 +1,56 @@
+//! Table II: overview of the (synthetic stand-ins for the) real-life
+//! graphs, with the parameter ranges used across the experiments.
+
+use crate::scales::ExpScale;
+use fairsqg_datagen::{
+    citations_graph, movies_graph, social_graph, CitationsConfig, MoviesConfig, SocialConfig,
+};
+use fairsqg_graph::Graph;
+
+fn row(
+    name: &str,
+    g: &Graph,
+    p_range: &str,
+    q_range: &str,
+    c_range: &str,
+    x_range: &str,
+) -> Vec<String> {
+    vec![
+        name.to_string(),
+        g.node_count().to_string(),
+        g.edge_count().to_string(),
+        format!("{:.1}", g.avg_attrs_per_node()),
+        p_range.to_string(),
+        q_range.to_string(),
+        c_range.to_string(),
+        x_range.to_string(),
+    ]
+}
+
+/// Renders Table II for the configured scale.
+pub fn table2(scale: &ExpScale) -> String {
+    let dbp = movies_graph(MoviesConfig {
+        movies: scale.dbp,
+        ..MoviesConfig::default()
+    });
+    let lki = social_graph(SocialConfig {
+        directors: scale.lki,
+        ..SocialConfig::default()
+    });
+    let cite = citations_graph(CitationsConfig {
+        papers: scale.cite,
+        ..CitationsConfig::default()
+    });
+    let rows = vec![
+        row("DBP", &dbp, "2-5", "3-5", "100-800", "3-5"),
+        row("LKI", &lki, "2", "3-5", "200", "3-5"),
+        row("Cite", &cite, "2-4", "3-4", "200", "3-4"),
+    ];
+    format!(
+        "Table II — overview of the synthetic stand-in graphs (paper: DBP 1M/3.18M, LKI 3M/26M, Cite 4.9M/46M)\n{}",
+        crate::common::render_table(
+            &["dataset", "|V|", "|E|", "avg#attr", "|P|", "|Q(u_o)|", "C", "|X|"],
+            &rows
+        )
+    )
+}

@@ -1,0 +1,42 @@
+//! Smoke tests for the experiment harness at miniature scale.
+
+use fairsqg_bench::scales::ExpScale;
+use fairsqg_bench::{run_experiment, EXPERIMENTS};
+
+const TINY: ExpScale = ExpScale {
+    dbp: 120,
+    lki: 100,
+    cite: 110,
+};
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(run_experiment("fig99", &TINY).is_none());
+}
+
+#[test]
+fn experiment_registry_is_complete() {
+    // Every registered name must dispatch (we only *run* the cheap ones).
+    assert!(EXPERIMENTS.contains(&"table2"));
+    assert!(EXPERIMENTS.contains(&"fig9a"));
+    assert!(EXPERIMENTS.contains(&"fig11b"));
+    assert!(EXPERIMENTS.contains(&"ablation"));
+    assert_eq!(EXPERIMENTS.len(), 19);
+}
+
+#[test]
+fn table2_renders_all_datasets() {
+    let report = run_experiment("table2", &TINY).unwrap();
+    for name in ["DBP", "LKI", "Cite"] {
+        assert!(report.contains(name), "missing {name} in:\n{report}");
+    }
+    assert!(report.contains("|V|"));
+}
+
+#[test]
+fn case_study_narrates_rebalancing() {
+    let report = run_experiment("case_study", &TINY).unwrap();
+    assert!(report.contains("initial (root) query returns"));
+    assert!(report.contains("BiQGen"));
+    assert!(report.contains("RfQGen"));
+}

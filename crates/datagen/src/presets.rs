@@ -1,0 +1,253 @@
+//! End-to-end workload presets mirroring the paper's experiment settings
+//! (Table II): a dataset, an induced group set with coverage constraints,
+//! and a feasibility-checked template.
+
+use crate::citations::{citations_graph, topic_groups, CitationsConfig};
+use crate::movies::{genre_groups, movies_graph, MoviesConfig};
+use crate::social::{gender_groups, social_graph, SocialConfig};
+use crate::templates::{generate_template_with_retry, TemplateSpec, Topology};
+use fairsqg_graph::{CoverageSpec, Graph, GroupSet};
+use fairsqg_matcher::{match_output_set, MatchOptions};
+use fairsqg_query::{ConcreteQuery, Instantiation, QueryTemplate, RefinementDomains};
+
+/// Local feasibility test (avoids a dependency on `fairsqg-measures`):
+/// every group must be covered with at least its constraint.
+fn is_feasible(counts: &[u32], spec: &CoverageSpec) -> bool {
+    counts
+        .iter()
+        .zip(spec.constraints())
+        .all(|(&got, &want)| got >= want)
+}
+
+/// The three datasets of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// DBP: movie knowledge graph, genre groups.
+    Dbp,
+    /// LKI: professional network, gender groups.
+    Lki,
+    /// Cite: citation graph, topic groups.
+    Cite,
+}
+
+impl DatasetKind {
+    /// The dataset's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Dbp => "DBP",
+            DatasetKind::Lki => "LKI",
+            DatasetKind::Cite => "Cite",
+        }
+    }
+
+    /// The output-node label of the dataset's canonical query scenario.
+    pub fn output_label(self) -> &'static str {
+        match self {
+            DatasetKind::Dbp => "movie",
+            DatasetKind::Lki => "director",
+            DatasetKind::Cite => "paper",
+        }
+    }
+}
+
+/// How the coverage constraints `c_i` are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoverageMode {
+    /// A fixed total budget `C`, split evenly over groups (the paper's
+    /// `C = 200` setting). Feasibility depends on the graph scale.
+    Absolute(u32),
+    /// Equal opportunity calibrated to the template: every group gets
+    /// `c = fraction × min_i |q_r(G) ∩ P_i|`, where `q_r` is the root
+    /// instance. Fractions below 1.0 guarantee a feasible root; fractions
+    /// near or above 1.0 starve the feasible region (the effect Fig. 9(f)
+    /// studies by growing `C`).
+    AutoFraction(f64),
+}
+
+/// Workload parameters (the knobs of Fig. 9/10).
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Template size `|Q(u_o)|` (edges).
+    pub template_edges: usize,
+    /// `|X_L|` range variables.
+    pub range_vars: usize,
+    /// `|X_E|` edge variables.
+    pub edge_vars: usize,
+    /// `|P|` groups (clamped to what the dataset supports).
+    pub groups: usize,
+    /// Coverage-constraint selection.
+    pub coverage: CoverageMode,
+    /// Cap on constants per range variable (controls `|I(Q)|`).
+    pub max_values_per_range_var: usize,
+    /// Template topology.
+    pub topology: Topology,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        // The paper's default: |P| = 2, C = 200, |Q| = 3, |X| = 3.
+        Self {
+            template_edges: 3,
+            range_vars: 2,
+            edge_vars: 1,
+            groups: 2,
+            coverage: CoverageMode::AutoFraction(0.5),
+            max_values_per_range_var: 8,
+            topology: Topology::Random,
+            seed: 0xFA1,
+        }
+    }
+}
+
+/// A ready-to-run workload.
+pub struct Workload {
+    /// The dataset name (Table II row).
+    pub name: String,
+    /// The data graph.
+    pub graph: Graph,
+    /// The query template.
+    pub template: QueryTemplate,
+    /// Its refinement domains.
+    pub domains: RefinementDomains,
+    /// The designated groups.
+    pub groups: GroupSet,
+    /// Coverage constraints.
+    pub spec: CoverageSpec,
+}
+
+impl Workload {
+    /// `|I(Q)|` of the workload's template.
+    pub fn instance_space_size(&self) -> u64 {
+        self.domains.instance_space_size()
+    }
+}
+
+/// Builds a workload for `kind` at `scale` output-label nodes.
+///
+/// The template is retried across seeds until its **root instance is
+/// feasible** (covers every group with at least `c_i` matches), so the
+/// generated instance space always contains feasible instances. If the
+/// coverage budget is too large for the graph scale, the best-effort
+/// template (feasibility unchecked) is returned — matching the paper's
+/// observation that large `C` leaves few or no feasible instances.
+pub fn workload(kind: DatasetKind, scale: usize, params: &WorkloadParams) -> Workload {
+    let graph = match kind {
+        DatasetKind::Dbp => movies_graph(MoviesConfig {
+            movies: scale,
+            seed: params.seed,
+        }),
+        DatasetKind::Lki => social_graph(SocialConfig {
+            directors: scale,
+            majority_share: 0.65,
+            seed: params.seed,
+        }),
+        DatasetKind::Cite => citations_graph(CitationsConfig {
+            papers: scale,
+            seed: params.seed,
+        }),
+    };
+    let groups = match kind {
+        DatasetKind::Dbp => genre_groups(&graph, params.groups.clamp(2, 5)),
+        DatasetKind::Lki => gender_groups(&graph),
+        DatasetKind::Cite => topic_groups(&graph, params.groups.clamp(2, 4)),
+    };
+
+    let tspec = TemplateSpec {
+        edges: params.template_edges,
+        range_vars: params.range_vars,
+        edge_vars: params.edge_vars,
+        topology: params.topology,
+        output_label: kind.output_label().to_string(),
+        max_values_per_range_var: params.max_values_per_range_var,
+        seed: params.seed,
+    };
+
+    let root_counts = |t: &QueryTemplate, d: &RefinementDomains| -> Vec<u32> {
+        let root = Instantiation::root(d);
+        let q = ConcreteQuery::materialize(t, d, &root);
+        let matches = match_output_set(&graph, &q, MatchOptions::default());
+        groups.count_in_groups(&matches)
+    };
+    // Accept templates whose root answer exercises every group (and, for an
+    // absolute budget, satisfies it outright).
+    let acceptance = |t: &QueryTemplate, d: &RefinementDomains| -> bool {
+        let counts = root_counts(t, d);
+        match params.coverage {
+            CoverageMode::Absolute(c_total) => {
+                let spec = CoverageSpec::even_split(groups.len(), c_total);
+                is_feasible(&counts, &spec)
+            }
+            CoverageMode::AutoFraction(_) => counts.iter().all(|&c| c >= 4),
+        }
+    };
+    let (template, domains) = generate_template_with_retry(&graph, &tspec, 64, acceptance)
+        .or_else(|| generate_template_with_retry(&graph, &tspec, 64, |_, _| true))
+        .expect("workload template generation failed even without feasibility check");
+
+    let spec = match params.coverage {
+        CoverageMode::Absolute(c_total) => CoverageSpec::even_split(groups.len(), c_total),
+        CoverageMode::AutoFraction(frac) => {
+            let counts = root_counts(&template, &domains);
+            let min_count = counts.iter().copied().min().unwrap_or(1).max(1);
+            let c = ((min_count as f64) * frac).round().max(1.0) as u32;
+            CoverageSpec::equal_opportunity(groups.len(), c)
+        }
+    };
+
+    Workload {
+        name: kind.name().to_string(),
+        graph,
+        template,
+        domains,
+        groups,
+        spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workloads_have_feasible_roots() {
+        for kind in [DatasetKind::Dbp, DatasetKind::Lki, DatasetKind::Cite] {
+            let params = WorkloadParams::default();
+            let w = workload(kind, 600, &params);
+            let root = Instantiation::root(&w.domains);
+            let q = ConcreteQuery::materialize(&w.template, &w.domains, &root);
+            let matches = match_output_set(&w.graph, &q, MatchOptions::default());
+            let counts = w.groups.count_in_groups(&matches);
+            assert!(
+                is_feasible(&counts, &w.spec),
+                "{}: root infeasible, counts {counts:?}, spec {:?}",
+                w.name,
+                w.spec.constraints()
+            );
+        }
+    }
+
+    #[test]
+    fn instance_space_is_bounded_and_nontrivial() {
+        let params = WorkloadParams {
+            max_values_per_range_var: 8,
+            ..WorkloadParams::default()
+        };
+        let w = workload(DatasetKind::Lki, 500, &params);
+        let n = w.instance_space_size();
+        assert!((16..=4000).contains(&n), "|I(Q)| = {n}");
+    }
+
+    #[test]
+    fn group_counts_follow_params() {
+        let params = WorkloadParams {
+            groups: 4,
+            ..WorkloadParams::default()
+        };
+        let dbp = workload(DatasetKind::Dbp, 500, &params);
+        assert_eq!(dbp.groups.len(), 4);
+        let lki = workload(DatasetKind::Lki, 300, &params);
+        assert_eq!(lki.groups.len(), 2, "LKI always has two gender groups");
+    }
+}

@@ -1,0 +1,75 @@
+//! Seeded sampling utilities shared by the dataset generators.
+
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// Creates the crate's canonical deterministic RNG from a seed.
+pub fn rng(seed: u64) -> Pcg64Mcg {
+    // Mix the seed so that nearby seeds diverge immediately.
+    Pcg64Mcg::new(((seed as u128) << 64 | (seed as u128 ^ 0x9e3779b97f4a7c15)) | 1)
+}
+
+/// Samples an index in `0..n` with Zipf-like weights `1/(i+1)^s`.
+///
+/// Used to skew categorical attributes (genres, topics) the way real
+/// catalogs are skewed — a handful of dominant categories and a long tail.
+pub fn zipf<R: Rng>(rng: &mut R, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Precomputing the CDF per call is fine: n is tiny (≤ ~40 categories).
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    n - 1
+}
+
+/// Samples an integer in `[lo, hi]` with a log-uniform distribution
+/// (org sizes, citation counts).
+pub fn log_uniform<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo >= 1 && hi >= lo);
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let x = rng.gen_range(llo..=lhi);
+    (x.exp().round() as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_towards_head() {
+        let mut r = rng(1);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[zipf(&mut r, 5, 1.0)] += 1;
+        }
+        assert!(
+            counts[0] > counts[4] * 2,
+            "head should dominate tail: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn log_uniform_respects_bounds() {
+        let mut r = rng(2);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut r, 50, 5000);
+            assert!((50..=5000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: u64 = rng(7).gen();
+        let b: u64 = rng(7).gen();
+        let c: u64 = rng(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,253 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::domains::ActiveDomains;
+use crate::graph::Graph;
+use crate::ids::{AttrId, EdgeLabelId, LabelId, NodeId};
+use crate::schema::Schema;
+use crate::value::AttrValue;
+
+/// Incremental graph builder.
+///
+/// Nodes receive ids in insertion order. Duplicate labeled edges are
+/// deduplicated at [`finish`](GraphBuilder::finish) time (the graph is a
+/// set of labeled edges, per Section II).
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    schema: Schema,
+    node_labels: Vec<LabelId>,
+    tuples: Vec<Box<[(AttrId, AttrValue)]>>,
+    edges: Vec<(NodeId, NodeId, EdgeLabelId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder seeded with an existing schema (useful when a
+    /// template vocabulary must be shared across graphs).
+    pub fn with_schema(schema: Schema) -> Self {
+        Self {
+            schema,
+            ..Self::default()
+        }
+    }
+
+    /// Mutable access to the schema for interning labels/attrs/symbols.
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Read access to the schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Adds a node with `label` and attribute tuple `attrs`.
+    ///
+    /// Attributes are sorted by id internally; duplicate attribute ids keep
+    /// the last value.
+    pub fn add_node(&mut self, label: LabelId, attrs: &[(AttrId, AttrValue)]) -> NodeId {
+        let id = NodeId::from_index(self.node_labels.len());
+        self.node_labels.push(label);
+        let mut tuple: Vec<(AttrId, AttrValue)> = attrs.to_vec();
+        tuple.sort_by_key(|&(a, _)| a);
+        // Keep the last value for duplicated attribute ids.
+        tuple.reverse();
+        tuple.dedup_by_key(|&mut (a, _)| a);
+        tuple.reverse();
+        self.tuples.push(tuple.into_boxed_slice());
+        id
+    }
+
+    /// Convenience: adds a node whose label and attributes are given by
+    /// name, interning as needed.
+    pub fn add_named_node(&mut self, label: &str, attrs: &[(&str, AttrValue)]) -> NodeId {
+        let label = self.schema.node_label(label);
+        let attrs: Vec<(AttrId, AttrValue)> = attrs
+            .iter()
+            .map(|&(name, v)| (self.schema.attr(name), v))
+            .collect();
+        self.add_node(label, &attrs)
+    }
+
+    /// Adds a directed labeled edge. Endpoints must already exist.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: EdgeLabelId) {
+        assert!(
+            src.index() < self.node_labels.len() && dst.index() < self.node_labels.len(),
+            "edge endpoint out of range"
+        );
+        self.edges.push((src, dst, label));
+    }
+
+    /// Convenience: adds an edge with a named label, interning as needed.
+    pub fn add_named_edge(&mut self, src: NodeId, dst: NodeId, label: &str) {
+        let label = self.schema.edge_label(label);
+        self.add_edge(src, dst, label);
+    }
+
+    /// Finalizes the graph: builds CSR adjacency, the label index, and the
+    /// active domains.
+    pub fn finish(self) -> Graph {
+        let n = self.node_labels.len();
+        let mut edges = self.edges;
+        edges.sort_unstable_by_key(|&(s, d, l)| (s, d, l));
+        edges.dedup();
+
+        // CSR out adjacency.
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(s, _, _) in &edges {
+            out_offsets[s.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_adj: Vec<(NodeId, EdgeLabelId)> = edges.iter().map(|&(_, d, l)| (d, l)).collect();
+
+        // CSR in adjacency (stable counting sort by target).
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, d, _) in &edges {
+            in_offsets[d.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_adj = vec![(NodeId(0), EdgeLabelId(0)); edges.len()];
+        for &(s, d, l) in &edges {
+            let pos = cursor[d.index()] as usize;
+            in_adj[pos] = (s, l);
+            cursor[d.index()] += 1;
+        }
+        // Each in-neighbor run must be sorted by (source, label) for binary
+        // search; the counting sort above preserved edge order which is
+        // sorted by (source, target, label), hence per-target runs are
+        // already sorted by (source, label).
+        debug_assert!((0..n).all(|v| {
+            let lo = in_offsets[v] as usize;
+            let hi = in_offsets[v + 1] as usize;
+            in_adj[lo..hi].windows(2).all(|w| w[0] <= w[1])
+        }));
+
+        // Label index.
+        let mut label_index: Vec<Vec<NodeId>> = vec![Vec::new(); self.schema.node_label_count()];
+        for (i, &l) in self.node_labels.iter().enumerate() {
+            label_index[l.index()].push(NodeId::from_index(i));
+        }
+
+        // Active domains.
+        let domains = ActiveDomains::build(
+            self.node_labels
+                .iter()
+                .zip(self.tuples.iter())
+                .flat_map(|(&l, t)| t.iter().map(move |&(a, v)| (l, a, v))),
+        );
+
+        Graph {
+            schema: self.schema,
+            node_labels: self.node_labels,
+            tuples: self.tuples,
+            out_offsets,
+            out_adj,
+            in_offsets,
+            in_adj,
+            label_index,
+            domains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let mut b = GraphBuilder::new();
+        let l = b.schema_mut().node_label("x");
+        let e = b.schema_mut().edge_label("e");
+        let a = b.add_node(l, &[]);
+        let c = b.add_node(l, &[]);
+        b.add_edge(a, c, e);
+        b.add_edge(a, c, e);
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_labels_kept() {
+        let mut b = GraphBuilder::new();
+        let l = b.schema_mut().node_label("x");
+        let e1 = b.schema_mut().edge_label("e1");
+        let e2 = b.schema_mut().edge_label("e2");
+        let a = b.add_node(l, &[]);
+        let c = b.add_node(l, &[]);
+        b.add_edge(a, c, e1);
+        b.add_edge(a, c, e2);
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(a, c, e1));
+        assert!(g.has_edge(a, c, e2));
+    }
+
+    #[test]
+    fn duplicate_attr_keeps_last() {
+        let mut b = GraphBuilder::new();
+        let l = b.schema_mut().node_label("x");
+        let a = b.schema_mut().attr("k");
+        let v = b.add_node(l, &[(a, AttrValue::Int(1)), (a, AttrValue::Int(2))]);
+        let g = b.finish();
+        assert_eq!(g.attr(v, a), Some(AttrValue::Int(2)));
+        assert_eq!(g.tuple(v).len(), 1);
+    }
+
+    #[test]
+    fn named_helpers() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_named_node("person", &[("age", AttrValue::Int(33))]);
+        let w = b.add_named_node("person", &[]);
+        b.add_named_edge(v, w, "knows");
+        let g = b.finish();
+        let age = g.schema().find_attr("age").unwrap();
+        assert_eq!(g.attr(v, age), Some(AttrValue::Int(33)));
+        let knows = g.schema().find_edge_label("knows").unwrap();
+        assert!(g.has_edge(v, w, knows));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn edge_endpoint_validation() {
+        let mut b = GraphBuilder::new();
+        let l = b.schema_mut().node_label("x");
+        let e = b.schema_mut().edge_label("e");
+        let a = b.add_node(l, &[]);
+        b.add_edge(a, NodeId(99), e);
+    }
+
+    #[test]
+    fn in_adjacency_mirrors_out() {
+        let mut b = GraphBuilder::new();
+        let l = b.schema_mut().node_label("x");
+        let e = b.schema_mut().edge_label("e");
+        let nodes: Vec<NodeId> = (0..5).map(|_| b.add_node(l, &[])).collect();
+        b.add_edge(nodes[0], nodes[4], e);
+        b.add_edge(nodes[1], nodes[4], e);
+        b.add_edge(nodes[3], nodes[4], e);
+        b.add_edge(nodes[4], nodes[0], e);
+        let g = b.finish();
+        assert_eq!(
+            g.in_neighbors(nodes[4])
+                .iter()
+                .map(|&(s, _)| s)
+                .collect::<Vec<_>>(),
+            vec![nodes[0], nodes[1], nodes[3]]
+        );
+        assert_eq!(g.out_neighbors(nodes[4]), &[(nodes[0], e)]);
+    }
+}

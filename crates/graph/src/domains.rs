@@ -1,0 +1,117 @@
+//! Active domains: the distinct values each attribute takes over the graph.
+//!
+//! `adom(A)` (Section II) parameterizes the search space of range variables:
+//! a literal `u.A >= x` can only usefully bind `x` to values in the active
+//! domain of `A` restricted to nodes labeled `L(u)`. Both the global and the
+//! per-label domains are precomputed at graph build time.
+
+use crate::ids::{AttrId, LabelId};
+use crate::value::AttrValue;
+use std::collections::HashMap;
+
+/// Precomputed sorted distinct attribute values.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveDomains {
+    global: HashMap<AttrId, Vec<AttrValue>>,
+    per_label: HashMap<(LabelId, AttrId), Vec<AttrValue>>,
+}
+
+impl ActiveDomains {
+    /// Builds active domains from raw `(label, attr, value)` observations.
+    pub(crate) fn build(observations: impl Iterator<Item = (LabelId, AttrId, AttrValue)>) -> Self {
+        let mut global: HashMap<AttrId, Vec<AttrValue>> = HashMap::new();
+        let mut per_label: HashMap<(LabelId, AttrId), Vec<AttrValue>> = HashMap::new();
+        for (l, a, v) in observations {
+            global.entry(a).or_default().push(v);
+            per_label.entry((l, a)).or_default().push(v);
+        }
+        for vals in global.values_mut().chain(per_label.values_mut()) {
+            vals.sort_unstable();
+            vals.dedup();
+            vals.shrink_to_fit();
+        }
+        Self { global, per_label }
+    }
+
+    /// `adom(A)`: sorted distinct values of `A` over all nodes.
+    pub fn global(&self, attr: AttrId) -> &[AttrValue] {
+        self.global.get(&attr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sorted distinct values of `A` over nodes with `label`.
+    pub fn for_label(&self, label: LabelId, attr: AttrId) -> &[AttrValue] {
+        self.per_label
+            .get(&(label, attr))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Size of the largest active domain (`adom_m` in Theorem 1).
+    pub fn max_domain_size(&self) -> usize {
+        self.global.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The `[min, max]` integer range of an attribute's global domain, used
+    /// to normalize value distances in the diversity measure. `None` when
+    /// the attribute has no integer values.
+    pub fn int_range(&self, attr: AttrId) -> Option<(i64, i64)> {
+        let vals = self.global(attr);
+        let mut it = vals.iter().filter_map(|v| v.as_int());
+        let first = it.next()?;
+        // Values are sorted with all Ints before Strs, so min is the first
+        // int and max is the last int.
+        let last = vals.iter().rev().find_map(|v| v.as_int()).unwrap_or(first);
+        Some((first, last))
+    }
+
+    /// Number of attributes with a non-empty global domain.
+    pub fn attr_count(&self) -> usize {
+        self.global.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> Vec<(LabelId, AttrId, AttrValue)> {
+        let l0 = LabelId(0);
+        let l1 = LabelId(1);
+        let a = AttrId(0);
+        vec![
+            (l0, a, AttrValue::Int(5)),
+            (l0, a, AttrValue::Int(1)),
+            (l0, a, AttrValue::Int(5)),
+            (l1, a, AttrValue::Int(9)),
+        ]
+    }
+
+    #[test]
+    fn global_is_sorted_and_deduped() {
+        let d = ActiveDomains::build(obs().into_iter());
+        assert_eq!(
+            d.global(AttrId(0)),
+            &[AttrValue::Int(1), AttrValue::Int(5), AttrValue::Int(9)]
+        );
+    }
+
+    #[test]
+    fn per_label_restricts() {
+        let d = ActiveDomains::build(obs().into_iter());
+        assert_eq!(
+            d.for_label(LabelId(0), AttrId(0)),
+            &[AttrValue::Int(1), AttrValue::Int(5)]
+        );
+        assert_eq!(d.for_label(LabelId(1), AttrId(0)), &[AttrValue::Int(9)]);
+        assert!(d.for_label(LabelId(2), AttrId(0)).is_empty());
+    }
+
+    #[test]
+    fn max_domain_and_range() {
+        let d = ActiveDomains::build(obs().into_iter());
+        assert_eq!(d.max_domain_size(), 3);
+        assert_eq!(d.int_range(AttrId(0)), Some((1, 9)));
+        assert_eq!(d.int_range(AttrId(7)), None);
+        assert_eq!(d.attr_count(), 1);
+    }
+}

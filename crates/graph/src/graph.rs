@@ -1,0 +1,256 @@
+//! The attributed directed graph `G = (V, E, L, T)` (Section II of the
+//! paper) with CSR adjacency, a label index, and active domains.
+
+use crate::domains::ActiveDomains;
+use crate::ids::{AttrId, EdgeLabelId, LabelId, NodeId};
+use crate::schema::Schema;
+use crate::value::AttrValue;
+
+/// An immutable attributed directed graph.
+///
+/// Built through [`GraphBuilder`](crate::GraphBuilder); once finished the
+/// graph exposes:
+///
+/// * CSR out/in adjacency with edge labels (`O(log deg)` edge lookups),
+/// * a node-label index (`V(u_o)` in the paper: all nodes with a label),
+/// * per-`(label, attribute)` **active domains** — the sorted distinct values
+///   an attribute takes over nodes of a label, which parameterize the
+///   refinement domains of range variables,
+/// * `d`-hop neighborhood extraction used by template refinement (Spawn).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub(crate) schema: Schema,
+    pub(crate) node_labels: Vec<LabelId>,
+    /// Per-node attribute tuple `T(v)`, sorted by attribute id.
+    pub(crate) tuples: Vec<Box<[(AttrId, AttrValue)]>>,
+    pub(crate) out_offsets: Vec<u32>,
+    /// Out-neighbors, per source sorted by `(target, edge label)`.
+    pub(crate) out_adj: Vec<(NodeId, EdgeLabelId)>,
+    pub(crate) in_offsets: Vec<u32>,
+    /// In-neighbors, per target sorted by `(source, edge label)`.
+    pub(crate) in_adj: Vec<(NodeId, EdgeLabelId)>,
+    /// Nodes per label, sorted ascending.
+    pub(crate) label_index: Vec<Vec<NodeId>>,
+    pub(crate) domains: ActiveDomains,
+}
+
+impl Graph {
+    /// The graph's schema (labels, attributes, symbols).
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// The label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.node_labels[v.index()]
+    }
+
+    /// The attribute tuple `T(v)`, sorted by attribute id.
+    #[inline]
+    pub fn tuple(&self, v: NodeId) -> &[(AttrId, AttrValue)] {
+        &self.tuples[v.index()]
+    }
+
+    /// The value of attribute `a` on node `v`, if present.
+    #[inline]
+    pub fn attr(&self, v: NodeId, a: AttrId) -> Option<AttrValue> {
+        let t = self.tuple(v);
+        t.binary_search_by_key(&a, |&(id, _)| id)
+            .ok()
+            .map(|i| t[i].1)
+    }
+
+    /// Out-neighbors of `v` as `(target, edge label)` pairs sorted by
+    /// `(target, label)`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[(NodeId, EdgeLabelId)] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_adj[lo..hi]
+    }
+
+    /// In-neighbors of `v` as `(source, edge label)` pairs sorted by
+    /// `(source, label)`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[(NodeId, EdgeLabelId)] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_adj[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Whether the labeled edge `src --label--> dst` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: EdgeLabelId) -> bool {
+        self.out_neighbors(src).binary_search(&(dst, label)).is_ok()
+    }
+
+    /// All nodes carrying `label` (the paper's `V(u_o)`), sorted ascending.
+    pub fn nodes_with_label(&self, label: LabelId) -> &[NodeId] {
+        self.label_index
+            .get(label.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of nodes with `label`, i.e. `|V(u_o)|`.
+    #[inline]
+    pub fn label_population(&self, label: LabelId) -> usize {
+        self.nodes_with_label(label).len()
+    }
+
+    /// Active domains of the graph's attributes.
+    #[inline]
+    pub fn domains(&self) -> &ActiveDomains {
+        &self.domains
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Computes the set of nodes within `d` undirected hops of `seeds`
+    /// (including the seeds), sorted ascending.
+    ///
+    /// This is the paper's `G_q^d`: template refinement restricts the values
+    /// a range variable can take to those observed on same-labeled nodes in
+    /// the `d`-hop neighborhood of the current match set.
+    pub fn d_hop_neighborhood(&self, seeds: &[NodeId], d: usize) -> Vec<NodeId> {
+        let mut visited = vec![false; self.node_count()];
+        let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+        let mut result: Vec<NodeId> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                frontier.push(s);
+                result.push(s);
+            }
+        }
+        for _ in 0..d {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &(w, _) in self.out_neighbors(v).iter().chain(self.in_neighbors(v)) {
+                    if !visited[w.index()] {
+                        visited[w.index()] = true;
+                        next.push(w);
+                        result.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        result.sort_unstable();
+        result
+    }
+
+    /// Average number of attributes per node (Table II's "avg. # attr").
+    pub fn avg_attrs_per_node(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        let total: usize = self.tuples.iter().map(|t| t.len()).sum();
+        total as f64 / self.node_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn small_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let person = b.schema_mut().node_label("person");
+        let org = b.schema_mut().node_label("org");
+        let knows = b.schema_mut().edge_label("knows");
+        let works = b.schema_mut().edge_label("worksAt");
+        let age = b.schema_mut().attr("age");
+
+        let a = b.add_node(person, &[(age, AttrValue::Int(30))]);
+        let c = b.add_node(person, &[(age, AttrValue::Int(40))]);
+        let o = b.add_node(org, &[]);
+        b.add_edge(a, c, knows);
+        b.add_edge(a, o, works);
+        b.add_edge(c, o, works);
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let g = small_graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let person = g.schema().find_node_label("person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 2);
+        assert_eq!(g.label_population(person), 2);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = small_graph();
+        let knows = g.schema().find_edge_label("knows").unwrap();
+        let works = g.schema().find_edge_label("worksAt").unwrap();
+        let (a, c, o) = (NodeId(0), NodeId(1), NodeId(2));
+        assert!(g.has_edge(a, c, knows));
+        assert!(!g.has_edge(c, a, knows));
+        assert!(g.has_edge(a, o, works));
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(o), 2);
+        assert_eq!(g.in_neighbors(o).len(), 2);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let g = small_graph();
+        let age = g.schema().find_attr("age").unwrap();
+        assert_eq!(g.attr(NodeId(0), age), Some(AttrValue::Int(30)));
+        assert_eq!(g.attr(NodeId(2), age), None);
+    }
+
+    #[test]
+    fn d_hop_neighborhood_expands_undirected() {
+        let g = small_graph();
+        let hop0 = g.d_hop_neighborhood(&[NodeId(0)], 0);
+        assert_eq!(hop0, vec![NodeId(0)]);
+        let hop1 = g.d_hop_neighborhood(&[NodeId(0)], 1);
+        assert_eq!(hop1, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // From the org, one undirected hop reaches both persons.
+        let hop1_o = g.d_hop_neighborhood(&[NodeId(2)], 1);
+        assert_eq!(hop1_o.len(), 3);
+    }
+
+    #[test]
+    fn avg_attrs() {
+        let g = small_graph();
+        // Two nodes carry one attribute, one carries none.
+        assert!((g.avg_attrs_per_node() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

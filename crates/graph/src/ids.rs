@@ -1,0 +1,97 @@
+//! Strongly-typed identifiers for graph entities.
+//!
+//! All identifiers are thin newtypes over small integers so they are cheap to
+//! copy, hash, and store in columnar structures. Conversions to/from `usize`
+//! are explicit to keep index arithmetic visible at call sites.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Creates an identifier from a raw index, panicking on overflow.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= <$repr>::MAX as usize, "id overflow");
+                Self(index as $repr)
+            }
+
+            /// Returns the identifier as a `usize` suitable for indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a node in a [`crate::Graph`].
+    NodeId,
+    u32
+);
+id_type!(
+    /// Identifier of a node label (e.g. `movie`, `user`).
+    LabelId,
+    u16
+);
+id_type!(
+    /// Identifier of an edge label (e.g. `recommend`, `worksAt`).
+    EdgeLabelId,
+    u16
+);
+id_type!(
+    /// Identifier of a node attribute (e.g. `yearsOfExp`).
+    AttrId,
+    u16
+);
+id_type!(
+    /// Identifier of an interned string attribute value.
+    SymbolId,
+    u32
+);
+id_type!(
+    /// Identifier of a node group in a [`crate::GroupSet`].
+    GroupId,
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LabelId(0) < LabelId(10));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", AttrId(7)), "AttrId(7)");
+        assert_eq!(format!("{}", AttrId(7)), "7");
+    }
+}

@@ -1,0 +1,242 @@
+//! Plain-text (TSV) serialization of graphs.
+//!
+//! The format is two sections separated by a blank line, friendly to both
+//! humans and spreadsheet tooling:
+//!
+//! ```text
+//! # nodes: id <TAB> label <TAB> attr=value ...
+//! 0 <TAB> director <TAB> gender=0 <TAB> major=3
+//! 1 <TAB> user <TAB> yearsOfExp=12
+//!
+//! # edges: src <TAB> label <TAB> dst
+//! 1 <TAB> recommend <TAB> 0
+//! ```
+//!
+//! Integer attribute values are written bare; string values are written
+//! with a `s:` prefix (`country=s:US`). Node ids must be dense `0..n` in
+//! the node section (the reader validates this).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::value::AttrValue;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while reading the TSV format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content (with 1-based line number).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a graph in the TSV format.
+pub fn write_tsv<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# nodes: id\tlabel\tattr=value ...")?;
+    let schema = graph.schema();
+    for v in graph.nodes() {
+        write!(out, "{}\t{}", v.0, schema.node_label_name(graph.label(v)))?;
+        for &(a, val) in graph.tuple(v) {
+            match val {
+                AttrValue::Int(i) => write!(out, "\t{}={}", schema.attr_name(a), i)?,
+                AttrValue::Str(s) => write!(
+                    out,
+                    "\t{}=s:{}",
+                    schema.attr_name(a),
+                    schema.symbol_value(s)
+                )?,
+            }
+        }
+        writeln!(out)?;
+    }
+    writeln!(out)?;
+    writeln!(out, "# edges: src\tlabel\tdst")?;
+    for v in graph.nodes() {
+        for &(w, l) in graph.out_neighbors(v) {
+            writeln!(out, "{}\t{}\t{}", v.0, schema.edge_label_name(l), w.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a graph from the TSV format.
+pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
+    let mut builder = GraphBuilder::new();
+    let mut in_edges = false;
+    let mut expected_id: u64 = 0;
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let content = line.trim();
+        if content.is_empty() {
+            in_edges = true;
+            continue;
+        }
+        if content.starts_with('#') {
+            continue;
+        }
+        let mut fields = content.split('\t');
+        if !in_edges {
+            let id: u64 = fields.next().unwrap().parse().map_err(|_| IoError::Parse {
+                line: line_no,
+                message: "node id must be an integer".into(),
+            })?;
+            if id != expected_id {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: format!("node ids must be dense (expected {expected_id}, got {id})"),
+                });
+            }
+            expected_id += 1;
+            let label = fields.next().ok_or_else(|| IoError::Parse {
+                line: line_no,
+                message: "missing node label".into(),
+            })?;
+            let mut attrs = Vec::new();
+            for f in fields {
+                let (name, value) = f.split_once('=').ok_or_else(|| IoError::Parse {
+                    line: line_no,
+                    message: format!("expected attr=value, found '{f}'"),
+                })?;
+                let value = if let Some(s) = value.strip_prefix("s:") {
+                    let sym = builder.schema_mut().symbol(s);
+                    AttrValue::Str(sym)
+                } else {
+                    AttrValue::Int(value.parse().map_err(|_| IoError::Parse {
+                        line: line_no,
+                        message: format!("expected integer or s:string value, found '{value}'"),
+                    })?)
+                };
+                let attr = builder.schema_mut().attr(name);
+                attrs.push((attr, value));
+            }
+            let label = builder.schema_mut().node_label(label);
+            builder.add_node(label, &attrs);
+        } else {
+            let src: u32 = fields.next().unwrap().parse().map_err(|_| IoError::Parse {
+                line: line_no,
+                message: "edge source must be an integer".into(),
+            })?;
+            let label = fields.next().ok_or_else(|| IoError::Parse {
+                line: line_no,
+                message: "missing edge label".into(),
+            })?;
+            let dst: u32 = fields
+                .next()
+                .ok_or_else(|| IoError::Parse {
+                    line: line_no,
+                    message: "missing edge target".into(),
+                })?
+                .parse()
+                .map_err(|_| IoError::Parse {
+                    line: line_no,
+                    message: "edge target must be an integer".into(),
+                })?;
+            if src as usize >= builder.node_count() || dst as usize >= builder.node_count() {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: "edge endpoint out of range".into(),
+                });
+            }
+            let label = builder.schema_mut().edge_label(label);
+            builder.add_edge(NodeId(src), NodeId(dst), label);
+        }
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use std::io::BufReader;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let us = b.schema_mut().symbol("US");
+        let d = b.add_named_node("director", &[("gender", AttrValue::Int(1))]);
+        let country = b.schema_mut().attr("country");
+        let m = b.add_node(
+            b.schema().find_node_label("director").unwrap(),
+            &[(country, AttrValue::Str(us))],
+        );
+        b.add_named_edge(d, m, "knows");
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(
+                g.schema().node_label_name(g.label(v)),
+                g2.schema().node_label_name(g2.label(v))
+            );
+            assert_eq!(g.tuple(v).len(), g2.tuple(v).len());
+        }
+        // String attribute survives.
+        let country = g2.schema().find_attr("country").unwrap();
+        let val = g2.attr(NodeId(1), country).unwrap();
+        match val {
+            AttrValue::Str(s) => assert_eq!(g2.schema().symbol_value(s), "US"),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_sparse_node_ids() {
+        let text = "0\ta\n2\ta\n\n";
+        let err = read_tsv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_dangling_edges() {
+        let text = "0\ta\n\n0\te\t7\n";
+        let err = read_tsv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_attr_syntax() {
+        let text = "0\ta\tbroken\n\n";
+        let err = read_tsv(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let g = read_tsv(BufReader::new("".as_bytes())).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fairsqg-graph
+//!
+//! Attributed directed graph substrate for the FairSQG system (ICDE 2022,
+//! "Subgraph Query Generation with Fairness and Diversity Constraints").
+//!
+//! Provides the data model of Section II: graphs `G = (V, E, L, T)` with
+//! node/edge labels and per-node attribute tuples, plus the auxiliary
+//! structures the generation algorithms rely on — label indexes, active
+//! domains `adom(A)`, `d`-hop neighborhoods (`G_q^d`), and disjoint node
+//! groups with coverage constraints.
+//!
+//! ```
+//! use fairsqg_graph::{GraphBuilder, AttrValue};
+//!
+//! let mut b = GraphBuilder::new();
+//! let alice = b.add_named_node("user", &[("yearsOfExp", AttrValue::Int(12))]);
+//! let corp = b.add_named_node("org", &[("employees", AttrValue::Int(1500))]);
+//! b.add_named_edge(alice, corp, "worksAt");
+//! let g = b.finish();
+//! assert_eq!(g.node_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod domains;
+mod graph;
+mod groups;
+mod ids;
+mod interner;
+mod io;
+mod schema;
+mod stats;
+mod subgraph;
+mod value;
+
+pub use builder::GraphBuilder;
+pub use domains::ActiveDomains;
+pub use graph::Graph;
+pub use groups::{CoverageSpec, GroupSet};
+pub use ids::{AttrId, EdgeLabelId, GroupId, LabelId, NodeId, SymbolId};
+pub use interner::Interner;
+pub use io::{read_tsv, write_tsv, IoError};
+pub use schema::Schema;
+pub use stats::{GraphStats, LabelStats};
+pub use subgraph::{induce_subgraph, InducedSubgraph};
+pub use value::{AttrValue, CmpOp};

@@ -1,0 +1,133 @@
+//! Graph schema: interned node labels, edge labels, attribute names, and
+//! string attribute values.
+
+use crate::ids::{AttrId, EdgeLabelId, LabelId, SymbolId};
+use crate::interner::Interner;
+
+/// Interned vocabulary of a graph.
+///
+/// A [`Schema`] is shared by a graph and all templates/queries over it, so
+/// labels and attributes can be compared by id.
+#[derive(Debug, Default, Clone)]
+pub struct Schema {
+    node_labels: Interner,
+    edge_labels: Interner,
+    attrs: Interner,
+    symbols: Interner,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a node label name.
+    pub fn node_label(&mut self, name: &str) -> LabelId {
+        LabelId(self.node_labels.intern(name) as u16)
+    }
+
+    /// Interns an edge label name.
+    pub fn edge_label(&mut self, name: &str) -> EdgeLabelId {
+        EdgeLabelId(self.edge_labels.intern(name) as u16)
+    }
+
+    /// Interns an attribute name.
+    pub fn attr(&mut self, name: &str) -> AttrId {
+        AttrId(self.attrs.intern(name) as u16)
+    }
+
+    /// Interns a string attribute value.
+    pub fn symbol(&mut self, value: &str) -> SymbolId {
+        SymbolId(self.symbols.intern(value))
+    }
+
+    /// Looks up a node label without interning.
+    pub fn find_node_label(&self, name: &str) -> Option<LabelId> {
+        self.node_labels.get(name).map(|id| LabelId(id as u16))
+    }
+
+    /// Looks up an edge label without interning.
+    pub fn find_edge_label(&self, name: &str) -> Option<EdgeLabelId> {
+        self.edge_labels.get(name).map(|id| EdgeLabelId(id as u16))
+    }
+
+    /// Looks up an attribute without interning.
+    pub fn find_attr(&self, name: &str) -> Option<AttrId> {
+        self.attrs.get(name).map(|id| AttrId(id as u16))
+    }
+
+    /// Looks up a string value without interning.
+    pub fn find_symbol(&self, value: &str) -> Option<SymbolId> {
+        self.symbols.get(value).map(SymbolId)
+    }
+
+    /// Resolves a node label id to its name.
+    pub fn node_label_name(&self, id: LabelId) -> &str {
+        self.node_labels.resolve(id.0 as u32)
+    }
+
+    /// Resolves an edge label id to its name.
+    pub fn edge_label_name(&self, id: EdgeLabelId) -> &str {
+        self.edge_labels.resolve(id.0 as u32)
+    }
+
+    /// Resolves an attribute id to its name.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attrs.resolve(id.0 as u32)
+    }
+
+    /// Resolves a symbol id to its string value.
+    pub fn symbol_value(&self, id: SymbolId) -> &str {
+        self.symbols.resolve(id.0)
+    }
+
+    /// Number of distinct node labels.
+    pub fn node_label_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of distinct edge labels.
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// Number of distinct attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_interning_roundtrip() {
+        let mut s = Schema::new();
+        let movie = s.node_label("movie");
+        let directed = s.edge_label("directed");
+        let rating = s.attr("rating");
+        let action = s.symbol("Action");
+
+        assert_eq!(s.node_label_name(movie), "movie");
+        assert_eq!(s.edge_label_name(directed), "directed");
+        assert_eq!(s.attr_name(rating), "rating");
+        assert_eq!(s.symbol_value(action), "Action");
+
+        assert_eq!(s.find_node_label("movie"), Some(movie));
+        assert_eq!(s.find_node_label("nope"), None);
+    }
+
+    #[test]
+    fn counts() {
+        let mut s = Schema::new();
+        s.node_label("a");
+        s.node_label("b");
+        s.node_label("a");
+        s.attr("x");
+        assert_eq!(s.node_label_count(), 2);
+        assert_eq!(s.attr_count(), 1);
+        assert_eq!(s.edge_label_count(), 0);
+    }
+}

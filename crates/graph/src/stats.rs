@@ -1,0 +1,112 @@
+//! Descriptive statistics of a graph (used by the benchmark harness for
+//! Table II and by users sizing workloads).
+
+use crate::graph::Graph;
+use crate::ids::LabelId;
+
+/// Summary statistics of one node label's population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelStats {
+    /// The label.
+    pub label: LabelId,
+    /// Population `|V(label)|`.
+    pub count: usize,
+    /// Mean in-degree over the population.
+    pub avg_in_degree: f64,
+    /// Maximum in-degree over the population.
+    pub max_in_degree: usize,
+    /// Mean out-degree over the population.
+    pub avg_out_degree: f64,
+}
+
+/// Whole-graph statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Distinct node labels in use.
+    pub node_labels: usize,
+    /// Distinct edge labels in use.
+    pub edge_labels: usize,
+    /// Mean attributes per node.
+    pub avg_attrs: f64,
+    /// Per-label populations and degree summaries, sorted by label id.
+    pub labels: Vec<LabelStats>,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &Graph) -> Self {
+        let mut labels = Vec::new();
+        for li in 0..graph.schema().node_label_count() {
+            let label = LabelId(li as u16);
+            let pop = graph.nodes_with_label(label);
+            if pop.is_empty() {
+                continue;
+            }
+            let (mut in_sum, mut out_sum, mut in_max) = (0usize, 0usize, 0usize);
+            for &v in pop {
+                let d_in = graph.in_degree(v);
+                in_sum += d_in;
+                in_max = in_max.max(d_in);
+                out_sum += graph.out_degree(v);
+            }
+            labels.push(LabelStats {
+                label,
+                count: pop.len(),
+                avg_in_degree: in_sum as f64 / pop.len() as f64,
+                max_in_degree: in_max,
+                avg_out_degree: out_sum as f64 / pop.len() as f64,
+            });
+        }
+        GraphStats {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            node_labels: labels.len(),
+            edge_labels: graph.schema().edge_label_count(),
+            avg_attrs: graph.avg_attrs_per_node(),
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::value::AttrValue;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_node("user", &[("x", AttrValue::Int(1))]);
+        let c = b.add_named_node("user", &[]);
+        let o = b.add_named_node("org", &[]);
+        b.add_named_edge(a, c, "knows");
+        b.add_named_edge(a, o, "worksAt");
+        b.add_named_edge(c, o, "worksAt");
+        let g = b.finish();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.node_labels, 2);
+        assert_eq!(s.edge_labels, 2);
+        let org = &s.labels[1];
+        assert_eq!(org.count, 1);
+        assert_eq!(org.max_in_degree, 2);
+        assert!((org.avg_in_degree - 2.0).abs() < 1e-12);
+        assert!((s.avg_attrs - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_labels_are_skipped() {
+        let mut b = GraphBuilder::new();
+        b.schema_mut().node_label("ghost");
+        b.add_named_node("real", &[]);
+        let g = b.finish();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.node_labels, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Induced subgraphs: materialize the graph restricted to a node subset.
+//!
+//! Useful for pipelining constraints that the query language cannot
+//! express — e.g. evaluate a regular path query, induce the subgraph of
+//! qualifying nodes, and run FairSQG generation on the smaller graph
+//! (instead of carrying an output restriction through every verification).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// The result of [`induce_subgraph`]: the new graph plus the node-id
+/// mapping in both directions.
+pub struct InducedSubgraph {
+    /// The induced graph (fresh dense node ids, shared schema).
+    pub graph: Graph,
+    /// `to_original[new.index()] = old` id in the source graph.
+    pub to_original: Vec<NodeId>,
+    /// `to_induced[old.index()] = Some(new)` for kept nodes.
+    pub to_induced: Vec<Option<NodeId>>,
+}
+
+/// Induces the subgraph on `keep` (need not be sorted; duplicates are
+/// collapsed). Node attributes, labels, and all edges with both endpoints
+/// kept are preserved; the schema is shared so label/attr ids stay valid.
+pub fn induce_subgraph(graph: &Graph, keep: &[NodeId]) -> InducedSubgraph {
+    let mut kept: Vec<NodeId> = keep.to_vec();
+    kept.sort_unstable();
+    kept.dedup();
+
+    let mut to_induced: Vec<Option<NodeId>> = vec![None; graph.node_count()];
+    let mut b = GraphBuilder::with_schema(graph.schema().clone());
+    for (new_idx, &old) in kept.iter().enumerate() {
+        let id = b.add_node(graph.label(old), graph.tuple(old));
+        debug_assert_eq!(id.index(), new_idx);
+        to_induced[old.index()] = Some(id);
+    }
+    for &old in &kept {
+        let src = to_induced[old.index()].unwrap();
+        for &(t, l) in graph.out_neighbors(old) {
+            if let Some(dst) = to_induced[t.index()] {
+                b.add_edge(src, dst, l);
+            }
+        }
+    }
+    InducedSubgraph {
+        graph: b.finish(),
+        to_original: kept,
+        to_induced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrValue;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5)
+            .map(|i| b.add_named_node("v", &[("x", AttrValue::Int(i))]))
+            .collect();
+        b.add_named_edge(n[0], n[1], "e");
+        b.add_named_edge(n[1], n[2], "e");
+        b.add_named_edge(n[2], n[3], "e");
+        b.add_named_edge(n[3], n[4], "e");
+        b.add_named_edge(n[4], n[0], "e");
+        b.finish()
+    }
+
+    #[test]
+    fn keeps_internal_edges_only() {
+        let g = sample();
+        let sub = induce_subgraph(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.graph.node_count(), 3);
+        // Edges 0->1 and 1->2 survive; 2->3 and 4->0 are cut.
+        assert_eq!(sub.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn attributes_and_schema_are_preserved() {
+        let g = sample();
+        let sub = induce_subgraph(&g, &[NodeId(3), NodeId(1)]);
+        let x = sub.graph.schema().find_attr("x").unwrap();
+        // Kept nodes are sorted: new 0 = old 1, new 1 = old 3.
+        assert_eq!(sub.to_original, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(sub.graph.attr(NodeId(0), x), Some(AttrValue::Int(1)));
+        assert_eq!(sub.graph.attr(NodeId(1), x), Some(AttrValue::Int(3)));
+        assert_eq!(sub.to_induced[1], Some(NodeId(0)));
+        assert_eq!(sub.to_induced[0], None);
+    }
+
+    #[test]
+    fn duplicates_collapse_and_full_keep_is_identity() {
+        let g = sample();
+        let sub = induce_subgraph(&g, &[NodeId(2), NodeId(2), NodeId(2)]);
+        assert_eq!(sub.graph.node_count(), 1);
+        assert_eq!(sub.graph.edge_count(), 0);
+
+        let all: Vec<NodeId> = g.nodes().collect();
+        let full = induce_subgraph(&g, &all);
+        assert_eq!(full.graph.node_count(), g.node_count());
+        assert_eq!(full.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn active_domains_shrink_with_the_subgraph() {
+        let g = sample();
+        let x = g.schema().find_attr("x").unwrap();
+        assert_eq!(g.domains().global(x).len(), 5);
+        let sub = induce_subgraph(&g, &[NodeId(0), NodeId(4)]);
+        let x2 = sub.graph.schema().find_attr("x").unwrap();
+        assert_eq!(sub.graph.domains().global(x2).len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the graph substrate: CSR consistency, active
+//! domains, neighborhoods, and TSV round-trips on random graphs.
+
+use fairsqg_graph::{read_tsv, write_tsv, AttrValue, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Raw random graph description.
+#[derive(Debug, Clone)]
+struct RawGraph {
+    nodes: Vec<(u8, Vec<(u8, i64)>)>,
+    edges: Vec<(usize, usize, u8)>,
+}
+
+fn arb_raw() -> impl Strategy<Value = RawGraph> {
+    (
+        proptest::collection::vec(
+            (
+                0u8..3,
+                proptest::collection::vec((0u8..3, -50i64..50), 0..3),
+            ),
+            1..20,
+        ),
+        proptest::collection::vec((0usize..20, 0usize..20, 0u8..2), 0..40),
+    )
+        .prop_map(|(nodes, edges)| RawGraph { nodes, edges })
+}
+
+fn build(raw: &RawGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let labels = ["l0", "l1", "l2"];
+    let attrs = ["a0", "a1", "a2"];
+    let elabels = ["e0", "e1"];
+    let ids: Vec<NodeId> = raw
+        .nodes
+        .iter()
+        .map(|(l, at)| {
+            let named: Vec<(&str, AttrValue)> = at
+                .iter()
+                .map(|&(a, v)| (attrs[a as usize], AttrValue::Int(v)))
+                .collect();
+            b.add_named_node(labels[*l as usize], &named)
+        })
+        .collect();
+    for &(s, d, l) in &raw.edges {
+        if s < ids.len() && d < ids.len() {
+            b.add_named_edge(ids[s], ids[d], elabels[l as usize]);
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Out- and in-adjacency are mirror images.
+    #[test]
+    fn csr_in_out_mirror(raw in arb_raw()) {
+        let g = build(&raw);
+        let mut out_edges = Vec::new();
+        let mut in_edges = Vec::new();
+        for v in g.nodes() {
+            for &(w, l) in g.out_neighbors(v) {
+                out_edges.push((v, w, l));
+                prop_assert!(g.has_edge(v, w, l));
+            }
+            for &(u, l) in g.in_neighbors(v) {
+                in_edges.push((u, v, l));
+            }
+        }
+        out_edges.sort();
+        in_edges.sort();
+        prop_assert_eq!(out_edges, in_edges);
+        let total: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(total, g.edge_count());
+    }
+
+    /// The label index partitions exactly the node set.
+    #[test]
+    fn label_index_partitions(raw in arb_raw()) {
+        let g = build(&raw);
+        let mut seen = vec![false; g.node_count()];
+        for li in 0..g.schema().node_label_count() {
+            for &v in g.nodes_with_label(fairsqg_graph::LabelId(li as u16)) {
+                prop_assert!(!seen[v.index()], "node in two label buckets");
+                seen[v.index()] = true;
+                prop_assert_eq!(g.label(v).index(), li);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Every stored attribute value appears in both the per-label and the
+    /// global active domain, and domains are sorted/deduped.
+    #[test]
+    fn active_domains_complete_and_sorted(raw in arb_raw()) {
+        let g = build(&raw);
+        for v in g.nodes() {
+            for &(a, val) in g.tuple(v) {
+                prop_assert!(g.domains().global(a).binary_search(&val).is_ok());
+                prop_assert!(g.domains().for_label(g.label(v), a).binary_search(&val).is_ok());
+            }
+        }
+        for ai in 0..3u16 {
+            let dom = g.domains().global(fairsqg_graph::AttrId(ai));
+            prop_assert!(dom.windows(2).all(|w| w[0] < w[1]), "domain not sorted+deduped");
+        }
+    }
+
+    /// d-hop neighborhoods grow monotonically with d and always include
+    /// the seeds.
+    #[test]
+    fn d_hop_monotone(raw in arb_raw(), seed in 0usize..20, d in 0usize..4) {
+        let g = build(&raw);
+        let seed = NodeId::from_index(seed % g.node_count());
+        let small = g.d_hop_neighborhood(&[seed], d);
+        let large = g.d_hop_neighborhood(&[seed], d + 1);
+        prop_assert!(small.binary_search(&seed).is_ok());
+        for v in &small {
+            prop_assert!(large.binary_search(v).is_ok(), "monotonicity violated");
+        }
+    }
+
+    /// TSV round-trip preserves every observable property.
+    #[test]
+    fn tsv_roundtrip(raw in arb_raw()) {
+        let g = build(&raw);
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            prop_assert_eq!(
+                g.schema().node_label_name(g.label(v)),
+                g2.schema().node_label_name(g2.label(v))
+            );
+            // Attribute multisets agree by name/value.
+            let render = |g: &Graph, v: NodeId| -> Vec<(String, i64)> {
+                g.tuple(v)
+                    .iter()
+                    .map(|&(a, val)| {
+                        (
+                            g.schema().attr_name(a).to_string(),
+                            val.as_int().unwrap(),
+                        )
+                    })
+                    .collect()
+            };
+            let (mut r1, mut r2) = (render(&g, v), render(&g2, v));
+            r1.sort();
+            r2.sort();
+            prop_assert_eq!(r1, r2);
+        }
+        for v in g.nodes() {
+            for &(w, l) in g.out_neighbors(v) {
+                let name = g.schema().edge_label_name(l);
+                let l2 = g2.schema().find_edge_label(name).unwrap();
+                prop_assert!(g2.has_edge(v, w, l2));
+            }
+        }
+    }
+}

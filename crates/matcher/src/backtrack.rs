@@ -1,0 +1,226 @@
+//! Backtracking subgraph-isomorphism search computing the output match set
+//! `q(u_o, G)`.
+//!
+//! For each candidate `v` of the output node the engine decides whether at
+//! least one injective, label/edge/literal-preserving embedding of the
+//! query maps `u_o` to `v` (existence semantics — exactly what the match
+//! set `q(G)` requires). The search orders query nodes greedily by
+//! candidate-set size while staying connected to the already-matched part,
+//! and drives each extension through the adjacency list of an
+//! already-matched neighbor.
+
+use crate::candidates::{candidates, candidates_from_pool};
+use fairsqg_graph::{EdgeLabelId, Graph, NodeId};
+use fairsqg_query::{ConcreteQuery, QNodeId};
+
+/// Options controlling a match-set computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchOptions<'a> {
+    /// Restrict output-node candidates to this **sorted** pool. Used by
+    /// `incVerify`: a refined instance's match set is contained in its
+    /// parent's (Lemma 2 (2)), so only the parent's matches are re-checked.
+    pub restrict_output: Option<&'a [NodeId]>,
+}
+
+/// An adjacency constraint between two query nodes, oriented from the point
+/// of view of the node being extended.
+#[derive(Debug, Clone, Copy)]
+struct QConstraint {
+    /// Position (in matching order) of the already-matched peer.
+    peer_pos: usize,
+    /// Edge label.
+    label: EdgeLabelId,
+    /// `true` if the template edge goes `extended -> peer`.
+    outgoing: bool,
+}
+
+/// Computes the match set `q(u_o, G)` of the output node, sorted ascending.
+pub fn match_output_set(graph: &Graph, query: &ConcreteQuery, opts: MatchOptions) -> Vec<NodeId> {
+    let active: Vec<QNodeId> = query.active_nodes().collect();
+    debug_assert!(active.contains(&query.output));
+
+    // Degree requirements per active query node: a match must have at
+    // least as many outgoing/incoming edges as the query node (sound
+    // filter: embeddings are injective and edge-preserving).
+    let degree_req = |u: QNodeId| -> (usize, usize) {
+        let out = query.edges.iter().filter(|&&(s, _, _)| s == u).count();
+        let inc = query.edges.iter().filter(|&&(_, d, _)| d == u).count();
+        (out, inc)
+    };
+
+    // Candidate sets per active query node.
+    let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(active.len());
+    for &u in &active {
+        let mut c = if u == query.output {
+            match opts.restrict_output {
+                Some(pool) => candidates_from_pool(graph, query, u, pool),
+                None => candidates(graph, query, u),
+            }
+        } else {
+            candidates(graph, query, u)
+        };
+        let (out_req, in_req) = degree_req(u);
+        if out_req > 0 || in_req > 0 {
+            c.retain(|&v| graph.out_degree(v) >= out_req && graph.in_degree(v) >= in_req);
+        }
+        if c.is_empty() {
+            return Vec::new();
+        }
+        cand.push(c);
+    }
+
+    // Single-node query: the candidate set is the match set.
+    if active.len() == 1 {
+        return cand.into_iter().next().unwrap();
+    }
+
+    // Greedy connected matching order starting from the output node.
+    let pos_of = |u: QNodeId, order: &[usize]| -> Option<usize> {
+        order.iter().position(|&i| active[i] == u)
+    };
+    let slot_of = |u: QNodeId| -> usize { active.iter().position(|&a| a == u).unwrap() };
+
+    let out_slot = slot_of(query.output);
+    let mut order: Vec<usize> = vec![out_slot];
+    let mut in_order = vec![false; active.len()];
+    in_order[out_slot] = true;
+    while order.len() < active.len() {
+        // Pick the unmatched active node adjacent to the ordered prefix
+        // with the fewest candidates.
+        let mut best: Option<(usize, usize)> = None; // (slot, cand size)
+        for (slot, &u) in active.iter().enumerate() {
+            if in_order[slot] {
+                continue;
+            }
+            let adjacent = query.edges.iter().any(|&(s, d, _)| {
+                (s == u && in_order[slot_of(d)]) || (d == u && in_order[slot_of(s)])
+            });
+            if !adjacent {
+                continue;
+            }
+            let size = cand[slot].len();
+            if best.is_none_or(|(_, bs)| size < bs) {
+                best = Some((slot, size));
+            }
+        }
+        let (slot, _) = best.expect("active component is connected");
+        in_order[slot] = true;
+        order.push(slot);
+    }
+
+    // Constraints of each order position against earlier positions.
+    let mut constraints: Vec<Vec<QConstraint>> = vec![Vec::new(); order.len()];
+    for (pos, &slot) in order.iter().enumerate() {
+        let u = active[slot];
+        for &(s, d, l) in &query.edges {
+            if s == u {
+                if let Some(pp) = pos_of(d, &order[..pos]) {
+                    constraints[pos].push(QConstraint {
+                        peer_pos: pp,
+                        label: l,
+                        outgoing: true,
+                    });
+                }
+            } else if d == u {
+                if let Some(pp) = pos_of(s, &order[..pos]) {
+                    constraints[pos].push(QConstraint {
+                        peer_pos: pp,
+                        label: l,
+                        outgoing: false,
+                    });
+                }
+            }
+        }
+        debug_assert!(pos == 0 || !constraints[pos].is_empty());
+    }
+
+    // Candidate sets reordered to matching order.
+    let cand_by_pos: Vec<&[NodeId]> = order.iter().map(|&slot| cand[slot].as_slice()).collect();
+
+    let mut result = Vec::new();
+    let mut assignment: Vec<NodeId> = vec![NodeId(0); order.len()];
+    for &v in cand_by_pos[0] {
+        assignment[0] = v;
+        if extend(graph, &cand_by_pos, &constraints, &mut assignment, 1) {
+            result.push(v);
+        }
+    }
+    result
+}
+
+/// Tries to extend the partial embedding at `pos`; returns `true` on the
+/// first complete embedding.
+fn extend(
+    graph: &Graph,
+    cand_by_pos: &[&[NodeId]],
+    constraints: &[Vec<QConstraint>],
+    assignment: &mut [NodeId],
+    pos: usize,
+) -> bool {
+    if pos == cand_by_pos.len() {
+        return true;
+    }
+    let cons = &constraints[pos];
+
+    // Drive iteration through the constraint whose matched peer has the
+    // smallest relevant adjacency list.
+    let (drive, rest) = {
+        let mut best = 0usize;
+        let mut best_len = usize::MAX;
+        for (i, c) in cons.iter().enumerate() {
+            let w = assignment[c.peer_pos];
+            // If the template edge is extended->peer, candidates are the
+            // *in*-neighbors of w; otherwise its out-neighbors.
+            let len = if c.outgoing {
+                graph.in_degree(w)
+            } else {
+                graph.out_degree(w)
+            };
+            if len < best_len {
+                best_len = len;
+                best = i;
+            }
+        }
+        (cons[best], best)
+    };
+
+    let w = assignment[drive.peer_pos];
+    let neighbors = if drive.outgoing {
+        graph.in_neighbors(w)
+    } else {
+        graph.out_neighbors(w)
+    };
+    'next: for &(v, l) in neighbors {
+        if l != drive.label {
+            continue;
+        }
+        // Injectivity.
+        if assignment[..pos].contains(&v) {
+            continue;
+        }
+        // Candidate membership (labels + literals pre-filtered).
+        if cand_by_pos[pos].binary_search(&v).is_err() {
+            continue;
+        }
+        // Remaining adjacency constraints.
+        for (i, c) in cons.iter().enumerate() {
+            if i == rest {
+                continue;
+            }
+            let peer = assignment[c.peer_pos];
+            let ok = if c.outgoing {
+                graph.has_edge(v, peer, c.label)
+            } else {
+                graph.has_edge(peer, v, c.label)
+            };
+            if !ok {
+                continue 'next;
+            }
+        }
+        assignment[pos] = v;
+        if extend(graph, cand_by_pos, constraints, assignment, pos + 1) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,108 @@
+//! Candidate computation: which graph nodes can match each query node.
+
+use fairsqg_graph::{Graph, NodeId};
+use fairsqg_query::{BoundLiteral, ConcreteQuery, QNodeId};
+
+/// Returns whether node `v` satisfies every literal in `lits`.
+///
+/// A literal over a missing attribute fails (the paper's matching requires
+/// `h(u).A op c` to hold, which presupposes the attribute exists).
+#[inline]
+pub fn satisfies_literals(graph: &Graph, v: NodeId, lits: &[BoundLiteral]) -> bool {
+    lits.iter().all(|l| match graph.attr(v, l.attr) {
+        Some(val) => l.op.eval(val, l.value),
+        None => false,
+    })
+}
+
+/// Computes the candidate set of query node `u`: all graph nodes with the
+/// right label that satisfy `u`'s literals. Sorted ascending (inherited from
+/// the label index).
+pub fn candidates(graph: &Graph, query: &ConcreteQuery, u: QNodeId) -> Vec<NodeId> {
+    let node = &query.nodes[u.index()];
+    graph
+        .nodes_with_label(node.label)
+        .iter()
+        .copied()
+        .filter(|&v| satisfies_literals(graph, v, &node.literals))
+        .collect()
+}
+
+/// Like [`candidates`] but restricted to a pre-sorted pool (used by
+/// `incVerify`: a refined instance's output matches are a subset of its
+/// parent's, so only the parent's match set needs re-checking).
+pub fn candidates_from_pool(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    u: QNodeId,
+    pool: &[NodeId],
+) -> Vec<NodeId> {
+    let node = &query.nodes[u.index()];
+    pool.iter()
+        .copied()
+        .filter(|&v| graph.label(v) == node.label && satisfies_literals(graph, v, &node.literals))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_graph::{AttrValue, CmpOp, GraphBuilder};
+    use fairsqg_query::{ConcreteQuery, RefinementDomains, TemplateBuilder};
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for (label, age) in [("user", 20), ("user", 35), ("user", 50), ("org", 10)] {
+            b.add_named_node(label, &[("age", AttrValue::Int(age))]);
+        }
+        b.finish()
+    }
+
+    fn query_age_ge(graph: &Graph, bound: i64) -> ConcreteQuery {
+        let user = graph.schema().find_node_label("user").unwrap();
+        let age = graph.schema().find_attr("age").unwrap();
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(user);
+        tb.literal(u0, age, CmpOp::Ge, AttrValue::Int(bound));
+        let t = tb.finish(u0).unwrap();
+        let d = RefinementDomains::with_range_values(&t, vec![]);
+        ConcreteQuery::materialize(&t, &d, &fairsqg_query::Instantiation::new(vec![]))
+    }
+
+    #[test]
+    fn label_and_literal_filtering() {
+        let g = graph();
+        let q = query_age_ge(&g, 30);
+        let c = candidates(&g, &q, QNodeId(0));
+        assert_eq!(c, vec![NodeId(1), NodeId(2)]); // org filtered by label
+    }
+
+    #[test]
+    fn missing_attribute_fails_literal() {
+        let mut b = GraphBuilder::new();
+        b.add_named_node("user", &[]);
+        let g = b.finish();
+        // Ensure the attr exists in the schema even if no node carries it.
+        let q = {
+            let user = g.schema().find_node_label("user").unwrap();
+            let mut schema = g.schema().clone();
+            let age = schema.attr("age");
+            let mut tb = TemplateBuilder::new();
+            let u0 = tb.node(user);
+            tb.literal(u0, age, CmpOp::Ge, AttrValue::Int(0));
+            let t = tb.finish(u0).unwrap();
+            let d = RefinementDomains::with_range_values(&t, vec![]);
+            ConcreteQuery::materialize(&t, &d, &fairsqg_query::Instantiation::new(vec![]))
+        };
+        assert!(candidates(&g, &q, QNodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn pool_restriction() {
+        let g = graph();
+        let q = query_age_ge(&g, 30);
+        let pool = [NodeId(0), NodeId(2), NodeId(3)];
+        let c = candidates_from_pool(&g, &q, QNodeId(0), &pool);
+        assert_eq!(c, vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,230 @@
+//! # fairsqg-matcher
+//!
+//! Subgraph-isomorphism matching engine for FairSQG: computes the match set
+//! `q(u_o, G)` of a concrete query instance's output node (Section II,
+//! "Matches"), with support for incremental re-verification of refined
+//! instances (`incVerify`, Section IV).
+//!
+//! The engine uses candidate filtering (label index + literal predicates)
+//! followed by connected, candidate-size-ordered backtracking with
+//! adjacency-driven extension. A brute-force reference implementation
+//! ([`match_output_set_bruteforce`]) validates it in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backtrack;
+mod candidates;
+mod multi_output;
+mod node_matches;
+mod reference;
+
+pub use backtrack::{match_output_set, MatchOptions};
+pub use candidates::{candidates, candidates_from_pool, satisfies_literals};
+pub use multi_output::match_output_tuples;
+pub use node_matches::{count_embeddings, match_node_set};
+pub use reference::match_output_set_bruteforce;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
+    use fairsqg_query::{
+        ConcreteQuery, DomainConfig, Instantiation, QueryTemplate, RefinementDomains,
+        TemplateBuilder,
+    };
+
+    /// The talent-search style graph from the paper's running example:
+    /// directors recommended by experienced users who work at large orgs.
+    fn talent_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        // Directors v1..v3
+        let d1 = b.add_named_node("director", &[("gender", AttrValue::Int(0))]);
+        let d2 = b.add_named_node("director", &[("gender", AttrValue::Int(1))]);
+        let d3 = b.add_named_node("director", &[("gender", AttrValue::Int(1))]);
+        // Recommenders
+        let r1 = b.add_named_node("user", &[("yearsOfExp", AttrValue::Int(12))]);
+        let r2 = b.add_named_node("user", &[("yearsOfExp", AttrValue::Int(6))]);
+        // Orgs
+        let o1 = b.add_named_node("org", &[("employees", AttrValue::Int(1500))]);
+        let o2 = b.add_named_node("org", &[("employees", AttrValue::Int(300))]);
+        b.add_named_edge(r1, d1, "recommend");
+        b.add_named_edge(r1, d2, "recommend");
+        b.add_named_edge(r2, d2, "recommend");
+        b.add_named_edge(r2, d3, "recommend");
+        b.add_named_edge(r1, o1, "worksAt");
+        b.add_named_edge(r2, o2, "worksAt");
+        b.finish()
+    }
+
+    /// Template: director u_o <-recommend- user u1 -worksAt-> org u2, with
+    /// range vars on u1.yearsOfExp >= x and u2.employees >= y.
+    fn talent_template(g: &Graph) -> (QueryTemplate, RefinementDomains) {
+        let s = g.schema();
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(s.find_node_label("director").unwrap());
+        let u1 = tb.node(s.find_node_label("user").unwrap());
+        let u2 = tb.node(s.find_node_label("org").unwrap());
+        tb.edge(u1, u0, s.find_edge_label("recommend").unwrap());
+        tb.edge(u1, u2, s.find_edge_label("worksAt").unwrap());
+        tb.range_literal(u1, s.find_attr("yearsOfExp").unwrap(), CmpOp::Ge);
+        tb.range_literal(u2, s.find_attr("employees").unwrap(), CmpOp::Ge);
+        let t = tb.finish(u0).unwrap();
+        let d = RefinementDomains::build(&t, g, DomainConfig::default());
+        (t, d)
+    }
+
+    #[test]
+    fn root_instance_matches_all_recommended_directors() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let m = match_output_set(&g, &q, MatchOptions::default());
+        assert_eq!(m, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(m, match_output_set_bruteforce(&g, &q));
+    }
+
+    #[test]
+    fn refined_instance_shrinks_match_set() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        // Refine yearsOfExp fully: only r1 (12 yrs) qualifies -> d1, d2.
+        let mut idx = vec![0u16; d.var_count()];
+        idx[0] = (d.domain(0).len() - 1) as u16;
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::new(idx));
+        let m = match_output_set(&g, &q, MatchOptions::default());
+        assert_eq!(m, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(m, match_output_set_bruteforce(&g, &q));
+    }
+
+    #[test]
+    fn restricting_output_pool_is_sound() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let root_q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let root_m = match_output_set(&g, &root_q, MatchOptions::default());
+
+        // Refine employees to >= 1500: only o1 qualifies -> via r1 -> d1, d2.
+        let mut idx = vec![0u16; d.var_count()];
+        idx[1] = (d.domain(1).len() - 1) as u16;
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::new(idx));
+        let full = match_output_set(&g, &q, MatchOptions::default());
+        let restricted = match_output_set(
+            &g,
+            &q,
+            MatchOptions {
+                restrict_output: Some(&root_m),
+            },
+        );
+        assert_eq!(full, restricted);
+        assert_eq!(full, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_candidates_short_circuit() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let m = match_output_set(
+            &g,
+            &q,
+            MatchOptions {
+                restrict_output: Some(&[]),
+            },
+        );
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Query: a -knows-> b, a -knows-> c with b,c same label: needs two
+        // distinct targets.
+        let mut b = GraphBuilder::new();
+        let x = b.add_named_node("p", &[]);
+        let y = b.add_named_node("p", &[]);
+        b.add_named_edge(x, y, "knows");
+        let g1 = b.finish(); // only one target: no injective embedding
+
+        let s = g1.schema();
+        let p = s.find_node_label("p").unwrap();
+        let knows = s.find_edge_label("knows").unwrap();
+        let mut tb = TemplateBuilder::new();
+        let a = tb.node(p);
+        let b1 = tb.node(p);
+        let c1 = tb.node(p);
+        tb.edge(a, b1, knows);
+        tb.edge(a, c1, knows);
+        let t = tb.finish(a).unwrap();
+        let d = RefinementDomains::with_range_values(&t, vec![]);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::new(vec![]));
+        assert!(match_output_set(&g1, &q, MatchOptions::default()).is_empty());
+        assert!(match_output_set_bruteforce(&g1, &q).is_empty());
+
+        // Add a second target: now x matches.
+        let mut b = GraphBuilder::with_schema(g1.schema().clone());
+        let x = b.add_named_node("p", &[]);
+        let y = b.add_named_node("p", &[]);
+        let z = b.add_named_node("p", &[]);
+        b.add_named_edge(x, y, "knows");
+        b.add_named_edge(x, z, "knows");
+        let g2 = b.finish();
+        let m = match_output_set(&g2, &q, MatchOptions::default());
+        assert_eq!(m, vec![x]);
+        assert_eq!(m, match_output_set_bruteforce(&g2, &q));
+    }
+
+    #[test]
+    fn cyclic_query_pattern() {
+        // Triangle query over a graph with one triangle and one open wedge.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..5).map(|_| b.add_named_node("p", &[])).collect();
+        // Triangle 0->1->2->0
+        b.add_named_edge(n[0], n[1], "e");
+        b.add_named_edge(n[1], n[2], "e");
+        b.add_named_edge(n[2], n[0], "e");
+        // Wedge 3->4, 4->3 (2-cycle, no triangle)
+        b.add_named_edge(n[3], n[4], "e");
+        b.add_named_edge(n[4], n[3], "e");
+        let g = b.finish();
+        let s = g.schema();
+        let p = s.find_node_label("p").unwrap();
+        let e = s.find_edge_label("e").unwrap();
+        let mut tb = TemplateBuilder::new();
+        let a = tb.node(p);
+        let c = tb.node(p);
+        let dd = tb.node(p);
+        tb.edge(a, c, e);
+        tb.edge(c, dd, e);
+        tb.edge(dd, a, e);
+        let t = tb.finish(a).unwrap();
+        let dom = RefinementDomains::with_range_values(&t, vec![]);
+        let q = ConcreteQuery::materialize(&t, &dom, &Instantiation::new(vec![]));
+        let m = match_output_set(&g, &q, MatchOptions::default());
+        assert_eq!(m, vec![n[0], n[1], n[2]]);
+        assert_eq!(m, match_output_set_bruteforce(&g, &q));
+    }
+
+    #[test]
+    fn edge_labels_disambiguate() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_named_node("p", &[]);
+        let y = b.add_named_node("p", &[]);
+        let z = b.add_named_node("p", &[]);
+        b.add_named_edge(x, y, "likes");
+        b.add_named_edge(x, z, "hates");
+        let g = b.finish();
+        let s = g.schema();
+        let p = s.find_node_label("p").unwrap();
+        let likes = s.find_edge_label("likes").unwrap();
+        let mut tb = TemplateBuilder::new();
+        let a = tb.node(p);
+        let c = tb.node(p);
+        tb.edge(a, c, likes);
+        let t = tb.finish(c).unwrap(); // output = the liked node
+        let d = RefinementDomains::with_range_values(&t, vec![]);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::new(vec![]));
+        let m = match_output_set(&g, &q, MatchOptions::default());
+        assert_eq!(m, vec![y]);
+        assert_eq!(m, match_output_set_bruteforce(&g, &q));
+    }
+}

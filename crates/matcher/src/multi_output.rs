@@ -1,0 +1,168 @@
+//! Multiple output nodes — the paper's future-work extension ("extend our
+//! work to multiple output nodes", Section VI).
+//!
+//! A query with output nodes `(u_1, ..., u_k)` answers with **tuples**:
+//! the distinct projections of embeddings onto the output coordinates.
+//! This module computes tuple match sets; `fairsqg-measures` scores their
+//! diversity ([`DiversityMeasure::score_tuples`]) and per-coordinate group
+//! coverage, providing the building blocks for multi-output generation.
+//!
+//! [`DiversityMeasure::score_tuples`]: https://docs.rs/fairsqg-measures
+
+use crate::candidates::satisfies_literals;
+use fairsqg_graph::{Graph, NodeId};
+use fairsqg_query::{ConcreteQuery, QNodeId};
+use std::collections::HashSet;
+
+/// Computes the distinct output tuples of `query` under injective
+/// embeddings, projected onto `outputs` (each must be active). Stops after
+/// `cap` distinct tuples (`0` = unlimited). Tuples are returned sorted.
+///
+/// # Panics
+/// Panics if `outputs` is empty or contains an inactive node.
+pub fn match_output_tuples(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    outputs: &[QNodeId],
+    cap: usize,
+) -> Vec<Vec<NodeId>> {
+    assert!(!outputs.is_empty(), "need at least one output node");
+    for &u in outputs {
+        assert!(
+            query.active[u.index()],
+            "output node {u:?} is not in the matched component"
+        );
+    }
+    let active: Vec<QNodeId> = query.active_nodes().collect();
+    let out_pos: Vec<usize> = outputs
+        .iter()
+        .map(|&u| active.iter().position(|&a| a == u).unwrap())
+        .collect();
+
+    let mut tuples: HashSet<Vec<NodeId>> = HashSet::new();
+    let mut assignment: Vec<NodeId> = Vec::with_capacity(active.len());
+    enumerate(
+        graph,
+        query,
+        &active,
+        &out_pos,
+        &mut assignment,
+        cap,
+        &mut tuples,
+    );
+    let mut out: Vec<Vec<NodeId>> = tuples.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    out_pos: &[usize],
+    assignment: &mut Vec<NodeId>,
+    cap: usize,
+    tuples: &mut HashSet<Vec<NodeId>>,
+) {
+    if cap != 0 && tuples.len() >= cap {
+        return;
+    }
+    let pos = assignment.len();
+    if pos == active.len() {
+        tuples.insert(out_pos.iter().map(|&p| assignment[p]).collect());
+        return;
+    }
+    let u = active[pos];
+    let qn = &query.nodes[u.index()];
+    'cand: for &v in graph.nodes_with_label(qn.label) {
+        if assignment.contains(&v) || !satisfies_literals(graph, v, &qn.literals) {
+            continue;
+        }
+        for &(s, d, l) in &query.edges {
+            let spos = active.iter().position(|&a| a == s).unwrap();
+            let dpos = active.iter().position(|&a| a == d).unwrap();
+            if s == u && dpos < pos && !graph.has_edge(v, assignment[dpos], l) {
+                continue 'cand;
+            }
+            if d == u && spos < pos && !graph.has_edge(assignment[spos], v, l) {
+                continue 'cand;
+            }
+        }
+        assignment.push(v);
+        enumerate(graph, query, active, out_pos, assignment, cap, tuples);
+        assignment.pop();
+        if cap != 0 && tuples.len() >= cap {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{match_node_set, match_output_set, MatchOptions};
+    use fairsqg_graph::GraphBuilder;
+    use fairsqg_query::{Instantiation, RefinementDomains, TemplateBuilder};
+
+    fn setup() -> (Graph, ConcreteQuery) {
+        let mut b = GraphBuilder::new();
+        let d1 = b.add_named_node("director", &[]);
+        let d2 = b.add_named_node("director", &[]);
+        let u1 = b.add_named_node("user", &[]);
+        let u2 = b.add_named_node("user", &[]);
+        b.add_named_edge(u1, d1, "rec");
+        b.add_named_edge(u1, d2, "rec");
+        b.add_named_edge(u2, d2, "rec");
+        let g = b.finish();
+        let s = g.schema();
+        let mut tb = TemplateBuilder::new();
+        let q0 = tb.node(s.find_node_label("director").unwrap());
+        let q1 = tb.node(s.find_node_label("user").unwrap());
+        tb.edge(q1, q0, s.find_edge_label("rec").unwrap());
+        let t = tb.finish(q0).unwrap();
+        let d = RefinementDomains::with_range_values(&t, vec![]);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::new(vec![]));
+        (g, q)
+    }
+
+    #[test]
+    fn tuples_are_the_distinct_embedding_projections() {
+        let (g, q) = setup();
+        let tuples = match_output_tuples(&g, &q, &[QNodeId(0), QNodeId(1)], 0);
+        // Embeddings: (d1,u1), (d2,u1), (d2,u2).
+        assert_eq!(
+            tuples,
+            vec![
+                vec![NodeId(0), NodeId(2)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(1), NodeId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn single_output_tuples_agree_with_match_sets() {
+        let (g, q) = setup();
+        let tuples = match_output_tuples(&g, &q, &[QNodeId(0)], 0);
+        let flattened: Vec<NodeId> = tuples.into_iter().map(|t| t[0]).collect();
+        assert_eq!(flattened, match_output_set(&g, &q, MatchOptions::default()));
+        let tuples1 = match_output_tuples(&g, &q, &[QNodeId(1)], 0);
+        let flattened1: Vec<NodeId> = tuples1.into_iter().map(|t| t[0]).collect();
+        assert_eq!(flattened1, match_node_set(&g, &q, QNodeId(1)));
+    }
+
+    #[test]
+    fn cap_limits_distinct_tuples() {
+        let (g, q) = setup();
+        let tuples = match_output_tuples(&g, &q, &[QNodeId(0), QNodeId(1)], 2);
+        assert_eq!(tuples.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_outputs_rejected() {
+        let (g, q) = setup();
+        match_output_tuples(&g, &q, &[], 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Match sets of arbitrary query nodes and embedding counting.
+//!
+//! The paper defines `q(u, G)` — the match set of *any* query node `u`, not
+//! just the output node (Table I). This module generalizes the engine:
+//! `match_node_set` computes `q(u, G)` for any active node, and
+//! `count_embeddings` counts complete embeddings (with a cap), which is
+//! useful for selectivity estimation and workload characterization.
+
+use crate::backtrack::{match_output_set, MatchOptions};
+use fairsqg_graph::{Graph, NodeId};
+use fairsqg_query::{ConcreteQuery, QNodeId};
+
+/// Computes the match set `q(u, G)` of any active query node `u`.
+///
+/// Implemented by re-rooting: the engine computes output match sets, and
+/// `q(u, G)` is exactly the output match set of the same query with `u`
+/// designated as output (matching is defined on whole embeddings, so the
+/// choice of output only selects which coordinate is reported).
+///
+/// # Panics
+/// Panics if `u` is not active in `query` (a node outside `u_o`'s
+/// component never matches anything meaningful for the instance).
+pub fn match_node_set(graph: &Graph, query: &ConcreteQuery, u: QNodeId) -> Vec<NodeId> {
+    assert!(
+        query.active[u.index()],
+        "query node {u:?} is not in the output component"
+    );
+    if u == query.output {
+        return match_output_set(graph, query, MatchOptions::default());
+    }
+    let rerooted = ConcreteQuery {
+        nodes: query.nodes.clone(),
+        active: query.active.clone(),
+        edges: query.edges.clone(),
+        output: u,
+    };
+    match_output_set(graph, &rerooted, MatchOptions::default())
+}
+
+/// Counts complete embeddings of `query` into `graph`, stopping at `cap`
+/// (0 = unlimited). Embedding counts grow combinatorially; the cap keeps
+/// selectivity probes cheap.
+pub fn count_embeddings(graph: &Graph, query: &ConcreteQuery, cap: usize) -> usize {
+    let active: Vec<QNodeId> = query.active_nodes().collect();
+    let mut assignment: Vec<NodeId> = Vec::with_capacity(active.len());
+    let mut count = 0usize;
+    count_rec(graph, query, &active, &mut assignment, cap, &mut count);
+    count
+}
+
+fn count_rec(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    assignment: &mut Vec<NodeId>,
+    cap: usize,
+    count: &mut usize,
+) {
+    if cap != 0 && *count >= cap {
+        return;
+    }
+    let pos = assignment.len();
+    if pos == active.len() {
+        *count += 1;
+        return;
+    }
+    let u = active[pos];
+    let qn = &query.nodes[u.index()];
+    'cand: for &v in graph.nodes_with_label(qn.label) {
+        if assignment.contains(&v) {
+            continue;
+        }
+        if !crate::candidates::satisfies_literals(graph, v, &qn.literals) {
+            continue;
+        }
+        // Check all edges between u and already-assigned nodes.
+        for &(s, d, l) in &query.edges {
+            let (qs, qd) = (s, d);
+            let spos = active.iter().position(|&a| a == qs).unwrap();
+            let dpos = active.iter().position(|&a| a == qd).unwrap();
+            if qs == u && dpos < pos && !graph.has_edge(v, assignment[dpos], l) {
+                continue 'cand;
+            }
+            if qd == u && spos < pos && !graph.has_edge(assignment[spos], v, l) {
+                continue 'cand;
+            }
+        }
+        assignment.push(v);
+        count_rec(graph, query, active, assignment, cap, count);
+        assignment.pop();
+        if cap != 0 && *count >= cap {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_graph::{AttrValue, GraphBuilder};
+    use fairsqg_query::{Instantiation, RefinementDomains, TemplateBuilder};
+
+    fn setup() -> (Graph, ConcreteQuery) {
+        let mut b = GraphBuilder::new();
+        let d1 = b.add_named_node("director", &[("g", AttrValue::Int(0))]);
+        let d2 = b.add_named_node("director", &[("g", AttrValue::Int(1))]);
+        let u1 = b.add_named_node("user", &[]);
+        let u2 = b.add_named_node("user", &[]);
+        b.add_named_edge(u1, d1, "rec");
+        b.add_named_edge(u1, d2, "rec");
+        b.add_named_edge(u2, d2, "rec");
+        let g = b.finish();
+        let s = g.schema();
+        let mut tb = TemplateBuilder::new();
+        let q0 = tb.node(s.find_node_label("director").unwrap());
+        let q1 = tb.node(s.find_node_label("user").unwrap());
+        tb.edge(q1, q0, s.find_edge_label("rec").unwrap());
+        let t = tb.finish(q0).unwrap();
+        let d = RefinementDomains::with_range_values(&t, vec![]);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::new(vec![]));
+        (g, q)
+    }
+
+    #[test]
+    fn node_match_sets_for_all_query_nodes() {
+        let (g, q) = setup();
+        let outputs = match_node_set(&g, &q, QNodeId(0));
+        assert_eq!(outputs.len(), 2); // both directors are recommended
+        let recommenders = match_node_set(&g, &q, QNodeId(1));
+        assert_eq!(recommenders.len(), 2); // both users recommend someone
+    }
+
+    #[test]
+    fn embedding_count_and_cap() {
+        let (g, q) = setup();
+        // Embeddings: (d1,u1), (d2,u1), (d2,u2) = 3.
+        assert_eq!(count_embeddings(&g, &q, 0), 3);
+        assert_eq!(count_embeddings(&g, &q, 2), 2);
+        assert_eq!(count_embeddings(&g, &q, 100), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the output component")]
+    fn inactive_node_rejected() {
+        let mut b = GraphBuilder::new();
+        let d = b.add_named_node("director", &[]);
+        let u = b.add_named_node("user", &[]);
+        b.add_named_edge(u, d, "rec");
+        let g = b.finish();
+        let s = g.schema();
+        let mut tb = TemplateBuilder::new();
+        let q0 = tb.node(s.find_node_label("director").unwrap());
+        let q1 = tb.node(s.find_node_label("user").unwrap());
+        tb.optional_edge(q1, q0, s.find_edge_label("rec").unwrap());
+        let t = tb.finish(q0).unwrap();
+        let dm = RefinementDomains::with_range_values(&t, vec![]);
+        // Root: optional edge off, u1 inactive.
+        let q = ConcreteQuery::materialize(&t, &dm, &Instantiation::root(&dm));
+        match_node_set(&g, &q, QNodeId(1));
+    }
+}

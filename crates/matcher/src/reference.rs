@@ -1,0 +1,92 @@
+//! Brute-force reference matcher used to validate the backtracking engine.
+//!
+//! Enumerates every injective assignment of graph nodes to active query
+//! nodes and checks all constraints. Exponential — only for tests and
+//! property-based validation on small inputs.
+
+use crate::candidates::satisfies_literals;
+use fairsqg_graph::{Graph, NodeId};
+use fairsqg_query::{ConcreteQuery, QNodeId};
+
+/// Computes `q(u_o, G)` by exhaustive enumeration. Sorted ascending.
+pub fn match_output_set_bruteforce(graph: &Graph, query: &ConcreteQuery) -> Vec<NodeId> {
+    let active: Vec<QNodeId> = query.active_nodes().collect();
+    let out_pos = active
+        .iter()
+        .position(|&u| u == query.output)
+        .expect("output node is active");
+
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    let mut assignment: Vec<NodeId> = vec![NodeId(0); active.len()];
+    let mut result = Vec::new();
+    enumerate(
+        graph,
+        query,
+        &active,
+        &nodes,
+        &mut assignment,
+        0,
+        out_pos,
+        &mut result,
+    );
+    result.sort_unstable();
+    result.dedup();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    nodes: &[NodeId],
+    assignment: &mut Vec<NodeId>,
+    pos: usize,
+    out_pos: usize,
+    result: &mut Vec<NodeId>,
+) {
+    if pos == active.len() {
+        if is_embedding(graph, query, active, assignment) {
+            result.push(assignment[out_pos]);
+        }
+        return;
+    }
+    for &v in nodes {
+        if assignment[..pos].contains(&v) {
+            continue;
+        }
+        assignment[pos] = v;
+        enumerate(
+            graph,
+            query,
+            active,
+            nodes,
+            assignment,
+            pos + 1,
+            out_pos,
+            result,
+        );
+    }
+}
+
+fn is_embedding(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    assignment: &[NodeId],
+) -> bool {
+    let image = |u: QNodeId| -> NodeId { assignment[active.iter().position(|&a| a == u).unwrap()] };
+    for (i, &u) in active.iter().enumerate() {
+        let qn = &query.nodes[u.index()];
+        let v = assignment[i];
+        if graph.label(v) != qn.label || !satisfies_literals(graph, v, &qn.literals) {
+            return false;
+        }
+    }
+    for &(s, d, l) in &query.edges {
+        if !graph.has_edge(image(s), image(d), l) {
+            return false;
+        }
+    }
+    true
+}

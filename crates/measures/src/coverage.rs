@@ -1,0 +1,72 @@
+//! Group-coverage quality `f(q, P)` and feasibility (Section III-A).
+
+use fairsqg_graph::CoverageSpec;
+
+/// Whether per-group match counts satisfy every constraint:
+/// `|q(G) ∩ P_i| ≥ c_i` for all `i` ("feasible instance").
+pub fn is_feasible(counts: &[u32], spec: &CoverageSpec) -> bool {
+    debug_assert_eq!(counts.len(), spec.len(), "counts/spec group mismatch");
+    counts
+        .iter()
+        .zip(spec.constraints())
+        .all(|(&got, &want)| got >= want)
+}
+
+/// Coverage quality `f(q, P) = max(0, C − Σ_i | |q(G) ∩ P_i| − c_i |)`.
+///
+/// The paper penalizes the accumulated error between the desired and the
+/// actual coverage of each group; `f ∈ [0, C]`, larger is better, and
+/// `f = C` exactly when every group is covered by exactly `c_i` matches.
+pub fn coverage_score(counts: &[u32], spec: &CoverageSpec) -> f64 {
+    debug_assert_eq!(counts.len(), spec.len(), "counts/spec group mismatch");
+    let c_total = spec.total() as i64;
+    let error: i64 = counts
+        .iter()
+        .zip(spec.constraints())
+        .map(|(&got, &want)| (got as i64 - want as i64).abs())
+        .sum();
+    (c_total - error).max(0) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_coverage_maximizes_f() {
+        let spec = CoverageSpec::new(vec![2, 2]);
+        assert_eq!(coverage_score(&[2, 2], &spec), 4.0);
+        assert!(is_feasible(&[2, 2], &spec));
+    }
+
+    #[test]
+    fn overshoot_is_penalized() {
+        let spec = CoverageSpec::new(vec![2, 2]);
+        // 5 + 2: error |5-2| = 3 ⇒ f = 4 - 3 = 1.
+        assert_eq!(coverage_score(&[5, 2], &spec), 1.0);
+        assert!(is_feasible(&[5, 2], &spec));
+    }
+
+    #[test]
+    fn undershoot_is_infeasible_but_scored() {
+        let spec = CoverageSpec::new(vec![2, 2]);
+        assert!(!is_feasible(&[1, 2], &spec));
+        assert_eq!(coverage_score(&[1, 2], &spec), 3.0);
+    }
+
+    #[test]
+    fn clamped_at_zero() {
+        let spec = CoverageSpec::new(vec![1, 1]);
+        assert_eq!(coverage_score(&[100, 100], &spec), 0.0);
+    }
+
+    #[test]
+    fn paper_example_4() {
+        // "cover exactly 2 male and 2 female users": C = 4.
+        let spec = CoverageSpec::new(vec![2, 2]);
+        // q4 finds 3 matches covering (2, 1)... f(q4) = 4 - (0 + 1) = 3.
+        assert_eq!(coverage_score(&[2, 1], &spec), 3.0);
+        // f = 1 needs error 3, e.g. counts (1, 0).
+        assert_eq!(coverage_score(&[1, 0], &spec), 1.0);
+    }
+}

@@ -1,0 +1,495 @@
+//! Max-sum diversity of a match set (Section III-A).
+//!
+//! `δ(q, G) = (1-λ) Σ_{v∈q(G)} r(u_o, v) + (2λ/(|V_uo|-1)) Σ_{v<v'} d(v, v')`
+//!
+//! with relevance `r ∈ [0,1]` and pairwise difference `d ∈ [0,1]`. The
+//! pairwise term is normalized by `(|V_uo|-1)/2` so `δ ∈ [0, |V_uo|]`.
+
+use crate::sampling::sample_pairs;
+use fairsqg_graph::{AttrValue, Graph, LabelId, NodeId};
+use rand_pcg::Pcg64Mcg;
+
+/// Relevance function `r(u_o, v)` choices.
+///
+/// The paper suggests entity-linkage scores or social impact; we provide
+/// structural stand-ins that only depend on the graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Relevance {
+    /// In-degree of the match normalized by the maximum in-degree over
+    /// `V_uo` ("impact of v in social networks").
+    InDegreeNormalized,
+    /// A constant relevance for every match.
+    Uniform(f64),
+}
+
+/// Which diversification objective the measure computes.
+///
+/// The paper's `δ(q, G)` is **max-sum** (Section III-A); max-min is the
+/// alternative studied in the diversification literature it cites [22, 34].
+/// Note that max-min is *not* monotone under match-set growth, so the
+/// pruning guarantees of Lemma 2 only hold for [`MaxSum`]
+/// (generation still works with max-min, but as a heuristic).
+///
+/// [`MaxSum`]: DiversityObjective::MaxSum
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiversityObjective {
+    /// `(1-λ) Σ r(u_o,v) + (2λ/(|V_uo|-1)) Σ_{v<v'} d(v,v')` (the paper).
+    #[default]
+    MaxSum,
+    /// `(1-λ) Σ r(u_o,v) + λ |q(G)| · min_{v<v'} d(v,v')`.
+    MaxMin,
+}
+
+/// Configuration of the diversity measure.
+#[derive(Debug, Clone, Copy)]
+pub struct DiversityConfig {
+    /// Trade-off `λ ∈ [0, 1]` between relevance and pairwise diversity.
+    pub lambda: f64,
+    /// Max-sum (paper default) or max-min dispersion.
+    pub objective: DiversityObjective,
+    /// Relevance function.
+    pub relevance: Relevance,
+    /// When the match set has more than `pair_cap` nodes, estimate the
+    /// pairwise term from a seeded sample of `pair_cap²/2` pairs instead of
+    /// all `O(|q(G)|²)` pairs. `0` disables sampling (always exact).
+    pub pair_cap: usize,
+    /// Seed for pair sampling (determinism).
+    pub seed: u64,
+}
+
+impl Default for DiversityConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.5,
+            objective: DiversityObjective::MaxSum,
+            relevance: Relevance::InDegreeNormalized,
+            pair_cap: 512,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Precomputed diversity evaluator for one graph + output label.
+#[derive(Debug, Clone)]
+pub struct DiversityMeasure<'g> {
+    graph: &'g Graph,
+    config: DiversityConfig,
+    /// `|V_uo|`: population of the output label.
+    population: usize,
+    /// Max in-degree over `V_uo` (for relevance normalization).
+    max_in_degree: usize,
+}
+
+impl<'g> DiversityMeasure<'g> {
+    /// Creates a measure for matches of `output_label` in `graph`.
+    pub fn new(graph: &'g Graph, output_label: LabelId, config: DiversityConfig) -> Self {
+        let pop = graph.nodes_with_label(output_label);
+        let max_in_degree = pop.iter().map(|&v| graph.in_degree(v)).max().unwrap_or(0);
+        Self {
+            graph,
+            config,
+            population: pop.len(),
+            max_in_degree,
+        }
+    }
+
+    /// `|V_uo|`.
+    #[inline]
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Upper bound of `δ`: `|V_uo|` (used to normalize indicators).
+    #[inline]
+    pub fn delta_max(&self) -> f64 {
+        self.population as f64
+    }
+
+    /// Relevance `r(u_o, v) ∈ [0, 1]`.
+    pub fn relevance(&self, v: NodeId) -> f64 {
+        match self.config.relevance {
+            Relevance::InDegreeNormalized => {
+                if self.max_in_degree == 0 {
+                    0.0
+                } else {
+                    self.graph.in_degree(v) as f64 / self.max_in_degree as f64
+                }
+            }
+            Relevance::Uniform(r) => r.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Normalized tuple difference `d(v, v') ∈ [0, 1]`: averaged
+    /// per-attribute distance over the union of the two tuples' attributes
+    /// (integers: absolute difference over the attribute's global range;
+    /// strings: 0/1; attribute present on one side only: 1).
+    pub fn distance(&self, v: NodeId, w: NodeId) -> f64 {
+        let tv = self.graph.tuple(v);
+        let tw = self.graph.tuple(w);
+        if tv.is_empty() && tw.is_empty() {
+            return 0.0;
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        while i < tv.len() || j < tw.len() {
+            count += 1;
+            match (tv.get(i), tw.get(j)) {
+                (Some(&(a1, v1)), Some(&(a2, v2))) => {
+                    if a1 == a2 {
+                        total += self.value_distance(a1, v1, v2);
+                        i += 1;
+                        j += 1;
+                    } else if a1 < a2 {
+                        total += 1.0;
+                        i += 1;
+                    } else {
+                        total += 1.0;
+                        j += 1;
+                    }
+                }
+                (Some(_), None) => {
+                    total += 1.0;
+                    i += 1;
+                }
+                (None, Some(_)) => {
+                    total += 1.0;
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        total / count as f64
+    }
+
+    fn value_distance(&self, attr: fairsqg_graph::AttrId, a: AttrValue, b: AttrValue) -> f64 {
+        match (a, b) {
+            (AttrValue::Int(x), AttrValue::Int(y)) => match self.graph.domains().int_range(attr) {
+                Some((lo, hi)) if hi > lo => ((x - y).unsigned_abs() as f64) / ((hi - lo) as f64),
+                _ => {
+                    if x == y {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+            },
+            (a, b) => {
+                if a == b {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Diversity `δ(q, G)` of a match set under the configured objective.
+    pub fn score(&self, matches: &[NodeId]) -> f64 {
+        match self.config.objective {
+            DiversityObjective::MaxSum => self.score_max_sum(matches),
+            DiversityObjective::MaxMin => self.score_max_min(matches),
+        }
+    }
+
+    /// Max-sum diversity (the paper's `δ`).
+    pub fn score_max_sum(&self, matches: &[NodeId]) -> f64 {
+        if matches.is_empty() {
+            return 0.0;
+        }
+        let lambda = self.config.lambda;
+        let relevance_sum: f64 = matches.iter().map(|&v| self.relevance(v)).sum();
+
+        let n = matches.len();
+        let total_pairs = n * (n - 1) / 2;
+        let pair_sum: f64 = if total_pairs == 0 {
+            0.0
+        } else if self.config.pair_cap > 0 && n > self.config.pair_cap {
+            // Seeded sample of pairs; scale the mean back to the full count.
+            let sample_target = self.config.pair_cap * self.config.pair_cap / 2;
+            let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
+            let sampled = sample_pairs(n, sample_target, &mut rng);
+            let mean: f64 = sampled
+                .iter()
+                .map(|&(i, j)| self.distance(matches[i], matches[j]))
+                .sum::<f64>()
+                / sampled.len() as f64;
+            mean * total_pairs as f64
+        } else {
+            let mut sum = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    sum += self.distance(matches[i], matches[j]);
+                }
+            }
+            sum
+        };
+
+        let norm = if self.population > 1 {
+            2.0 * lambda / (self.population as f64 - 1.0)
+        } else {
+            0.0
+        };
+        (1.0 - lambda) * relevance_sum + norm * pair_sum
+    }
+
+    /// Max-min dispersion variant:
+    /// `(1-λ) Σ r + λ |q(G)| · min_{v<v'} d(v,v')`. Singleton match sets
+    /// have no pairs; their dispersion term is 0.
+    pub fn score_max_min(&self, matches: &[NodeId]) -> f64 {
+        if matches.is_empty() {
+            return 0.0;
+        }
+        let lambda = self.config.lambda;
+        let relevance_sum: f64 = matches.iter().map(|&v| self.relevance(v)).sum();
+        let n = matches.len();
+        let min_pair = if n < 2 {
+            0.0
+        } else if self.config.pair_cap > 0 && n > self.config.pair_cap {
+            let sample_target = self.config.pair_cap * self.config.pair_cap / 2;
+            let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
+            sample_pairs(n, sample_target, &mut rng)
+                .iter()
+                .map(|&(i, j)| self.distance(matches[i], matches[j]))
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            let mut min = f64::INFINITY;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    min = min.min(self.distance(matches[i], matches[j]));
+                }
+            }
+            min
+        };
+        let min_pair = if min_pair.is_finite() { min_pair } else { 0.0 };
+        (1.0 - lambda) * relevance_sum + lambda * n as f64 * min_pair
+    }
+
+    /// Distance between two output *tuples* (multi-output extension): the
+    /// mean of the coordinate-wise node distances. Tuples must have equal
+    /// arity.
+    pub fn tuple_distance(&self, a: &[NodeId], b: &[NodeId]) -> f64 {
+        assert_eq!(a.len(), b.len(), "tuple arity mismatch");
+        if a.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = a.iter().zip(b).map(|(&x, &y)| self.distance(x, y)).sum();
+        sum / a.len() as f64
+    }
+
+    /// Max-sum diversity over output tuples (multi-output extension): the
+    /// relevance of a tuple is the mean of its coordinates' relevances, and
+    /// the pairwise term uses [`tuple_distance`](Self::tuple_distance),
+    /// normalized with the same `2λ/(|V_uo|-1)` constant as the
+    /// single-output measure.
+    pub fn score_tuples(&self, tuples: &[Vec<NodeId>]) -> f64 {
+        if tuples.is_empty() {
+            return 0.0;
+        }
+        let lambda = self.config.lambda;
+        let relevance_sum: f64 = tuples
+            .iter()
+            .map(|t| {
+                if t.is_empty() {
+                    0.0
+                } else {
+                    t.iter().map(|&v| self.relevance(v)).sum::<f64>() / t.len() as f64
+                }
+            })
+            .sum();
+        let n = tuples.len();
+        let mut pair_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pair_sum += self.tuple_distance(&tuples[i], &tuples[j]);
+            }
+        }
+        let norm = if self.population > 1 {
+            2.0 * lambda / (self.population as f64 - 1.0)
+        } else {
+            0.0
+        };
+        (1.0 - lambda) * relevance_sum + norm * pair_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let m1 = b.add_named_node("movie", &[("year", AttrValue::Int(2000))]);
+        let m2 = b.add_named_node("movie", &[("year", AttrValue::Int(2010))]);
+        let _m3 = b.add_named_node("movie", &[("year", AttrValue::Int(2020))]);
+        let d = b.add_named_node("director", &[]);
+        b.add_named_edge(d, m1, "directed");
+        b.add_named_edge(d, m2, "directed");
+        b.finish()
+    }
+
+    fn measure(g: &Graph, lambda: f64) -> DiversityMeasure<'_> {
+        let movie = g.schema().find_node_label("movie").unwrap();
+        DiversityMeasure::new(
+            g,
+            movie,
+            DiversityConfig {
+                lambda,
+                ..DiversityConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn empty_match_set_scores_zero() {
+        let g = graph();
+        assert_eq!(measure(&g, 0.5).score(&[]), 0.0);
+    }
+
+    #[test]
+    fn pure_relevance_lambda_zero() {
+        let g = graph();
+        let m = measure(&g, 0.0);
+        // m1, m2 have in-degree 1 (max), m3 has 0.
+        let s = m.score(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_diversity_lambda_one() {
+        let g = graph();
+        let m = measure(&g, 1.0);
+        // d(m1,m3) over year range [2000,2020]: |2000-2020|/20 = 1.
+        assert!((m.distance(NodeId(0), NodeId(2)) - 1.0).abs() < 1e-12);
+        assert!((m.distance(NodeId(0), NodeId(1)) - 0.5).abs() < 1e-12);
+        // δ = (2·1/(3-1)) · Σ pairs = 1.0 · (0.5 + 1.0 + 0.5) = 2.0
+        let s = m.score(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_handles_missing_attributes() {
+        let g = graph();
+        let m = measure(&g, 1.0);
+        // director has no attrs; movie has one ⇒ union size 1, mismatch 1.
+        assert!((m.distance(NodeId(0), NodeId(3)) - 1.0).abs() < 1e-12);
+        // Two empty tuples.
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_node("x", &[]);
+        let c = b.add_named_node("x", &[]);
+        let g2 = b.finish();
+        let x = g2.schema().find_node_label("x").unwrap();
+        let m2 = DiversityMeasure::new(&g2, x, DiversityConfig::default());
+        assert_eq!(m2.distance(a, c), 0.0);
+    }
+
+    #[test]
+    fn monotone_under_superset_for_pure_diversity() {
+        let g = graph();
+        let m = measure(&g, 1.0);
+        let small = m.score(&[NodeId(0), NodeId(1)]);
+        let large = m.score(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(
+            large > small,
+            "adding matches cannot reduce max-sum diversity"
+        );
+    }
+
+    #[test]
+    fn sampling_approximates_exact() {
+        // A larger synthetic set to exercise the sampling path.
+        let mut b = GraphBuilder::new();
+        for i in 0..60 {
+            b.add_named_node("movie", &[("year", AttrValue::Int(1960 + i))]);
+        }
+        let g = b.finish();
+        let movie = g.schema().find_node_label("movie").unwrap();
+        let matches: Vec<NodeId> = g.nodes().collect();
+        let exact = DiversityMeasure::new(
+            &g,
+            movie,
+            DiversityConfig {
+                lambda: 1.0,
+                pair_cap: 0,
+                ..DiversityConfig::default()
+            },
+        )
+        .score(&matches);
+        let approx = DiversityMeasure::new(
+            &g,
+            movie,
+            DiversityConfig {
+                lambda: 1.0,
+                pair_cap: 30,
+                ..DiversityConfig::default()
+            },
+        )
+        .score(&matches);
+        let rel_err = (exact - approx).abs() / exact;
+        assert!(rel_err < 0.15, "rel err {rel_err} too large");
+    }
+
+    #[test]
+    fn tuple_scoring_degenerates_to_node_scoring_for_arity_one() {
+        let g = graph();
+        let m = measure(&g, 1.0);
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let tuples: Vec<Vec<NodeId>> = nodes.iter().map(|&v| vec![v]).collect();
+        let a = m.score(&nodes);
+        let b = m.score_tuples(&tuples);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_distance_is_the_coordinate_mean() {
+        let g = graph();
+        let m = measure(&g, 1.0);
+        let d01 = m.distance(NodeId(0), NodeId(1));
+        let d02 = m.distance(NodeId(0), NodeId(2));
+        let td = m.tuple_distance(&[NodeId(0), NodeId(0)], &[NodeId(1), NodeId(2)]);
+        assert!((td - (d01 + d02) / 2.0).abs() < 1e-12);
+        assert_eq!(m.score_tuples(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_min_objective() {
+        let g = graph();
+        let movie = g.schema().find_node_label("movie").unwrap();
+        let m = DiversityMeasure::new(
+            &g,
+            movie,
+            DiversityConfig {
+                lambda: 1.0,
+                objective: DiversityObjective::MaxMin,
+                pair_cap: 0,
+                ..DiversityConfig::default()
+            },
+        );
+        // min pairwise distance among {m1,m2,m3} is 0.5 ⇒ δ = 3·0.5 = 1.5.
+        let s = m.score(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!((s - 1.5).abs() < 1e-12);
+        // Singleton: no dispersion.
+        assert_eq!(m.score(&[NodeId(0)]), 0.0);
+        // Max-min is NOT superset-monotone: a near-duplicate pair hurts.
+        let two = m.score(&[NodeId(0), NodeId(2)]); // distance 1.0 ⇒ 2.0
+        assert!(two > s);
+    }
+
+    #[test]
+    fn uniform_relevance() {
+        let g = graph();
+        let movie = g.schema().find_node_label("movie").unwrap();
+        let m = DiversityMeasure::new(
+            &g,
+            movie,
+            DiversityConfig {
+                lambda: 0.0,
+                relevance: Relevance::Uniform(0.25),
+                ..DiversityConfig::default()
+            },
+        );
+        let s = m.score(&[NodeId(0), NodeId(1)]);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+}

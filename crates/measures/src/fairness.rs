@@ -1,0 +1,70 @@
+//! Practical fairness measures expressible through group coverage
+//! (Section III, "Problem statement"): equal opportunity and disparate
+//! impact ("80% rule").
+
+use fairsqg_graph::CoverageSpec;
+
+/// Disparate-impact ratio of a two-group (or multi-group) answer: the size
+/// of the smallest covered group over the largest. The "80% rule" of \[18\]
+/// asks for a ratio of at least `0.8`.
+pub fn disparate_impact(counts: &[u32]) -> f64 {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    if max == 0 {
+        return 1.0; // vacuously balanced
+    }
+    min as f64 / max as f64
+}
+
+/// Whether an answer satisfies the `ratio`-rule (e.g. `0.8` for the 80%
+/// rule): every group's coverage is at least `ratio` times the largest.
+pub fn satisfies_ratio_rule(counts: &[u32], ratio: f64) -> bool {
+    disparate_impact(counts) + 1e-12 >= ratio
+}
+
+/// Builds a coverage spec enforcing a disparate-impact floor: the majority
+/// group must be covered with `majority` matches and every other group with
+/// at least `ceil(ratio × majority)` (the paper's "80% rules" example,
+/// with group 0 as the majority).
+pub fn ratio_rule_spec(groups: usize, majority: u32, ratio: f64) -> CoverageSpec {
+    assert!(groups >= 1);
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+    let minority = ((majority as f64) * ratio).ceil() as u32;
+    let mut constraints = vec![minority; groups];
+    constraints[0] = majority;
+    CoverageSpec::new(constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disparate_impact_ratio() {
+        assert!((disparate_impact(&[100, 80]) - 0.8).abs() < 1e-12);
+        assert!((disparate_impact(&[80, 100]) - 0.8).abs() < 1e-12);
+        assert_eq!(disparate_impact(&[0, 0]), 1.0);
+        assert_eq!(disparate_impact(&[10, 0]), 0.0);
+    }
+
+    #[test]
+    fn ratio_rule() {
+        assert!(satisfies_ratio_rule(&[100, 80], 0.8));
+        assert!(!satisfies_ratio_rule(&[100, 79], 0.8));
+        assert!(satisfies_ratio_rule(&[50, 50, 50], 1.0));
+    }
+
+    #[test]
+    fn ratio_rule_spec_shapes_constraints() {
+        let spec = ratio_rule_spec(2, 100, 0.8);
+        assert_eq!(spec.constraints(), &[100, 80]);
+        let spec3 = ratio_rule_spec(3, 50, 0.5);
+        assert_eq!(spec3.constraints(), &[50, 25, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in [0, 1]")]
+    fn invalid_ratio_rejected() {
+        ratio_rule_spec(2, 10, 1.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Hypervolume indicator for bi-objective fronts.
+//!
+//! The hypervolume (S-metric) of a set of maximization points w.r.t. a
+//! reference point `r` is the area of the region dominated by the set and
+//! dominating `r`. It is the standard third indicator alongside the ε- and
+//! R-indicators of Zitzler et al. [43] and is used by the ablation
+//! experiments to compare archive qualities with a single scalar.
+
+use crate::objectives::Objectives;
+
+/// Hypervolume of `set` against reference `(ref_delta, ref_fcov)` (usually
+/// the origin). Points not dominating the reference contribute nothing.
+pub fn hypervolume(set: &[Objectives], ref_delta: f64, ref_fcov: f64) -> f64 {
+    // Keep only points strictly better than the reference on both axes.
+    let mut pts: Vec<(f64, f64)> = set
+        .iter()
+        .filter(|o| o.delta > ref_delta && o.fcov > ref_fcov)
+        .map(|o| (o.delta, o.fcov))
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by δ descending; sweep adding rectangular slabs for each point
+    // that improves the running best f.
+    pts.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then(b.1.partial_cmp(&a.1).unwrap())
+    });
+    let mut volume = 0.0;
+    let mut best_f = ref_fcov;
+    for &(d, f) in &pts {
+        if f > best_f {
+            volume += (d - ref_delta) * (f - best_f);
+            best_f = f;
+        }
+    }
+    volume
+}
+
+/// Normalized hypervolume in `[0, 1]`: the fraction of the
+/// `[0, delta_max] × [0, f_max]` box the set dominates.
+pub fn hypervolume_normalized(set: &[Objectives], delta_max: f64, f_max: f64) -> f64 {
+    if delta_max <= 0.0 || f_max <= 0.0 {
+        return 0.0;
+    }
+    (hypervolume(set, 0.0, 0.0) / (delta_max * f_max)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Objectives> {
+        v.iter().map(|&(d, f)| Objectives::new(d, f)).collect()
+    }
+
+    #[test]
+    fn single_point_is_a_rectangle() {
+        let hv = hypervolume(&pts(&[(2.0, 3.0)]), 0.0, 0.0);
+        assert!((hv - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let a = hypervolume(&pts(&[(2.0, 3.0)]), 0.0, 0.0);
+        let b = hypervolume(&pts(&[(2.0, 3.0), (1.0, 1.0)]), 0.0, 0.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_union() {
+        // (3,1) and (1,3): union area = 3*1 + 1*(3-1) = 5.
+        let hv = hypervolume(&pts(&[(3.0, 1.0), (1.0, 3.0)]), 0.0, 0.0);
+        assert!((hv - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_point_shifts() {
+        let hv = hypervolume(&pts(&[(2.0, 3.0)]), 1.0, 1.0);
+        assert!((hv - 2.0).abs() < 1e-12);
+        // Point below the reference contributes nothing.
+        assert_eq!(hypervolume(&pts(&[(0.5, 0.5)]), 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        let set = pts(&[(10.0, 10.0)]);
+        assert!((hypervolume_normalized(&set, 10.0, 10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(hypervolume_normalized(&set, 0.0, 10.0), 0.0);
+        assert_eq!(hypervolume_normalized(&[], 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_set_growth() {
+        let small = hypervolume(&pts(&[(3.0, 1.0)]), 0.0, 0.0);
+        let large = hypervolume(&pts(&[(3.0, 1.0), (1.0, 3.0)]), 0.0, 0.0);
+        assert!(large >= small);
+    }
+}

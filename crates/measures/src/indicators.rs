@@ -1,0 +1,115 @@
+//! Quality indicators for Pareto-set approximations (Section V, Exp-1):
+//! the ε-indicator `I_ε` and the R-indicator `I_R` of Zitzler et al. [43].
+
+use crate::objectives::Objectives;
+
+/// The minimum `ε_m ≥ 0` for which `set` is an `ε_m`-Pareto set of
+/// `universe`: every universe point must be ε-dominated by some set point.
+///
+/// Returns `f64::INFINITY` when some universe point cannot be ε-dominated
+/// for any finite ε (e.g. the set is empty while the universe is not).
+pub fn min_eps(set: &[Objectives], universe: &[Objectives]) -> f64 {
+    if universe.is_empty() {
+        return 0.0;
+    }
+    if set.is_empty() {
+        return f64::INFINITY;
+    }
+    universe
+        .iter()
+        .map(|u| {
+            set.iter()
+                .map(|s| s.needed_eps(u))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Normalized ε-indicator `I_ε = max(0, 1 − ε_m/ε)` (larger is better; the
+/// exact Pareto set scores 1).
+pub fn eps_indicator(set: &[Objectives], universe: &[Objectives], eps: f64) -> f64 {
+    debug_assert!(eps > 0.0);
+    let em = min_eps(set, universe);
+    if em.is_infinite() {
+        return 0.0;
+    }
+    (1.0 - em / eps).max(0.0)
+}
+
+/// R-indicator `I_R = ((1−λ_R)·δ*_norm + λ_R·f*_norm) / 2` where `δ*` / `f*`
+/// are the maximum diversity/coverage achieved by the set, normalized into
+/// `[0,1]` by `delta_max` (e.g. `|V_uo|` or the universe max) and `f_max`
+/// (`C`). A higher `λ_R` rewards sets containing high-coverage queries.
+pub fn r_indicator(set: &[Objectives], lambda_r: f64, delta_max: f64, f_max: f64) -> f64 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    let d_star = set.iter().map(|o| o.delta).fold(0.0, f64::max);
+    let f_star = set.iter().map(|o| o.fcov).fold(0.0, f64::max);
+    let dn = if delta_max > 0.0 {
+        (d_star / delta_max).min(1.0)
+    } else {
+        0.0
+    };
+    let fn_ = if f_max > 0.0 {
+        (f_star / f_max).min(1.0)
+    } else {
+        0.0
+    };
+    ((1.0 - lambda_r) * dn + lambda_r * fn_) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Objectives> {
+        v.iter().map(|&(d, f)| Objectives::new(d, f)).collect()
+    }
+
+    #[test]
+    fn exact_pareto_set_has_zero_eps() {
+        let universe = pts(&[(3.0, 1.0), (2.0, 2.0), (1.0, 3.0), (1.0, 1.0)]);
+        let set = pts(&[(3.0, 1.0), (2.0, 2.0), (1.0, 3.0)]);
+        assert_eq!(min_eps(&set, &universe), 0.0);
+        assert_eq!(eps_indicator(&set, &universe, 0.5), 1.0);
+    }
+
+    #[test]
+    fn subset_needs_positive_eps() {
+        let universe = pts(&[(3.0, 1.0), (2.0, 2.0)]);
+        let set = pts(&[(2.0, 2.0)]);
+        // To ε-dominate (3,1): (1+ε)·2 ≥ 3 ⇒ ε = 0.5.
+        assert!((min_eps(&set, &universe) - 0.5).abs() < 1e-12);
+        assert!((eps_indicator(&set, &universe, 1.0) - 0.5).abs() < 1e-12);
+        // ε budget smaller than required ⇒ indicator clamps to 0.
+        assert_eq!(eps_indicator(&set, &universe, 0.25), 0.0);
+    }
+
+    #[test]
+    fn empty_set_vs_universe() {
+        let universe = pts(&[(1.0, 1.0)]);
+        assert_eq!(min_eps(&[], &universe), f64::INFINITY);
+        assert_eq!(eps_indicator(&[], &universe, 0.5), 0.0);
+        assert_eq!(min_eps(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r_indicator_preferences() {
+        let set = pts(&[(8.0, 2.0), (1.0, 10.0)]);
+        let (dmax, fmax) = (10.0, 10.0);
+        let diversity_pref = r_indicator(&set, 0.1, dmax, fmax);
+        let coverage_pref = r_indicator(&set, 0.9, dmax, fmax);
+        // δ* = 0.8, f* = 1.0.
+        assert!((diversity_pref - (0.9 * 0.8 + 0.1 * 1.0) / 2.0).abs() < 1e-12);
+        assert!((coverage_pref - (0.1 * 0.8 + 0.9 * 1.0) / 2.0).abs() < 1e-12);
+        assert!(coverage_pref > diversity_pref);
+    }
+
+    #[test]
+    fn r_indicator_empty_and_degenerate() {
+        assert_eq!(r_indicator(&[], 0.5, 10.0, 10.0), 0.0);
+        let set = pts(&[(5.0, 5.0)]);
+        assert_eq!(r_indicator(&set, 0.5, 0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pareto-set computation: Kung's divide-and-conquer algorithm [13] and a
+//! simple sweep reference.
+
+use crate::objectives::Objectives;
+
+/// Indices of the Pareto-optimal (non-dominated) points, computed with
+/// Kung's divide-and-conquer algorithm: sort descending by `δ`, recursively
+/// compute the fronts of the two halves, and keep bottom-half points not
+/// dominated by the top half. Ties on both objectives keep the first
+/// occurrence (the Pareto *set* is unique over distinct objective vectors;
+/// duplicates are redundant representatives).
+pub fn kung_pareto(points: &[Objectives]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by δ desc, f desc; stable index tiebreak for determinism.
+    order.sort_by(|&a, &b| {
+        points[b]
+            .delta
+            .partial_cmp(&points[a].delta)
+            .unwrap()
+            .then(points[b].fcov.partial_cmp(&points[a].fcov).unwrap())
+            .then(a.cmp(&b))
+    });
+    // Drop exact duplicates (same δ and f): keep the first representative.
+    order.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+    let mut front = front_rec(points, &order);
+    front.sort_unstable();
+    front
+}
+
+/// Recursive front of a δ-descending slice of indices.
+fn front_rec(points: &[Objectives], order: &[usize]) -> Vec<usize> {
+    if order.len() <= 1 {
+        return order.to_vec();
+    }
+    let mid = order.len() / 2;
+    let top = front_rec(points, &order[..mid]);
+    let bottom = front_rec(points, &order[mid..]);
+    // A bottom point survives iff no top point dominates it. Since top
+    // points all have δ >= any bottom point's δ, dominance reduces to the
+    // max f in `top` being >= the bottom point's f (with strictness handled
+    // by full dominance check to be safe about ties).
+    let mut merged = top.clone();
+    for &b in &bottom {
+        if top.iter().all(|&t| !points[t].dominates(&points[b])) {
+            merged.push(b);
+        }
+    }
+    merged
+}
+
+/// Reference O(n log n) sweep: sort by δ desc (f desc tiebreak), keep points
+/// whose f strictly exceeds the running maximum, handling δ-ties by only
+/// keeping the best-f representative per δ value.
+pub fn sweep_pareto(points: &[Objectives]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .delta
+            .partial_cmp(&points[a].delta)
+            .unwrap()
+            .then(points[b].fcov.partial_cmp(&points[a].fcov).unwrap())
+            .then(a.cmp(&b))
+    });
+    let mut result = Vec::new();
+    let mut best_f = f64::NEG_INFINITY;
+    let mut i = 0;
+    while i < order.len() {
+        // Group of equal δ: only its max-f member can be non-dominated.
+        let delta = points[order[i]].delta;
+        let leader = order[i]; // max f within the group by sort order
+        while i < order.len() && points[order[i]].delta == delta {
+            i += 1;
+        }
+        if points[leader].fcov > best_f {
+            result.push(leader);
+            best_f = points[leader].fcov;
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Objectives> {
+        v.iter().map(|&(d, f)| Objectives::new(d, f)).collect()
+    }
+
+    #[test]
+    fn simple_front() {
+        let p = pts(&[(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (2.0, 0.5)]);
+        // (2,2) dominates (1,1) and (2,0.5); (0.5,3) survives.
+        assert_eq!(kung_pareto(&p), vec![1, 2]);
+        assert_eq!(sweep_pareto(&p), vec![1, 2]);
+    }
+
+    #[test]
+    fn all_non_dominated() {
+        let p = pts(&[(3.0, 1.0), (2.0, 2.0), (1.0, 3.0)]);
+        assert_eq!(kung_pareto(&p), vec![0, 1, 2]);
+        assert_eq!(sweep_pareto(&p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_keep_one_representative() {
+        let p = pts(&[(2.0, 2.0), (2.0, 2.0), (1.0, 1.0)]);
+        assert_eq!(kung_pareto(&p), vec![0]);
+        assert_eq!(sweep_pareto(&p), vec![0]);
+    }
+
+    #[test]
+    fn delta_ties() {
+        let p = pts(&[(2.0, 1.0), (2.0, 3.0), (1.0, 2.0)]);
+        // (2,3) dominates (2,1) and (1,2).
+        assert_eq!(kung_pareto(&p), vec![1]);
+        assert_eq!(sweep_pareto(&p), vec![1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(kung_pareto(&[]).is_empty());
+        let one = pts(&[(1.0, 1.0)]);
+        assert_eq!(kung_pareto(&one), vec![0]);
+        assert_eq!(sweep_pareto(&one), vec![0]);
+    }
+
+    #[test]
+    fn kung_matches_bruteforce_on_grid() {
+        // Deterministic pseudo-random grid.
+        let mut p = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let d = ((x >> 33) % 50) as f64;
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let f = ((x >> 33) % 50) as f64;
+            p.push(Objectives::new(d, f));
+        }
+        let brute: Vec<usize> = (0..p.len())
+            .filter(|&i| {
+                // Non-dominated and first representative of its coordinates.
+                p.iter().all(|q| !q.dominates(&p[i])) && p[..i].iter().all(|q| *q != p[i])
+            })
+            .collect();
+        assert_eq!(kung_pareto(&p), brute);
+        assert_eq!(sweep_pareto(&p), brute);
+    }
+}

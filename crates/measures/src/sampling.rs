@@ -1,0 +1,76 @@
+//! Seeded sampling helpers for approximate pairwise computations.
+
+use rand::Rng;
+
+/// Samples up to `target` distinct unordered index pairs from `{0..n}`,
+/// deterministically for a given RNG state. When `target` covers most of the
+/// pair space the full pair set is returned instead (cheaper and exact).
+pub fn sample_pairs<R: Rng>(n: usize, target: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    let total = n * (n.saturating_sub(1)) / 2;
+    if total == 0 {
+        return Vec::new();
+    }
+    if target == 0 || target * 2 >= total {
+        let mut all = Vec::with_capacity(total);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                all.push((i, j));
+            }
+        }
+        return all;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    let mut out = Vec::with_capacity(target);
+    // Rejection sampling; target << total so collisions are rare.
+    while out.len() < target {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let pair = (i.min(j), i.max(j));
+        if seen.insert(pair) {
+            out.push(pair);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_pcg::Pcg64Mcg;
+
+    #[test]
+    fn small_space_returns_all_pairs() {
+        let mut rng = Pcg64Mcg::new(1);
+        let pairs = sample_pairs(4, 100, &mut rng);
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn sampling_yields_distinct_valid_pairs() {
+        let mut rng = Pcg64Mcg::new(7);
+        let pairs = sample_pairs(100, 50, &mut rng);
+        assert_eq!(pairs.len(), 50);
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 50);
+        for &(i, j) in &pairs {
+            assert!(i < j && j < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = sample_pairs(100, 30, &mut Pcg64Mcg::new(9));
+        let b = sample_pairs(100, 30, &mut Pcg64Mcg::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let mut rng = Pcg64Mcg::new(1);
+        assert!(sample_pairs(0, 10, &mut rng).is_empty());
+        assert!(sample_pairs(1, 10, &mut rng).is_empty());
+    }
+}

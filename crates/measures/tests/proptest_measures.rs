@@ -1,0 +1,140 @@
+//! Property-based tests of the measure algebra: dominance laws, box math,
+//! Pareto algorithms, indicators, and hypervolume.
+
+use fairsqg_graph::CoverageSpec;
+use fairsqg_measures::{
+    coverage_score, eps_indicator, hypervolume, is_feasible, kung_pareto, min_eps, sweep_pareto,
+    BoxCoord, Objectives,
+};
+use proptest::prelude::*;
+
+fn arb_obj() -> impl Strategy<Value = Objectives> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(d, f)| Objectives::new(d, f))
+}
+
+fn arb_objs(n: usize) -> impl Strategy<Value = Vec<Objectives>> {
+    proptest::collection::vec(arb_obj(), 1..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dominance is irreflexive, asymmetric, and transitive.
+    #[test]
+    fn dominance_is_a_strict_order(a in arb_obj(), b in arb_obj(), c in arb_obj()) {
+        prop_assert!(!a.dominates(&a));
+        if a.dominates(&b) {
+            prop_assert!(!b.dominates(&a));
+        }
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    /// `needed_eps` is exactly the threshold of `eps_dominates`, and
+    /// ε-dominance is monotone in ε (Lemma 4).
+    #[test]
+    fn needed_eps_is_the_threshold(a in arb_obj(), b in arb_obj(), bump in 0.001f64..1.0) {
+        let e = a.needed_eps(&b);
+        if e.is_finite() {
+            prop_assert!(a.eps_dominates(&b, e + 1e-9));
+            if e > 1e-9 {
+                prop_assert!(!a.eps_dominates(&b, e * (1.0 - 1e-9) - 1e-12));
+            }
+            // Lemma 4: larger ε preserves the relation.
+            prop_assert!(a.eps_dominates(&b, e + bump));
+        } else {
+            // Infinite: never dominated at any finite ε.
+            prop_assert!(!a.eps_dominates(&b, 1e9));
+        }
+    }
+
+    /// Dominance implies box dominance-or-equality at every ε, and points
+    /// sharing a box mutually shifted-ε-dominate.
+    #[test]
+    fn box_math_is_consistent(a in arb_obj(), b in arb_obj(), eps in 0.05f64..1.0) {
+        let (ba, bb) = (a.boxed(eps), b.boxed(eps));
+        if a.dominates(&b) {
+            prop_assert!(
+                ba.dominates_or_eq(&bb),
+                "dominance must survive discretization: {a:?} {b:?} {ba:?} {bb:?}"
+            );
+        }
+        if ba == bb {
+            let factor = 1.0 + eps;
+            prop_assert!(factor * (1.0 + a.delta) >= 1.0 + b.delta);
+            prop_assert!(factor * (1.0 + a.fcov) >= 1.0 + b.fcov);
+            prop_assert!(factor * (1.0 + b.delta) >= 1.0 + a.delta);
+        }
+        // Box dominance is transitive by construction of BoxCoord.
+        let bc = BoxCoord { delta: ba.delta + 1, fcov: ba.fcov + 1 };
+        prop_assert!(bc.dominates(&ba));
+    }
+
+    /// Kung's algorithm agrees with the sweep and with brute force.
+    #[test]
+    fn kung_equals_sweep_equals_bruteforce(points in arb_objs(40)) {
+        let kung = kung_pareto(&points);
+        let sweep = sweep_pareto(&points);
+        prop_assert_eq!(&kung, &sweep);
+        let brute: Vec<usize> = (0..points.len())
+            .filter(|&i| {
+                points.iter().all(|q| !q.dominates(&points[i]))
+                    && points[..i].iter().all(|q| *q != points[i])
+            })
+            .collect();
+        prop_assert_eq!(kung, brute);
+    }
+
+    /// The exact Pareto front always has ε_m = 0 and indicator 1.
+    #[test]
+    fn exact_front_scores_one(points in arb_objs(30), eps in 0.05f64..1.0) {
+        let front: Vec<Objectives> =
+            kung_pareto(&points).into_iter().map(|i| points[i]).collect();
+        prop_assert_eq!(min_eps(&front, &points), 0.0);
+        prop_assert_eq!(eps_indicator(&front, &points, eps), 1.0);
+    }
+
+    /// Removing points from a set can only increase ε_m.
+    #[test]
+    fn min_eps_is_monotone_in_the_set(points in arb_objs(20)) {
+        let front: Vec<Objectives> =
+            kung_pareto(&points).into_iter().map(|i| points[i]).collect();
+        if front.len() >= 2 {
+            let reduced = &front[..front.len() - 1];
+            prop_assert!(min_eps(reduced, &points) >= min_eps(&front, &points));
+        }
+    }
+
+    /// Coverage score stays within [0, C]; exact coverage is the unique
+    /// maximizer; feasibility matches the constraint check.
+    #[test]
+    fn coverage_bounds(counts in proptest::collection::vec(0u32..200, 1..5),
+                       cons in proptest::collection::vec(1u32..100, 1..5)) {
+        let m = counts.len().min(cons.len());
+        let counts = &counts[..m];
+        let spec = CoverageSpec::new(cons[..m].to_vec());
+        let f = coverage_score(counts, &spec);
+        prop_assert!(f >= 0.0 && f <= spec.total() as f64);
+        let exact = coverage_score(spec.constraints(), &spec);
+        prop_assert_eq!(exact, spec.total() as f64);
+        prop_assert!(f <= exact);
+        prop_assert_eq!(
+            is_feasible(counts, &spec),
+            counts.iter().zip(spec.constraints()).all(|(&g, &w)| g >= w)
+        );
+    }
+
+    /// Hypervolume is monotone under adding points and bounded by the
+    /// bounding box of the set.
+    #[test]
+    fn hypervolume_monotone_and_bounded(points in arb_objs(20), extra in arb_obj()) {
+        let hv = hypervolume(&points, 0.0, 0.0);
+        let mut more = points.clone();
+        more.push(extra);
+        prop_assert!(hypervolume(&more, 0.0, 0.0) + 1e-9 >= hv);
+        let dmax = points.iter().map(|o| o.delta).fold(0.0, f64::max);
+        let fmax = points.iter().map(|o| o.fcov).fold(0.0, f64::max);
+        prop_assert!(hv <= dmax * fmax + 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! Human-readable rendering of templates and instances.
+
+use crate::domain::{DomainValue, RefinementDomains, VarKind};
+use crate::instance::Instantiation;
+use crate::template::QueryTemplate;
+use fairsqg_graph::{AttrValue, Schema};
+
+fn value_str(schema: &Schema, v: AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Str(s) => format!("{:?}", schema.symbol_value(s)),
+    }
+}
+
+/// Renders a template's structure: nodes, edges (marking optional ones),
+/// constant literals, and parameterized literal slots.
+pub fn render_template(schema: &Schema, t: &QueryTemplate) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "template |Q|={} edges, output u{}:{}\n",
+        t.size(),
+        t.output().0,
+        schema.node_label_name(t.output_label())
+    ));
+    for (i, n) in t.nodes().iter().enumerate() {
+        out.push_str(&format!("  u{i}: {}\n", schema.node_label_name(n.label)));
+    }
+    for e in t.edges() {
+        out.push_str(&format!(
+            "  u{} -[{}{}]-> u{}\n",
+            e.src.0,
+            schema.edge_label_name(e.label),
+            if e.optional { ", optional" } else { "" },
+            e.dst.0
+        ));
+    }
+    for l in t.const_literals() {
+        out.push_str(&format!(
+            "  u{}.{} {} {}\n",
+            l.node.0,
+            schema.attr_name(l.attr),
+            l.op,
+            value_str(schema, l.value)
+        ));
+    }
+    for (k, l) in t.range_literals().iter().enumerate() {
+        out.push_str(&format!(
+            "  u{}.{} {} x{k}   (range variable)\n",
+            l.node.0,
+            schema.attr_name(l.attr),
+            l.op
+        ));
+    }
+    out
+}
+
+/// Renders an instance's variable bindings, e.g.
+/// `u0.rating >= 70, -edge u0-[producedIn]->u2`.
+pub fn render_instance(
+    schema: &Schema,
+    t: &QueryTemplate,
+    domains: &RefinementDomains,
+    inst: &Instantiation,
+) -> String {
+    let mut parts = Vec::new();
+    for (x, dom) in domains.domains().iter().enumerate() {
+        match dom.kind {
+            VarKind::Range { literal } => {
+                let lit = t.range_literals()[literal];
+                let binding = match inst.value(x, domains) {
+                    DomainValue::Wildcard => "_".to_string(),
+                    DomainValue::Const(c) => value_str(schema, *c),
+                    _ => unreachable!("range variable with edge value"),
+                };
+                parts.push(format!(
+                    "u{}.{} {} {}",
+                    lit.node.0,
+                    schema.attr_name(lit.attr),
+                    lit.op,
+                    binding
+                ));
+            }
+            VarKind::Edge { edge } => {
+                let e = t.edges()[edge];
+                let on = matches!(inst.value(x, domains), DomainValue::EdgeOn);
+                parts.push(format!(
+                    "{}edge u{}-[{}]->u{}",
+                    if on { "+" } else { "-" },
+                    e.src.0,
+                    schema.edge_label_name(e.label),
+                    e.dst.0
+                ));
+            }
+        }
+    }
+    parts.join(", ")
+}
+
+/// Renders a fully materialized concrete query (what will actually be
+/// matched): active nodes with bound literals, plus present edges.
+pub fn render_concrete_query(schema: &Schema, q: &crate::ConcreteQuery) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("query (output u{}):\n", q.output.0));
+    for (i, node) in q.nodes.iter().enumerate() {
+        if !q.active[i] {
+            continue;
+        }
+        out.push_str(&format!("  u{i}: {}", schema.node_label_name(node.label)));
+        for lit in &node.literals {
+            out.push_str(&format!(
+                " [{} {} {}]",
+                schema.attr_name(lit.attr),
+                lit.op,
+                value_str(schema, lit.value)
+            ));
+        }
+        out.push('\n');
+    }
+    for &(s_, d, l) in &q.edges {
+        out.push_str(&format!(
+            "  u{} -[{}]-> u{}\n",
+            s_.0,
+            schema.edge_label_name(l),
+            d.0
+        ));
+    }
+    out
+}
+
+/// Explains the revision from instance `from` to instance `to` as
+/// user-facing text, one clause per changed variable — mirroring the
+/// paper's Example 1 narrative ("a relaxed condition on recommendation
+/// (removing the edge ...) and reducing '1000' employees to '500'").
+/// Returns `"no change"` when the instances are identical.
+pub fn explain_revision(
+    schema: &Schema,
+    t: &QueryTemplate,
+    domains: &RefinementDomains,
+    from: &Instantiation,
+    to: &Instantiation,
+) -> String {
+    let mut clauses = Vec::new();
+    for (x, dom) in domains.domains().iter().enumerate() {
+        let (a, b) = (from.indices()[x], to.indices()[x]);
+        if a == b {
+            continue;
+        }
+        let tightened = b > a;
+        match dom.kind {
+            VarKind::Range { literal } => {
+                let lit = t.range_literals()[literal];
+                let render = |idx: u16| match &dom.values[idx as usize] {
+                    DomainValue::Wildcard => "unconstrained".to_string(),
+                    DomainValue::Const(c) => value_str(schema, *c),
+                    _ => unreachable!("range variable with edge value"),
+                };
+                clauses.push(format!(
+                    "{} u{}.{} {} from {} to {}",
+                    if tightened { "tightened" } else { "relaxed" },
+                    lit.node.0,
+                    schema.attr_name(lit.attr),
+                    lit.op,
+                    render(a),
+                    render(b),
+                ));
+            }
+            VarKind::Edge { edge } => {
+                let e = t.edges()[edge];
+                clauses.push(format!(
+                    "{} the u{} -[{}]-> u{} requirement",
+                    if tightened { "added" } else { "removed" },
+                    e.src.0,
+                    schema.edge_label_name(e.label),
+                    e.dst.0,
+                ));
+            }
+        }
+    }
+    if clauses.is_empty() {
+        "no change".to_string()
+    } else {
+        clauses.join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainConfig;
+    use crate::template::TemplateBuilder;
+    use fairsqg_graph::{CmpOp, GraphBuilder};
+
+    #[test]
+    fn renders_template_and_instance() {
+        let mut b = GraphBuilder::new();
+        let m = b.add_named_node("movie", &[("rating", AttrValue::Int(70))]);
+        let a = b.add_named_node("actor", &[]);
+        b.add_named_edge(a, m, "actedIn");
+        let g = b.finish();
+        let s = g.schema();
+
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(s.find_node_label("movie").unwrap());
+        let u1 = tb.node(s.find_node_label("actor").unwrap());
+        tb.optional_edge(u1, u0, s.find_edge_label("actedIn").unwrap());
+        tb.range_literal(u0, s.find_attr("rating").unwrap(), CmpOp::Ge);
+        let t = tb.finish(u0).unwrap();
+        let d = RefinementDomains::build(&t, &g, DomainConfig::default());
+
+        let text = render_template(s, &t);
+        assert!(text.contains("u0: movie"));
+        assert!(text.contains("actedIn, optional"));
+        assert!(text.contains("u0.rating >= x0"));
+
+        let root = Instantiation::root(&d);
+        let r = render_instance(s, &t, &d, &root);
+        assert!(r.contains("u0.rating >= _"));
+        assert!(r.contains("-edge"));
+
+        let bottom = Instantiation::bottom(&d);
+        let rb = render_instance(s, &t, &d, &bottom);
+        assert!(rb.contains("u0.rating >= 70"));
+        assert!(rb.contains("+edge"));
+    }
+
+    #[test]
+    fn renders_concrete_query() {
+        let mut b = GraphBuilder::new();
+        let m = b.add_named_node("movie", &[("rating", AttrValue::Int(70))]);
+        let a = b.add_named_node("actor", &[]);
+        b.add_named_edge(a, m, "actedIn");
+        let g = b.finish();
+        let s = g.schema();
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(s.find_node_label("movie").unwrap());
+        let u1 = tb.node(s.find_node_label("actor").unwrap());
+        tb.optional_edge(u1, u0, s.find_edge_label("actedIn").unwrap());
+        tb.range_literal(u0, s.find_attr("rating").unwrap(), CmpOp::Ge);
+        let t = tb.finish(u0).unwrap();
+        let d = RefinementDomains::build(&t, &g, DomainConfig::default());
+        let q = crate::ConcreteQuery::materialize(&t, &d, &Instantiation::bottom(&d));
+        let text = render_concrete_query(s, &q);
+        assert!(text.contains("u0: movie [rating >= 70]"));
+        assert!(text.contains("u1 -[actedIn]-> u0"));
+        // Root: inactive node omitted.
+        let qr = crate::ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let tr = render_concrete_query(s, &qr);
+        assert!(!tr.contains("u1: actor"));
+    }
+
+    #[test]
+    fn explains_revisions() {
+        let mut b = GraphBuilder::new();
+        let m = b.add_named_node("movie", &[("rating", AttrValue::Int(50))]);
+        let m2 = b.add_named_node("movie", &[("rating", AttrValue::Int(70))]);
+        let a = b.add_named_node("actor", &[]);
+        b.add_named_edge(a, m, "actedIn");
+        b.add_named_edge(a, m2, "actedIn");
+        let g = b.finish();
+        let s = g.schema();
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(s.find_node_label("movie").unwrap());
+        let u1 = tb.node(s.find_node_label("actor").unwrap());
+        tb.optional_edge(u1, u0, s.find_edge_label("actedIn").unwrap());
+        tb.range_literal(u0, s.find_attr("rating").unwrap(), CmpOp::Ge);
+        let t = tb.finish(u0).unwrap();
+        let d = RefinementDomains::build(&t, &g, DomainConfig::default());
+
+        let root = Instantiation::root(&d);
+        let bottom = Instantiation::bottom(&d);
+        let text = explain_revision(s, &t, &d, &root, &bottom);
+        assert!(text.contains("tightened u0.rating >= from unconstrained to 70"), "{text}");
+        assert!(text.contains("added the u1 -[actedIn]-> u0 requirement"), "{text}");
+
+        let back = explain_revision(s, &t, &d, &bottom, &root);
+        assert!(back.contains("relaxed u0.rating"), "{back}");
+        assert!(back.contains("removed the u1"), "{back}");
+
+        assert_eq!(explain_revision(s, &t, &d, &root, &root), "no change");
+    }
+}

@@ -1,0 +1,156 @@
+//! The instance lattice `L = (I(Q), ≺_I)` (Section IV).
+//!
+//! The lattice is *implicit*: nodes are [`Instantiation`]s and there is an
+//! edge `(q, q')` labeled with variable `x` when `q'` refines `q` at `x`
+//! only, stepping to the next value in `x`'s refinement domain. The
+//! generation algorithms explore the lattice on the fly through
+//! [`InstanceLattice::children`] / [`InstanceLattice::parents`] without ever
+//! materializing it.
+
+use crate::domain::RefinementDomains;
+use crate::instance::Instantiation;
+
+/// A lightweight view pairing a template's domains with lattice navigation.
+#[derive(Debug, Clone)]
+pub struct InstanceLattice<'a> {
+    domains: &'a RefinementDomains,
+}
+
+impl<'a> InstanceLattice<'a> {
+    /// Creates a lattice view over `domains`.
+    pub fn new(domains: &'a RefinementDomains) -> Self {
+        Self { domains }
+    }
+
+    /// The most relaxed instantiation `q_r` (lattice root / upper bound).
+    pub fn root(&self) -> Instantiation {
+        Instantiation::root(self.domains)
+    }
+
+    /// The most refined instantiation `q_b` (lattice bottom / lower bound).
+    pub fn bottom(&self) -> Instantiation {
+        Instantiation::bottom(self.domains)
+    }
+
+    /// Direct refinements of `inst`: one child per variable that can still
+    /// be refined. The returned pairs carry the stepped variable (the
+    /// lattice edge label).
+    pub fn children(&self, inst: &Instantiation) -> Vec<(usize, Instantiation)> {
+        (0..self.domains.var_count())
+            .filter_map(|x| inst.refine_step(x, self.domains).map(|c| (x, c)))
+            .collect()
+    }
+
+    /// Direct relaxations of `inst`: one parent per variable that can still
+    /// be relaxed.
+    pub fn parents(&self, inst: &Instantiation) -> Vec<(usize, Instantiation)> {
+        (0..self.domains.var_count())
+            .filter_map(|x| inst.relax_step(x).map(|p| (x, p)))
+            .collect()
+    }
+
+    /// The underlying domains.
+    pub fn domains(&self) -> &RefinementDomains {
+        self.domains
+    }
+
+    /// Enumerates **all** instantiations in lexicographic order. Exponential
+    /// in `|X|`; used by the enumeration baselines (`EnumQGen`, `Kungs`) and
+    /// by tests on small templates.
+    pub fn enumerate(&self) -> Vec<Instantiation> {
+        let sizes: Vec<usize> = self.domains.domains().iter().map(|d| d.len()).collect();
+        let total: usize = sizes.iter().product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0u16; sizes.len()];
+        loop {
+            out.push(Instantiation::new(idx.clone()));
+            // Odometer increment.
+            let mut pos = sizes.len();
+            loop {
+                if pos == 0 {
+                    return out;
+                }
+                pos -= 1;
+                if (idx[pos] as usize) + 1 < sizes[pos] {
+                    idx[pos] += 1;
+                    for slot in idx.iter_mut().skip(pos + 1) {
+                        *slot = 0;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{DomainConfig, RefinementDomains};
+    use crate::template::TemplateBuilder;
+    use fairsqg_graph::{AttrValue, CmpOp, GraphBuilder};
+
+    fn domains() -> RefinementDomains {
+        let mut b = GraphBuilder::new();
+        for v in [1i64, 2, 3] {
+            b.add_named_node("n", &[("a", AttrValue::Int(v))]);
+        }
+        let g = b.finish();
+        let n = g.schema().find_node_label("n").unwrap();
+        let a = g.schema().find_attr("a").unwrap();
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(n);
+        let u1 = tb.node(n);
+        tb.optional_edge(u0, u1, fairsqg_graph::EdgeLabelId(0));
+        tb.range_literal(u0, a, CmpOp::Ge);
+        let t = tb.finish(u0).unwrap();
+        RefinementDomains::build(&t, &g, DomainConfig::default())
+    }
+
+    #[test]
+    fn children_and_parents_are_inverse() {
+        let d = domains();
+        let lat = InstanceLattice::new(&d);
+        let root = lat.root();
+        let children = lat.children(&root);
+        assert_eq!(children.len(), 2);
+        for (x, c) in &children {
+            let parents = lat.parents(c);
+            assert!(parents.iter().any(|(px, p)| px == x && p == &root));
+        }
+        assert!(lat.parents(&root).is_empty());
+        assert!(lat.children(&lat.bottom()).is_empty());
+    }
+
+    #[test]
+    fn enumerate_covers_the_product_space() {
+        let d = domains();
+        let lat = InstanceLattice::new(&d);
+        let all = lat.enumerate();
+        assert_eq!(all.len() as u64, d.instance_space_size());
+        assert_eq!(all.len(), 4 * 2); // (wildcard + 3 values) × (edge on/off)
+                                      // All distinct.
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+        assert_eq!(all[0], lat.root());
+        assert_eq!(*all.last().unwrap(), lat.bottom());
+    }
+
+    #[test]
+    fn every_nonroot_instance_is_reachable_from_root() {
+        let d = domains();
+        let lat = InstanceLattice::new(&d);
+        // BFS from the root must reach the whole space.
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([lat.root()]);
+        seen.insert(lat.root());
+        while let Some(q) = queue.pop_front() {
+            for (_, c) in lat.children(&q) {
+                if seen.insert(c.clone()) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, d.instance_space_size());
+    }
+}

@@ -1,0 +1,428 @@
+//! A small text DSL for query templates.
+//!
+//! Templates can be written as line-oriented text instead of builder calls:
+//!
+//! ```text
+//! # talent search (paper Fig. 1)
+//! node u0 : director
+//! node u1 : user
+//! node u2 : org
+//! node u3 : user
+//! edge u1 -recommend-> u0
+//! edge u1 -worksAt-> u2
+//! optional u3 -recommend-> u0
+//! where u1.yearsOfExp >= ?
+//! where u2.employees >= ?
+//! output u0
+//! ```
+//!
+//! * `node <name> : <label>` declares a template node.
+//! * `edge <src> -<label>-> <dst>` declares a fixed edge;
+//!   `optional ...` declares an edge guarded by an edge variable.
+//! * `where <node>.<attr> <op> ?` declares a parameterized literal (a range
+//!   variable); `where <node>.<attr> <op> <value>` a constant literal.
+//!   Values are integers or double-quoted strings.
+//! * `output <node>` designates `u_o`.
+//!
+//! Labels, attributes, and string values must already exist in the graph's
+//! [`Schema`] — a template referring to vocabulary the graph does not have
+//! cannot match anything, so the parser rejects it with a precise error.
+
+use crate::template::{QNodeId, QueryTemplate, TemplateBuilder, TemplateError};
+use fairsqg_graph::{AttrValue, CmpOp, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed line (with 1-based line number and explanation).
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A node name was used before being declared.
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+        /// The undeclared name.
+        name: String,
+    },
+    /// A label/attribute/string value missing from the schema.
+    UnknownVocabulary {
+        /// 1-based line number.
+        line: usize,
+        /// The missing token and its kind.
+        message: String,
+    },
+    /// `output` missing or declared twice.
+    Output {
+        /// What went wrong.
+        message: String,
+    },
+    /// The assembled template failed structural validation.
+    Template(TemplateError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownNode { line, name } => {
+                write!(
+                    f,
+                    "line {line}: unknown node '{name}' (declare it with 'node')"
+                )
+            }
+            ParseError::UnknownVocabulary { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseError::Output { message } => write!(f, "{message}"),
+            ParseError::Template(e) => write!(f, "invalid template: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TemplateError> for ParseError {
+    fn from(e: TemplateError) -> Self {
+        ParseError::Template(e)
+    }
+}
+
+fn parse_op(token: &str, line: usize) -> Result<CmpOp, ParseError> {
+    match token {
+        "<" => Ok(CmpOp::Lt),
+        "<=" => Ok(CmpOp::Le),
+        "=" | "==" => Ok(CmpOp::Eq),
+        ">=" => Ok(CmpOp::Ge),
+        ">" => Ok(CmpOp::Gt),
+        other => Err(ParseError::Syntax {
+            line,
+            message: format!("expected comparison operator, found '{other}'"),
+        }),
+    }
+}
+
+/// Parses a template from the DSL against a graph schema.
+pub fn parse_template(schema: &Schema, text: &str) -> Result<QueryTemplate, ParseError> {
+    let mut builder = TemplateBuilder::new();
+    let mut nodes: HashMap<String, QNodeId> = HashMap::new();
+    let mut output: Option<(usize, QNodeId)> = None;
+
+    let lookup = |nodes: &HashMap<String, QNodeId>, name: &str, line: usize| {
+        nodes
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::UnknownNode {
+                line,
+                name: name.to_string(),
+            })
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let keyword = tokens.next().unwrap();
+        match keyword {
+            "node" => {
+                // node <name> : <label>
+                let rest: Vec<&str> = tokens.collect();
+                let (name, label_name) = match rest.as_slice() {
+                    [name, ":", label] => (*name, *label),
+                    [pair] if pair.contains(':') => {
+                        let mut it = pair.splitn(2, ':');
+                        (it.next().unwrap(), it.next().unwrap())
+                    }
+                    _ => {
+                        return Err(ParseError::Syntax {
+                            line,
+                            message: "expected 'node <name> : <label>'".into(),
+                        })
+                    }
+                };
+                if nodes.contains_key(name) {
+                    return Err(ParseError::Syntax {
+                        line,
+                        message: format!("node '{name}' declared twice"),
+                    });
+                }
+                let label = schema.find_node_label(label_name).ok_or_else(|| {
+                    ParseError::UnknownVocabulary {
+                        line,
+                        message: format!("node label '{label_name}' not in the graph schema"),
+                    }
+                })?;
+                nodes.insert(name.to_string(), builder.node(label));
+            }
+            "edge" | "optional" => {
+                // edge <src> -<label>-> <dst>
+                let rest: Vec<&str> = tokens.collect();
+                let (src_name, arrow, dst_name) = match rest.as_slice() {
+                    [s, a, d] => (*s, *a, *d),
+                    _ => {
+                        return Err(ParseError::Syntax {
+                            line,
+                            message: format!("expected '{keyword} <src> -<label>-> <dst>'"),
+                        })
+                    }
+                };
+                let label_name = arrow
+                    .strip_prefix('-')
+                    .and_then(|a| a.strip_suffix("->"))
+                    .ok_or_else(|| ParseError::Syntax {
+                        line,
+                        message: format!("expected '-<label>->', found '{arrow}'"),
+                    })?;
+                let label = schema.find_edge_label(label_name).ok_or_else(|| {
+                    ParseError::UnknownVocabulary {
+                        line,
+                        message: format!("edge label '{label_name}' not in the graph schema"),
+                    }
+                })?;
+                let src = lookup(&nodes, src_name, line)?;
+                let dst = lookup(&nodes, dst_name, line)?;
+                if keyword == "edge" {
+                    builder.edge(src, dst, label);
+                } else {
+                    builder.optional_edge(src, dst, label);
+                }
+            }
+            "where" => {
+                // where <node>.<attr> <op> (?|int|"string")
+                let rest: Vec<&str> = tokens.collect();
+                let (target, op_tok, value_tok) = match rest.as_slice() {
+                    [t, o, v] => (*t, *o, *v),
+                    _ => {
+                        return Err(ParseError::Syntax {
+                            line,
+                            message: "expected 'where <node>.<attr> <op> <value|?>'".into(),
+                        })
+                    }
+                };
+                let (node_name, attr_name) =
+                    target.split_once('.').ok_or_else(|| ParseError::Syntax {
+                        line,
+                        message: format!("expected '<node>.<attr>', found '{target}'"),
+                    })?;
+                let node = lookup(&nodes, node_name, line)?;
+                let attr =
+                    schema
+                        .find_attr(attr_name)
+                        .ok_or_else(|| ParseError::UnknownVocabulary {
+                            line,
+                            message: format!("attribute '{attr_name}' not in the graph schema"),
+                        })?;
+                let op = parse_op(op_tok, line)?;
+                if value_tok == "?" {
+                    if op == CmpOp::Eq {
+                        return Err(ParseError::Syntax {
+                            line,
+                            message: "range variables cannot use '=' (no refinement order)".into(),
+                        });
+                    }
+                    builder.range_literal(node, attr, op);
+                } else if let Some(stripped) = value_tok
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                {
+                    let sym = schema.find_symbol(stripped).ok_or_else(|| {
+                        ParseError::UnknownVocabulary {
+                            line,
+                            message: format!(
+                                "string value \"{stripped}\" never occurs in the graph"
+                            ),
+                        }
+                    })?;
+                    builder.literal(node, attr, op, AttrValue::Str(sym));
+                } else {
+                    let v: i64 = value_tok.parse().map_err(|_| ParseError::Syntax {
+                        line,
+                        message: format!(
+                            "expected '?', an integer, or a quoted string, found '{value_tok}'"
+                        ),
+                    })?;
+                    builder.literal(node, attr, op, AttrValue::Int(v));
+                }
+            }
+            "output" => {
+                let name = tokens.next().ok_or_else(|| ParseError::Syntax {
+                    line,
+                    message: "expected 'output <node>'".into(),
+                })?;
+                let node = lookup(&nodes, name, line)?;
+                if output.is_some() {
+                    return Err(ParseError::Output {
+                        message: format!("line {line}: output node declared twice"),
+                    });
+                }
+                output = Some((line, node));
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: format!(
+                        "unknown keyword '{other}' (expected node/edge/optional/where/output)"
+                    ),
+                })
+            }
+        }
+    }
+
+    let (_, out) = output.ok_or(ParseError::Output {
+        message: "missing 'output <node>' declaration".into(),
+    })?;
+    Ok(builder.finish(out)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_graph::GraphBuilder;
+
+    fn schema() -> Schema {
+        let mut b = GraphBuilder::new();
+        let d = b.add_named_node("director", &[("gender", AttrValue::Int(0))]);
+        let u = b.add_named_node("user", &[("yearsOfExp", AttrValue::Int(10))]);
+        let o = b.add_named_node("org", &[("employees", AttrValue::Int(1000))]);
+        b.add_named_edge(u, d, "recommend");
+        b.add_named_edge(u, o, "worksAt");
+        let mut schema = b.finish().schema().clone();
+        schema.symbol("US");
+        schema.attr("country");
+        schema
+    }
+
+    const TALENT: &str = r#"
+        # talent search
+        node u0 : director
+        node u1 : user
+        node u2 : org
+        node u3 : user
+        edge u1 -recommend-> u0
+        edge u1 -worksAt-> u2
+        optional u3 -recommend-> u0
+        where u1.yearsOfExp >= ?
+        where u2.employees >= ?
+        output u0
+    "#;
+
+    #[test]
+    fn parses_the_fig1_template() {
+        let s = schema();
+        let t = parse_template(&s, TALENT).unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.range_var_count(), 2);
+        assert_eq!(t.edge_var_count(), 1);
+        assert_eq!(t.output(), QNodeId(0));
+        assert_eq!(s.node_label_name(t.output_label()), "director");
+    }
+
+    #[test]
+    fn constant_literals_and_compact_node_syntax() {
+        let s = schema();
+        let text = r#"
+            node m:director
+            where m.gender = 1
+            output m
+        "#;
+        let t = parse_template(&s, text).unwrap();
+        assert_eq!(t.const_literals().len(), 1);
+        assert_eq!(t.const_literals()[0].value, AttrValue::Int(1));
+    }
+
+    #[test]
+    fn string_values_resolve_against_schema() {
+        let s = schema();
+        let text = r#"
+            node m : director
+            where m.country = "US"
+            output m
+        "#;
+        let t = parse_template(&s, text).unwrap();
+        assert!(matches!(t.const_literals()[0].value, AttrValue::Str(_)));
+
+        let bad = r#"
+            node m : director
+            where m.country = "Atlantis"
+            output m
+        "#;
+        let err = parse_template(&s, bad).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownVocabulary { .. }));
+    }
+
+    #[test]
+    fn undeclared_node_is_reported_with_line() {
+        let s = schema();
+        let text = "node a : director\nedge a -recommend-> b\noutput a";
+        match parse_template(&s, text).unwrap_err() {
+            ParseError::UnknownNode { line, name } => {
+                assert_eq!(line, 2);
+                assert_eq!(name, "b");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let s = schema();
+        let err = parse_template(&s, "node a : spaceship\noutput a").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownVocabulary { .. }));
+    }
+
+    #[test]
+    fn eq_range_variable_rejected() {
+        let s = schema();
+        let text = "node a : director\nwhere a.gender = ?\noutput a";
+        let err = parse_template(&s, text).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let s = schema();
+        let err = parse_template(&s, "node a : director").unwrap_err();
+        assert!(matches!(err, ParseError::Output { .. }));
+    }
+
+    #[test]
+    fn duplicate_output_rejected() {
+        let s = schema();
+        let err = parse_template(&s, "node a : director\noutput a\noutput a").unwrap_err();
+        assert!(matches!(err, ParseError::Output { .. }));
+    }
+
+    #[test]
+    fn disconnected_template_propagates_template_error() {
+        let s = schema();
+        let text = "node a : director\nnode b : user\noutput a";
+        let err = parse_template(&s, text).unwrap_err();
+        assert_eq!(err, ParseError::Template(TemplateError::Disconnected));
+    }
+
+    #[test]
+    fn bad_arrow_syntax() {
+        let s = schema();
+        let text = "node a : director\nnode b : user\nedge b recommend a\noutput a";
+        assert!(matches!(
+            parse_template(&s, text).unwrap_err(),
+            ParseError::Syntax { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = schema();
+        let text = "\n# header\nnode a : director  # trailing\n\noutput a\n";
+        assert!(parse_template(&s, text).is_ok());
+    }
+}

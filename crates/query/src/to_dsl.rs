@@ -1,0 +1,126 @@
+//! Serialization of templates back to the text DSL (the inverse of
+//! [`parse_template`](crate::parse_template)), so programmatically built or
+//! generated templates can be saved, versioned, and edited by hand.
+
+use crate::template::QueryTemplate;
+use fairsqg_graph::{AttrValue, Schema};
+
+/// Renders `t` as DSL text that [`parse_template`](crate::parse_template)
+/// accepts and that round-trips to an equivalent template (same nodes,
+/// edges, literals, variables, and output, in canonical order).
+pub fn template_to_dsl(schema: &Schema, t: &QueryTemplate) -> String {
+    let mut out = String::new();
+    for (i, n) in t.nodes().iter().enumerate() {
+        out.push_str(&format!(
+            "node u{i} : {}\n",
+            schema.node_label_name(n.label)
+        ));
+    }
+    for e in t.edges() {
+        out.push_str(&format!(
+            "{} u{} -{}-> u{}\n",
+            if e.optional { "optional" } else { "edge" },
+            e.src.0,
+            schema.edge_label_name(e.label),
+            e.dst.0
+        ));
+    }
+    // Parser assigns range variables in literal order: constants first is
+    // NOT required, but range literals must appear in their variable order.
+    for l in t.const_literals() {
+        let value = match l.value {
+            AttrValue::Int(v) => v.to_string(),
+            AttrValue::Str(s) => format!("\"{}\"", schema.symbol_value(s)),
+        };
+        out.push_str(&format!(
+            "where u{}.{} {} {}\n",
+            l.node.0,
+            schema.attr_name(l.attr),
+            l.op,
+            value
+        ));
+    }
+    for l in t.range_literals() {
+        out.push_str(&format!(
+            "where u{}.{} {} ?\n",
+            l.node.0,
+            schema.attr_name(l.attr),
+            l.op
+        ));
+    }
+    out.push_str(&format!("output u{}\n", t.output().0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_template;
+    use crate::template::TemplateBuilder;
+    use fairsqg_graph::{CmpOp, GraphBuilder};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut b = GraphBuilder::new();
+        let us = b.schema_mut().symbol("US");
+        let d = b.add_named_node(
+            "director",
+            &[("gender", AttrValue::Int(0)), ("awards", AttrValue::Int(1))],
+        );
+        let u = b.add_named_node("user", &[("yearsOfExp", AttrValue::Int(10))]);
+        let country = b.schema_mut().attr("country");
+        b.add_named_edge(u, d, "recommend");
+        let g = {
+            let mut bb = b;
+            let c = bb.add_node(
+                bb.schema().find_node_label("director").unwrap(),
+                &[(country, AttrValue::Str(us))],
+            );
+            bb.add_named_edge(c, d, "recommend");
+            bb.finish()
+        };
+        let s = g.schema();
+
+        let mut tb = TemplateBuilder::new();
+        let u0 = tb.node(s.find_node_label("director").unwrap());
+        let u1 = tb.node(s.find_node_label("user").unwrap());
+        tb.edge(u1, u0, s.find_edge_label("recommend").unwrap());
+        tb.optional_edge(u0, u1, s.find_edge_label("recommend").unwrap());
+        tb.literal(
+            u0,
+            s.find_attr("country").unwrap(),
+            CmpOp::Eq,
+            AttrValue::Str(us),
+        );
+        tb.literal(
+            u0,
+            s.find_attr("gender").unwrap(),
+            CmpOp::Ge,
+            AttrValue::Int(1),
+        );
+        tb.range_literal(u1, s.find_attr("yearsOfExp").unwrap(), CmpOp::Ge);
+        tb.range_literal(u0, s.find_attr("awards").unwrap(), CmpOp::Le);
+        let t = tb.finish(u0).unwrap();
+
+        let dsl = template_to_dsl(s, &t);
+        let t2 = parse_template(s, &dsl).expect("roundtrip parse");
+
+        assert_eq!(t2.node_count(), t.node_count());
+        assert_eq!(t2.size(), t.size());
+        assert_eq!(t2.edge_var_count(), t.edge_var_count());
+        assert_eq!(t2.range_var_count(), t.range_var_count());
+        assert_eq!(t2.const_literals().len(), t.const_literals().len());
+        assert_eq!(t2.output(), t.output());
+        for (a, b) in t.edges().iter().zip(t2.edges()) {
+            assert_eq!(
+                (a.src, a.dst, a.label, a.optional),
+                (b.src, b.dst, b.label, b.optional)
+            );
+        }
+        for (a, b) in t.range_literals().iter().zip(t2.range_literals()) {
+            assert_eq!((a.node, a.attr, a.op), (b.node, b.attr, b.op));
+        }
+        // Serialize again: fixed point.
+        assert_eq!(dsl, template_to_dsl(s, &t2));
+    }
+}

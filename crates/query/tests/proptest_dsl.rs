@@ -1,0 +1,135 @@
+//! Property test: every buildable template serializes to DSL text that
+//! parses back to a structurally identical template (round-trip), and the
+//! serialization is a fixed point.
+
+use fairsqg_graph::{AttrValue, CmpOp, Graph, GraphBuilder};
+use fairsqg_query::{parse_template, template_to_dsl, QNodeId, TemplateBuilder};
+use proptest::prelude::*;
+
+fn vocab() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.add_named_node(
+        "alpha",
+        &[("a0", AttrValue::Int(1)), ("a1", AttrValue::Int(2))],
+    );
+    let y = b.add_named_node("beta", &[("a0", AttrValue::Int(3))]);
+    b.add_named_edge(x, y, "e0");
+    b.add_named_edge(y, x, "e1");
+    let mut g = b;
+    g.schema_mut().symbol("VAL");
+    g.finish()
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    labels: Vec<bool>,                       // node label: alpha/beta
+    edges: Vec<(usize, usize, bool, bool)>,  // (src, dst, label e0/e1, optional)
+    const_lits: Vec<(usize, bool, u8, i64)>, // (node, attr a0/a1, op, value)
+    range_lits: Vec<(usize, bool, bool)>,    // (node, attr, ge/le)
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (
+        proptest::collection::vec(any::<bool>(), 2..5),
+        proptest::collection::vec((0usize..5, 0usize..5, any::<bool>(), any::<bool>()), 1..6),
+        proptest::collection::vec((0usize..5, any::<bool>(), 0u8..5, -9i64..9), 0..3),
+        proptest::collection::vec((0usize..5, any::<bool>(), any::<bool>()), 0..3),
+    )
+        .prop_map(|(labels, edges, const_lits, range_lits)| Spec {
+            labels,
+            edges,
+            const_lits,
+            range_lits,
+        })
+}
+
+fn op_of(code: u8) -> CmpOp {
+    match code {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Eq,
+        3 => CmpOp::Ge,
+        _ => CmpOp::Gt,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dsl_roundtrip(spec in arb_spec()) {
+        let g = vocab();
+        let s = g.schema();
+        let (alpha, beta) = (
+            s.find_node_label("alpha").unwrap(),
+            s.find_node_label("beta").unwrap(),
+        );
+        let (e0, e1) = (
+            s.find_edge_label("e0").unwrap(),
+            s.find_edge_label("e1").unwrap(),
+        );
+        let (a0, a1) = (s.find_attr("a0").unwrap(), s.find_attr("a1").unwrap());
+
+        let mut tb = TemplateBuilder::new();
+        let nodes: Vec<QNodeId> = spec
+            .labels
+            .iter()
+            .map(|&is_beta| tb.node(if is_beta { beta } else { alpha }))
+            .collect();
+        let n = nodes.len();
+        for &(src, dst, l, optional) in &spec.edges {
+            let (src, dst) = (nodes[src % n], nodes[dst % n]);
+            if src == dst {
+                continue;
+            }
+            let label = if l { e1 } else { e0 };
+            if optional {
+                tb.optional_edge(src, dst, label);
+            } else {
+                tb.edge(src, dst, label);
+            }
+        }
+        for &(node, attr, opc, val) in &spec.const_lits {
+            tb.literal(
+                nodes[node % n],
+                if attr { a1 } else { a0 },
+                op_of(opc),
+                AttrValue::Int(val),
+            );
+        }
+        for &(node, attr, ge) in &spec.range_lits {
+            tb.range_literal(
+                nodes[node % n],
+                if attr { a1 } else { a0 },
+                if ge { CmpOp::Ge } else { CmpOp::Le },
+            );
+        }
+        // Only connected templates are valid; skip the rest.
+        let Ok(t) = tb.finish(nodes[0]) else {
+            return Ok(());
+        };
+
+        let dsl = template_to_dsl(s, &t);
+        let t2 = parse_template(s, &dsl).expect("serialized DSL must parse");
+
+        prop_assert_eq!(t2.node_count(), t.node_count());
+        prop_assert_eq!(t2.size(), t.size());
+        prop_assert_eq!(t2.output(), t.output());
+        prop_assert_eq!(t2.edge_var_count(), t.edge_var_count());
+        prop_assert_eq!(t2.range_var_count(), t.range_var_count());
+        for (a, b) in t.edges().iter().zip(t2.edges()) {
+            prop_assert_eq!(
+                (a.src, a.dst, a.label, a.optional),
+                (b.src, b.dst, b.label, b.optional)
+            );
+        }
+        for (a, b) in t.const_literals().iter().zip(t2.const_literals()) {
+            prop_assert_eq!((a.node, a.attr, a.op, a.value), (b.node, b.attr, b.op, b.value));
+        }
+        for (a, b) in t.range_literals().iter().zip(t2.range_literals()) {
+            prop_assert_eq!((a.node, a.attr, a.op), (b.node, b.attr, b.op));
+        }
+        // Fixed point.
+        prop_assert_eq!(dsl, template_to_dsl(s, &t2));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the refinement preorder and instance lattice
+//! (Lemma 2 (1): the refinement relation is a preorder; plus structural
+//! invariants of materialization).
+
+use fairsqg_graph::{AttrValue, CmpOp, Graph, GraphBuilder};
+use fairsqg_query::{
+    ConcreteQuery, DomainConfig, InstanceLattice, Instantiation, QueryTemplate, RefinementDomains,
+    TemplateBuilder,
+};
+use proptest::prelude::*;
+
+/// A small fixed graph providing the vocabulary; the tested properties are
+/// about templates and instantiations, not graph contents.
+fn vocab_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..6i64 {
+        let x = b.add_named_node("x", &[("a", AttrValue::Int(i)), ("b", AttrValue::Int(-i))]);
+        let y = b.add_named_node("y", &[("a", AttrValue::Int(i * 2))]);
+        b.add_named_edge(x, y, "e");
+        b.add_named_edge(y, x, "f");
+    }
+    b.finish()
+}
+
+/// A random template: a path of 2–4 nodes with alternating labels, a mix of
+/// fixed/optional edges, and 1–3 range literals with random ops.
+fn arb_template(
+    g: &Graph,
+    optional_mask: u8,
+    lit_ops: &[bool],
+) -> (QueryTemplate, RefinementDomains) {
+    let s = g.schema();
+    let (x, y) = (
+        s.find_node_label("x").unwrap(),
+        s.find_node_label("y").unwrap(),
+    );
+    let (e, f) = (
+        s.find_edge_label("e").unwrap(),
+        s.find_edge_label("f").unwrap(),
+    );
+    let a = s.find_attr("a").unwrap();
+
+    let mut tb = TemplateBuilder::new();
+    let n0 = tb.node(x);
+    let n1 = tb.node(y);
+    let n2 = tb.node(x);
+    if optional_mask & 1 != 0 {
+        tb.optional_edge(n0, n1, e);
+    } else {
+        tb.edge(n0, n1, e);
+    }
+    if optional_mask & 2 != 0 {
+        tb.optional_edge(n1, n2, f);
+    } else {
+        tb.edge(n1, n2, f);
+    }
+    for (i, &ge) in lit_ops.iter().enumerate() {
+        let node = [n0, n1, n2][i % 3];
+        tb.range_literal(node, a, if ge { CmpOp::Ge } else { CmpOp::Le });
+    }
+    let t = tb.finish(n0).unwrap();
+    let d = RefinementDomains::build(
+        &t,
+        g,
+        DomainConfig {
+            max_values_per_range_var: 4,
+        },
+    );
+    (t, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Refinement is reflexive and transitive (a preorder), and on index
+    /// vectors it is additionally antisymmetric (a partial order).
+    #[test]
+    fn refinement_is_a_partial_order(
+        mask in 0u8..4,
+        ops in proptest::collection::vec(any::<bool>(), 1..4),
+        picks in proptest::collection::vec(0usize..1000, 3),
+    ) {
+        let g = vocab_graph();
+        let (_t, d) = arb_template(&g, mask, &ops);
+        let lat = InstanceLattice::new(&d);
+        let all = lat.enumerate();
+        let pick = |i: usize| &all[picks[i] % all.len()];
+        let (a, b, c) = (pick(0), pick(1), pick(2));
+
+        prop_assert!(a.refines(a), "reflexivity");
+        if a.refines(b) && b.refines(c) {
+            prop_assert!(a.refines(c), "transitivity");
+        }
+        if a.refines(b) && b.refines(a) {
+            prop_assert_eq!(a, b, "antisymmetry on index vectors");
+        }
+        if a.strictly_refines(b) {
+            prop_assert!(!b.strictly_refines(a));
+            prop_assert!(a.depth() > b.depth(), "strict refinement increases depth");
+        }
+    }
+
+    /// Lattice children step exactly one variable by one, and every
+    /// non-root instance is some instance's child.
+    #[test]
+    fn lattice_steps_are_unit(
+        mask in 0u8..4,
+        ops in proptest::collection::vec(any::<bool>(), 1..4),
+        pick in 0usize..1000,
+    ) {
+        let g = vocab_graph();
+        let (_t, d) = arb_template(&g, mask, &ops);
+        let lat = InstanceLattice::new(&d);
+        let all = lat.enumerate();
+        let inst = &all[pick % all.len()];
+        for (x, child) in lat.children(inst) {
+            let diff: Vec<usize> = (0..d.var_count())
+                .filter(|&i| child.indices()[i] != inst.indices()[i])
+                .collect();
+            prop_assert_eq!(&diff, &vec![x]);
+            prop_assert_eq!(child.indices()[x], inst.indices()[x] + 1);
+        }
+        if inst != &lat.root() {
+            prop_assert!(!lat.parents(inst).is_empty());
+        }
+    }
+
+    /// Materialization invariants: the output node is always active; every
+    /// edge of the concrete query connects active nodes; bound literals
+    /// never exceed the declared literal counts; wildcarded instances have
+    /// no literal from their wildcarded variable.
+    #[test]
+    fn materialization_invariants(
+        mask in 0u8..4,
+        ops in proptest::collection::vec(any::<bool>(), 1..4),
+        pick in 0usize..1000,
+    ) {
+        let g = vocab_graph();
+        let (t, d) = arb_template(&g, mask, &ops);
+        let lat = InstanceLattice::new(&d);
+        let all = lat.enumerate();
+        let inst = &all[pick % all.len()];
+        let q = ConcreteQuery::materialize(&t, &d, inst);
+
+        prop_assert!(q.active[t.output().index()]);
+        for &(s, dd, _) in &q.edges {
+            prop_assert!(q.active[s.index()] && q.active[dd.index()]);
+        }
+        let total_literals: usize = q.nodes.iter().map(|n| n.literals.len()).sum();
+        prop_assert!(
+            total_literals <= t.const_literals().len() + t.range_var_count()
+        );
+        // Root: no range literal is bound anywhere.
+        let root_q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let root_literals: usize = root_q.nodes.iter().map(|n| n.literals.len()).sum();
+        prop_assert_eq!(root_literals, t.const_literals().len());
+    }
+
+    /// The enumeration respects the partial order: an instance never
+    /// appears before one of its lattice ancestors (lexicographic order
+    /// extends the refinement order), which `verify_with_best_parent`
+    /// relies on.
+    #[test]
+    fn enumeration_extends_the_order(
+        mask in 0u8..4,
+        ops in proptest::collection::vec(any::<bool>(), 1..3),
+    ) {
+        let g = vocab_graph();
+        let (_t, d) = arb_template(&g, mask, &ops);
+        let lat = InstanceLattice::new(&d);
+        let all = lat.enumerate();
+        let pos: std::collections::HashMap<_, _> =
+            all.iter().cloned().zip(0usize..).collect();
+        for inst in &all {
+            for (_, parent) in lat.parents(inst) {
+                prop_assert!(pos[&parent] < pos[inst]);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! RPQ evaluation: product-graph BFS over `(node, NFA state)` pairs.
+
+use crate::nfa::Nfa;
+use crate::regex::PathRegex;
+use fairsqg_graph::{Graph, LabelId, NodeId};
+
+/// Nodes reachable from any source via a path whose label word is in
+/// `L(regex)` (the empty path counts when the regex is nullable). Sorted
+/// ascending.
+pub fn reachable_from(graph: &Graph, sources: &[NodeId], regex: &PathRegex) -> Vec<NodeId> {
+    let nfa = Nfa::from_regex(regex);
+    product_bfs(graph, sources, &nfa, Direction::Forward)
+}
+
+/// Nodes from which a path with label word in `L(regex)` reaches some
+/// target (the empty path counts when nullable). Sorted ascending.
+///
+/// Evaluated as a forward product BFS over the *reversed* graph with the
+/// *mirrored* regex: `v` reaches `t` via word `w` iff `t` reaches `v` via
+/// `reverse(w)` over reversed edges.
+pub fn sources_reaching(graph: &Graph, targets: &[NodeId], regex: &PathRegex) -> Vec<NodeId> {
+    let nfa = Nfa::from_regex(&regex.reversed());
+    product_bfs(graph, targets, &nfa, Direction::Backward)
+}
+
+/// Convenience: nodes that can start an RPQ path ending at a node with
+/// `target_label` — usable as an output-population restriction in FairSQG
+/// query generation.
+pub fn nodes_reaching_label(
+    graph: &Graph,
+    regex: &PathRegex,
+    target_label: LabelId,
+) -> Vec<NodeId> {
+    sources_reaching(graph, graph.nodes_with_label(target_label), regex)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn product_bfs(graph: &Graph, seeds: &[NodeId], nfa: &Nfa, dir: Direction) -> Vec<NodeId> {
+    let n_states = nfa.state_count();
+    let n_nodes = graph.node_count();
+    let mut visited = vec![false; n_states * n_nodes];
+    let mut out = vec![false; n_nodes];
+    let mut queue: Vec<(NodeId, usize)> = Vec::new();
+
+    // Seed with the ε-closure of the start state at each seed node.
+    let mut start_states = vec![nfa.start()];
+    let mut state_seen = vec![false; n_states];
+    nfa.eps_close(&mut start_states, &mut state_seen);
+    for &v in seeds {
+        for &s in &start_states {
+            let key = v.index() * n_states + s;
+            if !visited[key] {
+                visited[key] = true;
+                queue.push((v, s));
+                if s == nfa.accept() {
+                    out[v.index()] = true;
+                }
+            }
+        }
+    }
+
+    let mut head = 0;
+    while head < queue.len() {
+        let (v, s) = queue[head];
+        head += 1;
+        let neighbors = match dir {
+            Direction::Forward => graph.out_neighbors(v),
+            Direction::Backward => graph.in_neighbors(v),
+        };
+        for &(w, el) in neighbors {
+            for &(tl, t) in nfa.label_transitions(s) {
+                if tl != el {
+                    continue;
+                }
+                // ε-close the landed state.
+                let mut states = vec![t];
+                let mut seen = vec![false; n_states];
+                nfa.eps_close(&mut states, &mut seen);
+                for &cs in &states {
+                    let key = w.index() * n_states + cs;
+                    if !visited[key] {
+                        visited[key] = true;
+                        queue.push((w, cs));
+                        if cs == nfa.accept() {
+                            out[w.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    out.iter()
+        .enumerate()
+        .filter(|&(_, &hit)| hit)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+/// Reference evaluation by compositional boolean-matrix semantics — an
+/// algorithm independent of the NFA construction, used to cross-validate
+/// the product BFS in tests. O(|V|³) per operator; small graphs only.
+pub fn reachable_from_reference(
+    graph: &Graph,
+    sources: &[NodeId],
+    regex: &PathRegex,
+) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let m = relation_matrix(graph, regex, n);
+    let mut out = vec![false; n];
+    for &s in sources {
+        for t in 0..n {
+            if m[s.index() * n + t] {
+                out[t] = true;
+            }
+        }
+        if regex.nullable() {
+            out[s.index()] = true;
+        }
+    }
+    out.iter()
+        .enumerate()
+        .filter(|&(_, &hit)| hit)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+/// Boolean reachability matrix of `regex` (paths of length ≥ 1 when the
+/// regex isn't nullable; nullability handled by the caller).
+fn relation_matrix(graph: &Graph, regex: &PathRegex, n: usize) -> Vec<bool> {
+    match regex {
+        PathRegex::Label(l) => {
+            let mut m = vec![false; n * n];
+            for v in graph.nodes() {
+                for &(w, el) in graph.out_neighbors(v) {
+                    if el == *l {
+                        m[v.index() * n + w.index()] = true;
+                    }
+                }
+            }
+            m
+        }
+        PathRegex::Concat(a, b) => {
+            let (ma, mb) = (relation_matrix(graph, a, n), relation_matrix(graph, b, n));
+            let mut m = compose(&ma, &mb, n);
+            // ε on either side when nullable.
+            if a.nullable() {
+                or_assign(&mut m, &mb, n);
+            }
+            if b.nullable() {
+                or_assign(&mut m, &ma, n);
+            }
+            m
+        }
+        PathRegex::Alt(a, b) => {
+            let mut m = relation_matrix(graph, a, n);
+            let mb = relation_matrix(graph, b, n);
+            or_assign(&mut m, &mb, n);
+            m
+        }
+        PathRegex::Star(a) | PathRegex::Plus(a) => {
+            // Transitive closure of a's relation (length ≥ 1 arcs).
+            let base = relation_matrix(graph, a, n);
+            let mut m = base.clone();
+            loop {
+                let step = compose(&m, &base, n);
+                let before: usize = m.iter().filter(|&&b| b).count();
+                or_assign(&mut m, &step, n);
+                if m.iter().filter(|&&b| b).count() == before {
+                    break;
+                }
+            }
+            m
+        }
+        PathRegex::Opt(a) => relation_matrix(graph, a, n),
+    }
+}
+
+fn compose(a: &[bool], b: &[bool], n: usize) -> Vec<bool> {
+    let mut m = vec![false; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            if a[i * n + k] {
+                for j in 0..n {
+                    if b[k * n + j] {
+                        m[i * n + j] = true;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+fn or_assign(a: &mut [bool], b: &[bool], n: usize) {
+    for i in 0..n * n {
+        a[i] |= b[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse_path_regex;
+    use fairsqg_graph::GraphBuilder;
+
+    /// Chain: p0 -cites-> p1 -cites-> p2; a0 -authored-> p0, p2.
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let p0 = b.add_named_node("paper", &[]);
+        let p1 = b.add_named_node("paper", &[]);
+        let p2 = b.add_named_node("paper", &[]);
+        let a0 = b.add_named_node("author", &[]);
+        b.add_named_edge(p0, p1, "cites");
+        b.add_named_edge(p1, p2, "cites");
+        b.add_named_edge(a0, p0, "authored");
+        b.add_named_edge(a0, p2, "authored");
+        b.finish()
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let g = graph();
+        let s = g.schema();
+        let star = parse_path_regex(s, "cites*").unwrap();
+        let r = reachable_from(&g, &[NodeId(0)], &star);
+        assert_eq!(r, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let plus = parse_path_regex(s, "cites+").unwrap();
+        let r = reachable_from(&g, &[NodeId(0)], &plus);
+        assert_eq!(r, vec![NodeId(1), NodeId(2)]);
+        let combo = parse_path_regex(s, "authored/cites").unwrap();
+        let r = reachable_from(&g, &[NodeId(3)], &combo);
+        assert_eq!(r, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let g = graph();
+        let s = g.schema();
+        let plus = parse_path_regex(s, "cites+").unwrap();
+        // Who reaches p2 via cites+? p0 and p1.
+        let r = sources_reaching(&g, &[NodeId(2)], &plus);
+        assert_eq!(r, vec![NodeId(0), NodeId(1)]);
+        // Label-targeted variant: who reaches any paper via authored/cites*?
+        let paper = s.find_node_label("paper").unwrap();
+        let e = parse_path_regex(s, "authored/cites*").unwrap();
+        let r = nodes_reaching_label(&g, &e, paper);
+        assert_eq!(r, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let g = graph();
+        let s = g.schema();
+        for expr in [
+            "cites",
+            "cites*",
+            "cites+",
+            "authored/cites?",
+            "(cites/cites)|authored",
+        ] {
+            let e = parse_path_regex(s, expr).unwrap();
+            for seed in 0..4u32 {
+                let fast = reachable_from(&g, &[NodeId(seed)], &e);
+                let slow = reachable_from_reference(&g, &[NodeId(seed)], &e);
+                assert_eq!(fast, slow, "mismatch for '{expr}' from {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_seeds_and_nullable() {
+        let g = graph();
+        let s = g.schema();
+        let star = parse_path_regex(s, "cites*").unwrap();
+        assert!(reachable_from(&g, &[], &star).is_empty());
+        // Nullable regex: seed itself is reachable.
+        let r = reachable_from(&g, &[NodeId(3)], &star);
+        assert_eq!(r, vec![NodeId(3)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # fairsqg-rpq
+//!
+//! Regular path queries (RPQs) over FairSQG graphs — the query class the
+//! paper names as future work ("extend our work to ... other query classes
+//! such as RPQs", Section VI).
+//!
+//! * [`PathRegex`] / [`parse_path_regex`] — property-path expressions over
+//!   edge labels (`cites+`, `authored/cites*`, `(a/b)|c?`),
+//! * [`Nfa`] — Thompson construction,
+//! * [`reachable_from`] / [`sources_reaching`] — product-graph BFS
+//!   evaluation in `O(|E| · |states|)`,
+//! * [`nodes_reaching_label`] — the FairSQG bridge: restrict a query
+//!   template's output population to nodes satisfying an RPQ constraint
+//!   (pass the result as [`Configuration::output_restriction`]).
+//!
+//! [`Configuration::output_restriction`]: https://docs.rs/fairsqg-algo
+//!
+//! ```
+//! use fairsqg_graph::GraphBuilder;
+//! use fairsqg_rpq::{parse_path_regex, reachable_from};
+//!
+//! let mut b = GraphBuilder::new();
+//! let p0 = b.add_named_node("paper", &[]);
+//! let p1 = b.add_named_node("paper", &[]);
+//! b.add_named_edge(p0, p1, "cites");
+//! let g = b.finish();
+//!
+//! let e = parse_path_regex(g.schema(), "cites+").unwrap();
+//! assert_eq!(reachable_from(&g, &[p0], &e), vec![p1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod nfa;
+mod regex;
+
+pub use eval::{nodes_reaching_label, reachable_from, reachable_from_reference, sources_reaching};
+pub use nfa::Nfa;
+pub use regex::{parse_path_regex, PathRegex, RegexParseError};

@@ -1,0 +1,221 @@
+//! Thompson construction: [`PathRegex`] → ε-NFA over edge labels.
+
+use crate::regex::PathRegex;
+use fairsqg_graph::EdgeLabelId;
+
+/// A nondeterministic finite automaton over edge labels with ε-moves.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `label_edges[s]` = transitions `(label, target)` out of state `s`.
+    label_edges: Vec<Vec<(EdgeLabelId, usize)>>,
+    /// `eps_edges[s]` = ε-successors of state `s`.
+    eps_edges: Vec<Vec<usize>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Builds the Thompson NFA of `regex`.
+    pub fn from_regex(regex: &PathRegex) -> Nfa {
+        let mut nfa = Nfa {
+            label_edges: Vec::new(),
+            eps_edges: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.build(regex);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.label_edges.push(Vec::new());
+        self.eps_edges.push(Vec::new());
+        self.label_edges.len() - 1
+    }
+
+    /// Thompson construction; returns `(start, accept)` of the fragment.
+    fn build(&mut self, regex: &PathRegex) -> (usize, usize) {
+        match regex {
+            PathRegex::Label(l) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.label_edges[s].push((*l, a));
+                (s, a)
+            }
+            PathRegex::Concat(x, y) => {
+                let (xs, xa) = self.build(x);
+                let (ys, ya) = self.build(y);
+                self.eps_edges[xa].push(ys);
+                (xs, ya)
+            }
+            PathRegex::Alt(x, y) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (xs, xa) = self.build(x);
+                let (ys, ya) = self.build(y);
+                self.eps_edges[s].push(xs);
+                self.eps_edges[s].push(ys);
+                self.eps_edges[xa].push(a);
+                self.eps_edges[ya].push(a);
+                (s, a)
+            }
+            PathRegex::Star(x) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (xs, xa) = self.build(x);
+                self.eps_edges[s].push(xs);
+                self.eps_edges[s].push(a);
+                self.eps_edges[xa].push(xs);
+                self.eps_edges[xa].push(a);
+                (s, a)
+            }
+            PathRegex::Plus(x) => {
+                let (xs, xa) = self.build(x);
+                let a = self.new_state();
+                self.eps_edges[xa].push(xs);
+                self.eps_edges[xa].push(a);
+                (xs, a)
+            }
+            PathRegex::Opt(x) => {
+                let s = self.new_state();
+                let a = self.new_state();
+                let (xs, xa) = self.build(x);
+                self.eps_edges[s].push(xs);
+                self.eps_edges[s].push(a);
+                self.eps_edges[xa].push(a);
+                (s, a)
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.label_edges.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The (unique) accepting state.
+    pub fn accept(&self) -> usize {
+        self.accept
+    }
+
+    /// Labeled transitions out of `state`.
+    pub fn label_transitions(&self, state: usize) -> &[(EdgeLabelId, usize)] {
+        &self.label_edges[state]
+    }
+
+    /// ε-closure of a state set (in-place, deduplicated via the visited
+    /// bitmap the caller provides — sized `state_count()`).
+    pub fn eps_close(&self, states: &mut Vec<usize>, visited: &mut [bool]) {
+        let mut i = 0;
+        for &s in states.iter() {
+            visited[s] = true;
+        }
+        while i < states.len() {
+            let s = states[i];
+            i += 1;
+            for &t in &self.eps_edges[s] {
+                if !visited[t] {
+                    visited[t] = true;
+                    states.push(t);
+                }
+            }
+        }
+    }
+
+    /// Whether the NFA accepts the given label word (utility for tests).
+    pub fn accepts(&self, word: &[EdgeLabelId]) -> bool {
+        let mut current = vec![self.start];
+        let mut visited = vec![false; self.state_count()];
+        self.eps_close(&mut current, &mut visited);
+        for &l in word {
+            let mut next = Vec::new();
+            let mut nvisited = vec![false; self.state_count()];
+            for &s in &current {
+                for &(el, t) in &self.label_edges[s] {
+                    if el == l && !nvisited[t] {
+                        nvisited[t] = true;
+                        next.push(t);
+                    }
+                }
+            }
+            self.eps_close(&mut next, &mut nvisited);
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.contains(&self.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::PathRegex;
+
+    fn l(i: u16) -> EdgeLabelId {
+        EdgeLabelId(i)
+    }
+
+    #[test]
+    fn single_label() {
+        let nfa = Nfa::from_regex(&PathRegex::label(l(0)));
+        assert!(nfa.accepts(&[l(0)]));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[l(1)]));
+        assert!(!nfa.accepts(&[l(0), l(0)]));
+    }
+
+    #[test]
+    fn concat_alt() {
+        let e = PathRegex::label(l(0))
+            .then(PathRegex::label(l(1)))
+            .or(PathRegex::label(l(2)));
+        let nfa = Nfa::from_regex(&e);
+        assert!(nfa.accepts(&[l(0), l(1)]));
+        assert!(nfa.accepts(&[l(2)]));
+        assert!(!nfa.accepts(&[l(0)]));
+        assert!(!nfa.accepts(&[l(1), l(0)]));
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        let star = Nfa::from_regex(&PathRegex::label(l(0)).star());
+        assert!(star.accepts(&[]));
+        assert!(star.accepts(&[l(0); 5]));
+        assert!(!star.accepts(&[l(1)]));
+
+        let plus = Nfa::from_regex(&PathRegex::label(l(0)).plus());
+        assert!(!plus.accepts(&[]));
+        assert!(plus.accepts(&[l(0)]));
+        assert!(plus.accepts(&[l(0); 4]));
+
+        let opt = Nfa::from_regex(&PathRegex::label(l(0)).opt());
+        assert!(opt.accepts(&[]));
+        assert!(opt.accepts(&[l(0)]));
+        assert!(!opt.accepts(&[l(0), l(0)]));
+    }
+
+    #[test]
+    fn nested_expression() {
+        // (a/b)+ | c?
+        let e = PathRegex::label(l(0))
+            .then(PathRegex::label(l(1)))
+            .plus()
+            .or(PathRegex::label(l(2)).opt());
+        let nfa = Nfa::from_regex(&e);
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&[l(2)]));
+        assert!(nfa.accepts(&[l(0), l(1)]));
+        assert!(nfa.accepts(&[l(0), l(1), l(0), l(1)]));
+        assert!(!nfa.accepts(&[l(0)]));
+        assert!(!nfa.accepts(&[l(2), l(2)]));
+    }
+}

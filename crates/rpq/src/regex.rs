@@ -1,0 +1,293 @@
+//! Regular expressions over edge labels (property-path style).
+//!
+//! Concrete syntax (SPARQL-property-path flavored), parsed against a
+//! graph's [`Schema`]:
+//!
+//! ```text
+//! cites                      single edge label
+//! cites/authored             concatenation
+//! cites | authored           alternation
+//! cites*   cites+   cites?   closure / plus / optional (postfix)
+//! (cites/cites)+ | authored  grouping
+//! ```
+
+use fairsqg_graph::{EdgeLabelId, Schema};
+use std::fmt;
+
+/// A regular path expression over edge labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathRegex {
+    /// A single labeled edge.
+    Label(EdgeLabelId),
+    /// `a/b`: `a` followed by `b`.
+    Concat(Box<PathRegex>, Box<PathRegex>),
+    /// `a|b`: either.
+    Alt(Box<PathRegex>, Box<PathRegex>),
+    /// `a*`: zero or more.
+    Star(Box<PathRegex>),
+    /// `a+`: one or more.
+    Plus(Box<PathRegex>),
+    /// `a?`: zero or one.
+    Opt(Box<PathRegex>),
+}
+
+impl PathRegex {
+    /// Single-label expression.
+    pub fn label(l: EdgeLabelId) -> Self {
+        PathRegex::Label(l)
+    }
+
+    /// `self / other`.
+    pub fn then(self, other: PathRegex) -> Self {
+        PathRegex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self | other`.
+    pub fn or(self, other: PathRegex) -> Self {
+        PathRegex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> Self {
+        PathRegex::Star(Box::new(self))
+    }
+
+    /// `self+`.
+    pub fn plus(self) -> Self {
+        PathRegex::Plus(Box::new(self))
+    }
+
+    /// `self?`.
+    pub fn opt(self) -> Self {
+        PathRegex::Opt(Box::new(self))
+    }
+
+    /// The mirror image (recognizes reversed words); used for backward
+    /// evaluation.
+    pub fn reversed(&self) -> PathRegex {
+        match self {
+            PathRegex::Label(l) => PathRegex::Label(*l),
+            PathRegex::Concat(a, b) => {
+                PathRegex::Concat(Box::new(b.reversed()), Box::new(a.reversed()))
+            }
+            PathRegex::Alt(a, b) => PathRegex::Alt(Box::new(a.reversed()), Box::new(b.reversed())),
+            PathRegex::Star(a) => PathRegex::Star(Box::new(a.reversed())),
+            PathRegex::Plus(a) => PathRegex::Plus(Box::new(a.reversed())),
+            PathRegex::Opt(a) => PathRegex::Opt(Box::new(a.reversed())),
+        }
+    }
+
+    /// Whether the empty word is in the language.
+    pub fn nullable(&self) -> bool {
+        match self {
+            PathRegex::Label(_) => false,
+            PathRegex::Concat(a, b) => a.nullable() && b.nullable(),
+            PathRegex::Alt(a, b) => a.nullable() || b.nullable(),
+            PathRegex::Star(_) | PathRegex::Opt(_) => true,
+            PathRegex::Plus(a) => a.nullable(),
+        }
+    }
+}
+
+/// Parse errors for the property-path syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for RegexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for RegexParseError {}
+
+struct Parser<'a> {
+    schema: &'a Schema,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn err(&self, message: impl Into<String>) -> RegexParseError {
+        RegexParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    // alt := concat ('|' concat)*
+    fn alt(&mut self) -> Result<PathRegex, RegexParseError> {
+        let mut left = self.concat()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            let right = self.concat()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    // concat := postfix ('/' postfix)*
+    fn concat(&mut self) -> Result<PathRegex, RegexParseError> {
+        let mut left = self.postfix()?;
+        while self.peek() == Some(b'/') {
+            self.pos += 1;
+            let right = self.postfix()?;
+            left = left.then(right);
+        }
+        Ok(left)
+    }
+
+    // postfix := atom ('*' | '+' | '?')*
+    fn postfix(&mut self) -> Result<PathRegex, RegexParseError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    e = e.star();
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    e = e.plus();
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    e = e.opt();
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    // atom := '(' alt ')' | label
+    fn atom(&mut self) -> Result<PathRegex, RegexParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.alt()?;
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && (self.input[self.pos].is_ascii_alphanumeric()
+                        || self.input[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+                let label = self
+                    .schema
+                    .find_edge_label(name)
+                    .ok_or_else(|| RegexParseError {
+                        at: start,
+                        message: format!("edge label '{name}' not in the graph schema"),
+                    })?;
+                Ok(PathRegex::Label(label))
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+/// Parses a property-path expression against a schema.
+pub fn parse_path_regex(schema: &Schema, text: &str) -> Result<PathRegex, RegexParseError> {
+    let mut p = Parser {
+        schema,
+        input: text.as_bytes(),
+        pos: 0,
+    };
+    let e = p.alt()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_graph::GraphBuilder;
+
+    fn schema() -> Schema {
+        let mut b = GraphBuilder::new();
+        b.schema_mut().edge_label("cites");
+        b.schema_mut().edge_label("authored");
+        b.schema_mut().edge_label("rec");
+        b.finish().schema().clone()
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let s = schema();
+        let cites = s.find_edge_label("cites").unwrap();
+        let authored = s.find_edge_label("authored").unwrap();
+        // '/' binds tighter than '|'; postfix tightest.
+        let e = parse_path_regex(&s, "cites/authored | cites*").unwrap();
+        let expected = PathRegex::label(cites)
+            .then(PathRegex::label(authored))
+            .or(PathRegex::label(cites).star());
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn parses_grouping_and_postfix_stack() {
+        let s = schema();
+        let e = parse_path_regex(&s, "(cites/rec)+?").unwrap();
+        assert!(matches!(e, PathRegex::Opt(_)));
+        assert!(e.nullable());
+    }
+
+    #[test]
+    fn rejects_unknown_labels_and_syntax() {
+        let s = schema();
+        assert!(parse_path_regex(&s, "likes").is_err());
+        assert!(parse_path_regex(&s, "cites/").is_err());
+        assert!(parse_path_regex(&s, "(cites").is_err());
+        assert!(parse_path_regex(&s, "cites)").is_err());
+        assert!(parse_path_regex(&s, "").is_err());
+    }
+
+    #[test]
+    fn nullability() {
+        let s = schema();
+        assert!(!parse_path_regex(&s, "cites").unwrap().nullable());
+        assert!(parse_path_regex(&s, "cites*").unwrap().nullable());
+        assert!(!parse_path_regex(&s, "cites+").unwrap().nullable());
+        assert!(parse_path_regex(&s, "cites?/rec*").unwrap().nullable());
+        assert!(!parse_path_regex(&s, "cites?/rec").unwrap().nullable());
+    }
+
+    #[test]
+    fn reversal_mirrors_concat() {
+        let s = schema();
+        let e = parse_path_regex(&s, "cites/authored").unwrap();
+        let r = e.reversed();
+        let cites = s.find_edge_label("cites").unwrap();
+        let authored = s.find_edge_label("authored").unwrap();
+        assert_eq!(r, PathRegex::label(authored).then(PathRegex::label(cites)));
+        // Involution.
+        assert_eq!(r.reversed(), e);
+    }
+}

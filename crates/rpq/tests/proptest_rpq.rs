@@ -1,0 +1,108 @@
+//! Property-based validation of RPQ evaluation: the product-BFS engine
+//! must agree with the independent boolean-matrix reference on random
+//! graphs and random expressions, and evaluation must respect algebraic
+//! laws of the regex constructors.
+
+use fairsqg_graph::{Graph, GraphBuilder, NodeId};
+use fairsqg_rpq::{reachable_from, reachable_from_reference, sources_reaching, Nfa, PathRegex};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..8,
+        proptest::collection::vec((0usize..8, 0usize..8, 0u8..3), 0..24),
+    )
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new();
+            let elabels = ["e0", "e1", "e2"];
+            for l in elabels {
+                b.schema_mut().edge_label(l);
+            }
+            let ids: Vec<NodeId> = (0..n).map(|_| b.add_named_node("v", &[])).collect();
+            for (s, d, l) in edges {
+                if s < n && d < n && s != d {
+                    b.add_named_edge(ids[s], ids[d], elabels[l as usize]);
+                }
+            }
+            b.finish()
+        })
+}
+
+fn arb_regex() -> impl Strategy<Value = PathRegex> {
+    let leaf = (0u16..3).prop_map(|l| PathRegex::Label(fairsqg_graph::EdgeLabelId(l)));
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PathRegex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PathRegex::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| PathRegex::Star(Box::new(a))),
+            inner.clone().prop_map(|a| PathRegex::Plus(Box::new(a))),
+            inner.prop_map(|a| PathRegex::Opt(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Product BFS agrees with the matrix-semantics reference.
+    #[test]
+    fn bfs_equals_reference(g in arb_graph(), e in arb_regex(), seed in 0usize..8) {
+        let seed = NodeId::from_index(seed % g.node_count());
+        let fast = reachable_from(&g, &[seed], &e);
+        let slow = reachable_from_reference(&g, &[seed], &e);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Forward/backward duality: `t ∈ reach(s)` iff `s ∈ sources_reaching(t)`.
+    #[test]
+    fn forward_backward_duality(g in arb_graph(), e in arb_regex(), a in 0usize..8, b in 0usize..8) {
+        let a = NodeId::from_index(a % g.node_count());
+        let b = NodeId::from_index(b % g.node_count());
+        let fwd = reachable_from(&g, &[a], &e).contains(&b);
+        let bwd = sources_reaching(&g, &[b], &e).contains(&a);
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Algebra: Plus = Concat(e, Star(e)) and Opt ⊆ Star in reach sets.
+    #[test]
+    fn constructor_laws(g in arb_graph(), e in arb_regex(), seed in 0usize..8) {
+        let seed = NodeId::from_index(seed % g.node_count());
+        let plus = reachable_from(&g, &[seed], &PathRegex::Plus(Box::new(e.clone())));
+        let concat_star = reachable_from(
+            &g,
+            &[seed],
+            &PathRegex::Concat(
+                Box::new(e.clone()),
+                Box::new(PathRegex::Star(Box::new(e.clone()))),
+            ),
+        );
+        prop_assert_eq!(plus, concat_star, "e+ == e/e*");
+
+        let opt = reachable_from(&g, &[seed], &PathRegex::Opt(Box::new(e.clone())));
+        let star = reachable_from(&g, &[seed], &PathRegex::Star(Box::new(e.clone())));
+        for v in &opt {
+            prop_assert!(star.binary_search(v).is_ok(), "e? ⊆ e*");
+        }
+    }
+
+    /// NFA word acceptance is consistent with graph evaluation: any
+    /// two-step path whose word the NFA accepts must be reachable.
+    #[test]
+    fn nfa_acceptance_consistency(g in arb_graph(), e in arb_regex(), seed in 0usize..8) {
+        let nfa = Nfa::from_regex(&e);
+        let seed = NodeId::from_index(seed % g.node_count());
+        let reach = reachable_from(&g, &[seed], &e);
+        for &(w1, l1) in g.out_neighbors(seed) {
+            if nfa.accepts(&[l1]) {
+                prop_assert!(reach.binary_search(&w1).is_ok());
+            }
+            for &(w2, l2) in g.out_neighbors(w1) {
+                if nfa.accepts(&[l1, l2]) {
+                    prop_assert!(reach.binary_search(&w2).is_ok());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a tiny graph, declare a template with variables,
+//! and generate an ε-Pareto set of fair + diverse subgraph queries.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fairsqg::prelude::*;
+use fairsqg::query::render_instance;
+
+fn main() {
+    // 1. A toy professional network: 12 candidates with a skewed gender
+    //    distribution, recommended by users with varying experience.
+    let mut b = GraphBuilder::new();
+    let mut candidates = Vec::new();
+    for i in 0..12i64 {
+        let gender = i64::from(i % 3 == 0); // 1/3 of candidates in group 1
+        candidates.push(b.add_named_node(
+            "candidate",
+            &[
+                ("gender", AttrValue::Int(gender)),
+                ("major", AttrValue::Int(i % 5)),
+            ],
+        ));
+    }
+    for i in 0..6usize {
+        let exp = 5 * (i as i64 % 3) + 5;
+        let u = b.add_named_node("user", &[("yearsOfExp", AttrValue::Int(exp))]);
+        for j in 0..4usize {
+            b.add_named_edge(u, candidates[(i * 2 + j * 3) % 12], "recommend");
+        }
+    }
+    let graph = b.finish();
+
+    // 2. A query template: candidate u0 recommended by user u1 with
+    //    parameterized experience, plus an optional second recommender.
+    let s = graph.schema();
+    let mut tb = TemplateBuilder::new();
+    let u0 = tb.node(s.find_node_label("candidate").unwrap());
+    let u1 = tb.node(s.find_node_label("user").unwrap());
+    let u2 = tb.node(s.find_node_label("user").unwrap());
+    let recommend = s.find_edge_label("recommend").unwrap();
+    tb.edge(u1, u0, recommend);
+    tb.optional_edge(u2, u0, recommend);
+    tb.range_literal(u1, s.find_attr("yearsOfExp").unwrap(), CmpOp::Ge);
+    let template = tb.finish(u0).expect("valid template");
+
+    // 3. Fairness constraints: cover both gender groups with ≥2 candidates.
+    let gender = s.find_attr("gender").unwrap();
+    let groups = GroupSet::by_attribute(&graph, gender, &[AttrValue::Int(0), AttrValue::Int(1)]);
+    let spec = CoverageSpec::equal_opportunity(2, 2);
+
+    // 4. Generate with the recommended algorithm (BiQGen).
+    let fair = FairSqg::new(&graph).epsilon(0.2);
+    let result = fair.generate(&template, &groups, &spec, Algorithm::BiQGen);
+    let domains = fair.domains_for(&template);
+
+    println!(
+        "generated {} representative query instances (verified {} of {} possible):\n",
+        result.entries.len(),
+        result.stats.verified,
+        domains.instance_space_size()
+    );
+    for e in &result.entries {
+        println!(
+            "  {}\n    -> {} matches, per-group coverage {:?}, diversity {:.3}, coverage score {:.1}",
+            render_instance(s, &template, &domains, &e.inst),
+            e.result.matches.len(),
+            e.result.counts,
+            e.result.objectives.delta,
+            e.result.objectives.fcov,
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! `fairsqg` — command-line front end.
+//!
+//! ```text
+//! fairsqg generate --graph g.tsv --template q.dsl \
+//!     --group-attr topic --cover 10 [--algo biqgen] [--eps 0.1] [--top 10]
+//! fairsqg stats --graph g.tsv
+//! fairsqg demo
+//! ```
+//!
+//! `generate` loads a TSV graph (see `fairsqg::graph::read_tsv` for the
+//! format) and a DSL template (see `fairsqg::query::parse_template`),
+//! induces one group per distinct value of `--group-attr` over the
+//! template's output label, requires `--cover` matches per group, and
+//! prints the suggested ε-Pareto query set.
+
+use fairsqg::prelude::*;
+use fairsqg::query::{parse_template, render_concrete_query, render_instance, ConcreteQuery};
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         fairsqg generate --graph <tsv> --template <dsl> --group-attr <attr> --cover <n>\n      \
+         [--algo enum|kungs|cbm|rfqgen|biqgen] [--eps <f>] [--lambda <f>] [--top <n>]\n  \
+         fairsqg stats --graph <tsv>\n  \
+         fairsqg demo"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Option<Args> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(flag) = it.next() {
+            let name = flag.strip_prefix("--")?;
+            let value = it.next()?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Some(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    fairsqg::graph::read_tsv(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.get("graph").ok_or("--graph is required")?)?;
+    let stats = fairsqg::graph::GraphStats::compute(&graph);
+    println!(
+        "nodes: {}\nedges: {}\nnode labels: {}\nedge labels: {}\navg attrs/node: {:.2}",
+        stats.nodes, stats.edges, stats.node_labels, stats.edge_labels, stats.avg_attrs
+    );
+    for l in &stats.labels {
+        println!(
+            "  {:<16} count={:<8} avg_in={:.2} max_in={} avg_out={:.2}",
+            graph.schema().node_label_name(l.label),
+            l.count,
+            l.avg_in_degree,
+            l.max_in_degree,
+            l.avg_out_degree
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.get("graph").ok_or("--graph is required")?)?;
+    let template_path = args.get("template").ok_or("--template is required")?;
+    let template_text = std::fs::read_to_string(template_path)
+        .map_err(|e| format!("cannot read {template_path}: {e}"))?;
+    let template = parse_template(graph.schema(), &template_text)
+        .map_err(|e| format!("{template_path}: {e}"))?;
+
+    // Groups: one per distinct value of --group-attr over the output label.
+    let attr_name = args.get("group-attr").ok_or("--group-attr is required")?;
+    let attr = graph
+        .schema()
+        .find_attr(attr_name)
+        .ok_or_else(|| format!("attribute '{attr_name}' not in the graph"))?;
+    let values: BTreeSet<AttrValue> = graph
+        .nodes_with_label(template.output_label())
+        .iter()
+        .filter_map(|&v| graph.attr(v, attr))
+        .collect();
+    if values.is_empty() {
+        return Err(format!(
+            "no '{attr_name}' values on the output label population"
+        ));
+    }
+    if values.len() > 16 {
+        return Err(format!(
+            "'{attr_name}' has {} distinct values; choose a categorical attribute",
+            values.len()
+        ));
+    }
+    let values: Vec<AttrValue> = values.into_iter().collect();
+    let groups = GroupSet::by_attribute(&graph, attr, &values);
+
+    let cover: u32 = args
+        .get("cover")
+        .ok_or("--cover is required")?
+        .parse()
+        .map_err(|_| "--cover expects an integer".to_string())?;
+    let spec = CoverageSpec::equal_opportunity(groups.len(), cover);
+
+    let eps = args.get_f64("eps", 0.1)?;
+    let lambda = args.get_f64("lambda", 0.5)?;
+    let algo = match args.get("algo").unwrap_or("biqgen") {
+        "enum" => Algorithm::EnumQGen,
+        "kungs" => Algorithm::Kungs,
+        "cbm" => Algorithm::Cbm,
+        "rfqgen" => Algorithm::RfQGen,
+        "biqgen" => Algorithm::BiQGen,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let top: usize = args
+        .get("top")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--top expects an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(10);
+
+    let fair = FairSqg::new(&graph)
+        .epsilon(eps)
+        .diversity(DiversityConfig {
+            lambda,
+            ..DiversityConfig::default()
+        });
+    let domains = fair.domains_for(&template);
+    let result = fair.generate(&template, &groups, &spec, algo);
+
+    println!(
+        "searched {} instantiations, verified {}, {} suggestions ({} ms):",
+        domains.instance_space_size(),
+        result.stats.verified,
+        result.entries.len(),
+        result.stats.elapsed.as_millis()
+    );
+    let mut entries = result.entries.clone();
+    entries.sort_by(|a, b| {
+        b.objectives()
+            .fcov
+            .partial_cmp(&a.objectives().fcov)
+            .unwrap()
+            .then(
+                b.objectives()
+                    .delta
+                    .partial_cmp(&a.objectives().delta)
+                    .unwrap(),
+            )
+    });
+    for (rank, e) in entries.iter().take(top).enumerate() {
+        println!(
+            "\n#{} δ={:.3} f={:.1} matches={} per-group={:?}",
+            rank + 1,
+            e.result.objectives.delta,
+            e.result.objectives.fcov,
+            e.result.matches.len(),
+            e.result.counts
+        );
+        println!(
+            "  bindings: {}",
+            render_instance(graph.schema(), &template, &domains, &e.inst)
+        );
+        let q = ConcreteQuery::materialize(&template, &domains, &e.inst);
+        for line in render_concrete_query(graph.schema(), &q).lines() {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    use fairsqg::datagen::{gender_groups, social_graph, SocialConfig};
+    let graph = social_graph(SocialConfig {
+        directors: 400,
+        majority_share: 0.65,
+        seed: 7,
+    });
+    let s = graph.schema();
+    let mut tb = fairsqg::query::TemplateBuilder::new();
+    let u0 = tb.node(s.find_node_label("director").unwrap());
+    let u1 = tb.node(s.find_node_label("user").unwrap());
+    tb.edge(u1, u0, s.find_edge_label("recommend").unwrap());
+    tb.range_literal(u1, s.find_attr("yearsOfExp").unwrap(), CmpOp::Ge);
+    let template = tb.finish(u0).map_err(|e| e.to_string())?;
+    let groups = gender_groups(&graph);
+    let spec = CoverageSpec::equal_opportunity(2, 100);
+    let fair = FairSqg::new(&graph).epsilon(0.1);
+    let result = fair.generate(&template, &groups, &spec, Algorithm::BiQGen);
+    println!(
+        "demo: {} suggestions over a synthetic talent-search graph",
+        result.entries.len()
+    );
+    let domains = fair.domains_for(&template);
+    for e in &result.entries {
+        println!(
+            "  δ={:.2} f={:.0} counts={:?}  {}",
+            e.result.objectives.delta,
+            e.result.objectives.fcov,
+            e.result.counts,
+            render_instance(s, &template, &domains, &e.inst)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(&raw[1..]) else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "demo" => cmd_demo(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn args(v: &[&str]) -> Option<Args> {
+        let owned: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+        Args::parse(&owned)
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = args(&["--graph", "g.tsv", "--cover", "10"]).unwrap();
+        assert_eq!(a.get("graph"), Some("g.tsv"));
+        assert_eq!(a.get("cover"), Some("10"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(args(&["graph", "g.tsv"]).is_none(), "missing -- prefix");
+        assert!(args(&["--graph"]).is_none(), "missing value");
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let a = args(&["--eps", "0.25"]).unwrap();
+        assert_eq!(a.get_f64("eps", 0.1).unwrap(), 0.25);
+        assert_eq!(a.get_f64("lambda", 0.5).unwrap(), 0.5);
+        let bad = args(&["--eps", "abc"]).unwrap();
+        assert!(bad.get_f64("eps", 0.1).is_err());
+    }
+}

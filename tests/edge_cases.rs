@@ -1,0 +1,167 @@
+//! Edge-case and failure-mode tests: degenerate graphs, unsatisfiable
+//! constraints, zero-sized groups, and ε extremes must all degrade
+//! gracefully (empty results, never panics).
+
+use fairsqg::prelude::*;
+use fairsqg::query::TemplateBuilder;
+
+/// A minimal graph: 6 candidates (4/2 across groups), no edges at all.
+fn edgeless_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..6i64 {
+        b.add_named_node(
+            "candidate",
+            &[
+                ("g", AttrValue::Int(i64::from(i % 3 == 0))),
+                ("score", AttrValue::Int(i)),
+            ],
+        );
+    }
+    b.finish()
+}
+
+fn single_node_template(g: &Graph) -> fairsqg::query::QueryTemplate {
+    let s = g.schema();
+    let mut tb = TemplateBuilder::new();
+    let u0 = tb.node(s.find_node_label("candidate").unwrap());
+    tb.range_literal(u0, s.find_attr("score").unwrap(), CmpOp::Ge);
+    tb.finish(u0).unwrap()
+}
+
+fn groups(g: &Graph) -> GroupSet {
+    let attr = g.schema().find_attr("g").unwrap();
+    GroupSet::by_attribute(g, attr, &[AttrValue::Int(0), AttrValue::Int(1)])
+}
+
+#[test]
+fn edgeless_graph_single_node_template_works() {
+    let g = edgeless_graph();
+    let t = single_node_template(&g);
+    let gr = groups(&g);
+    let spec = CoverageSpec::equal_opportunity(2, 1);
+    let fair = FairSqg::new(&g).epsilon(0.3);
+    for algo in [Algorithm::EnumQGen, Algorithm::RfQGen, Algorithm::BiQGen] {
+        let out = fair.generate(&t, &gr, &spec, algo);
+        assert!(!out.entries.is_empty());
+        // Single-node queries: matches = literal-filtered candidates.
+        for e in &out.entries {
+            assert!(e.result.matches.len() <= 6);
+            assert!(e.result.feasible);
+        }
+    }
+}
+
+#[test]
+fn unsatisfiable_coverage_yields_empty_sets_everywhere() {
+    let g = edgeless_graph();
+    let t = single_node_template(&g);
+    let gr = groups(&g);
+    // Demands more than either group's population.
+    let spec = CoverageSpec::equal_opportunity(2, 100);
+    let fair = FairSqg::new(&g).epsilon(0.3);
+    for algo in [
+        Algorithm::EnumQGen,
+        Algorithm::Kungs,
+        Algorithm::Cbm,
+        Algorithm::RfQGen,
+        Algorithm::BiQGen,
+    ] {
+        let out = fair.generate(&t, &gr, &spec, algo);
+        assert!(out.entries.is_empty(), "{algo:?} fabricated a result");
+    }
+    // Online generation over the same space also stays empty.
+    let domains = fair.domains_for(&t);
+    let cfg = Configuration::new(
+        &g,
+        &t,
+        &domains,
+        &gr,
+        &spec,
+        0.3,
+        DiversityConfig::default(),
+    );
+    let stream = ShuffledStream::new(&domains, 1);
+    let (out, _) = online_qgen(
+        cfg,
+        OnlineOptions {
+            k: 3,
+            window: 4,
+            initial_eps: 0.1,
+        },
+        stream,
+    );
+    assert!(out.entries.is_empty());
+}
+
+#[test]
+fn zero_coverage_constraints_are_trivially_feasible() {
+    let g = edgeless_graph();
+    let t = single_node_template(&g);
+    let gr = groups(&g);
+    let spec = CoverageSpec::equal_opportunity(2, 0);
+    let fair = FairSqg::new(&g).epsilon(0.3);
+    let out = fair.generate(&t, &gr, &spec, Algorithm::BiQGen);
+    // C = 0 ⇒ f = 0 for every instance; diversity alone drives the front.
+    assert!(!out.entries.is_empty());
+    for e in &out.entries {
+        assert_eq!(e.result.objectives.fcov, 0.0);
+        assert!(e.result.feasible);
+    }
+}
+
+#[test]
+fn extreme_epsilons_behave() {
+    let g = edgeless_graph();
+    let t = single_node_template(&g);
+    let gr = groups(&g);
+    let spec = CoverageSpec::equal_opportunity(2, 1);
+
+    // Huge ε: one box swallows everything — at most a couple of entries.
+    let coarse = FairSqg::new(&g)
+        .epsilon(10.0)
+        .generate(&t, &gr, &spec, Algorithm::EnumQGen);
+    assert!(coarse.entries.len() <= 2, "coarse set too large");
+
+    // Tiny ε: the archive approximates the exact Pareto front.
+    let fine = FairSqg::new(&g)
+        .epsilon(1e-6)
+        .generate(&t, &gr, &spec, Algorithm::EnumQGen);
+    let exact = FairSqg::new(&g)
+        .epsilon(1e-6)
+        .generate(&t, &gr, &spec, Algorithm::Kungs);
+    assert_eq!(fine.entries.len(), exact.entries.len());
+}
+
+#[test]
+fn groups_outside_the_output_label_never_match() {
+    // Groups defined over a label the template never outputs: counts are
+    // all zero, so any c_i > 0 is unsatisfiable and c_i = 0 is trivial.
+    let mut b = GraphBuilder::new();
+    for i in 0..4i64 {
+        b.add_named_node("candidate", &[("score", AttrValue::Int(i))]);
+    }
+    let other = (0..4)
+        .map(|i| b.add_named_node("bystander", &[("g", AttrValue::Int(i % 2))]))
+        .collect::<Vec<_>>();
+    let g = b.finish();
+    let _ = other;
+    let t = single_node_template(&g);
+    let attr = g.schema().find_attr("g").unwrap();
+    let gr = GroupSet::by_attribute(&g, attr, &[AttrValue::Int(0), AttrValue::Int(1)]);
+
+    let fair = FairSqg::new(&g).epsilon(0.3);
+    let out = fair.generate(
+        &t,
+        &gr,
+        &CoverageSpec::equal_opportunity(2, 1),
+        Algorithm::BiQGen,
+    );
+    assert!(out.entries.is_empty());
+    let trivial = fair.generate(
+        &t,
+        &gr,
+        &CoverageSpec::equal_opportunity(2, 0),
+        Algorithm::BiQGen,
+    );
+    assert!(!trivial.entries.is_empty());
+}
