@@ -136,7 +136,12 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
             });
         };
 
+    let mut truncated = false;
     while !s_f.is_empty() || !s_b.is_empty() {
+        if cfg.cancelled() {
+            truncated = true;
+            break;
+        }
         // -------- forward exploration (refinement from q_r) --------
         if let Some(q) = s_f.pop_front() {
             if seen_f.insert(q.clone()) {
@@ -284,6 +289,7 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
         eps: cfg.eps,
         stats,
         anytime,
+        truncated,
     }
 }
 

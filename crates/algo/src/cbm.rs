@@ -43,9 +43,11 @@ pub fn cbm(cfg: Configuration<'_>, opts: CbmOptions) -> Generated {
     // verifier (no shared memoization across levels), which is why the
     // paper reports Kungs outperforming CBM (~1.2×) despite equal fronts.
     let mut anchor_ev = Evaluator::new(cfg);
-    let _anchor_pass = crate::enumerate::evaluate_universe(&mut anchor_ev);
+    let (_anchor_pass, cut_anchor) =
+        crate::enumerate::evaluate_universe_cancellable(&mut anchor_ev);
     let mut ev = Evaluator::new(cfg);
-    let universe = crate::enumerate::evaluate_universe(&mut ev);
+    let (universe, cut_sweep) = crate::enumerate::evaluate_universe_cancellable(&mut ev);
+    let truncated = cut_anchor || cut_sweep;
     let feasible: Vec<(Instantiation, Rc<EvalResult>)> =
         universe.into_iter().filter(|(_, r)| r.feasible).collect();
 
@@ -128,6 +130,7 @@ pub fn cbm(cfg: Configuration<'_>, opts: CbmOptions) -> Generated {
             ..GenStats::default()
         },
         anytime: Vec::new(),
+        truncated,
     }
 }
 

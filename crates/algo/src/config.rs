@@ -1,5 +1,6 @@
 //! The query-generation configuration `C = (G, Q(u_o), P, ε)` (Section III).
 
+use crate::cancel::CancelToken;
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
 use fairsqg_measures::DiversityConfig;
 use fairsqg_query::{QueryTemplate, RefinementDomains};
@@ -29,6 +30,11 @@ pub struct Configuration<'a> {
     /// path query evaluated with `fairsqg-rpq` ("papers citing-transitively
     /// a seminal paper"). `None` = the full label population.
     pub output_restriction: Option<&'a [NodeId]>,
+    /// Optional cooperative cancellation/deadline token. Checked by the
+    /// search loops before each verification; when it fires, the algorithm
+    /// returns its partial archive with
+    /// [`Generated::truncated`](crate::Generated::truncated) set.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> Configuration<'a> {
@@ -66,6 +72,7 @@ impl<'a> Configuration<'a> {
             eps,
             diversity,
             output_restriction: None,
+            cancel: None,
         }
     }
 
@@ -79,6 +86,18 @@ impl<'a> Configuration<'a> {
         );
         self.output_restriction = Some(restriction);
         self
+    }
+
+    /// Attaches a cancellation/deadline token (see
+    /// [`cancel`](Self::cancel)).
+    pub fn with_cancel(mut self, token: &'a CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the attached token (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 }
 

@@ -17,14 +17,26 @@ use std::time::Instant;
 /// instances with their results (feasible and infeasible alike) — this is
 /// the evaluated universe the indicators are computed against.
 pub fn evaluate_universe(ev: &mut Evaluator<'_>) -> Vec<(Instantiation, Rc<EvalResult>)> {
-    let lat = InstanceLattice::new(ev.config().domains);
-    lat.enumerate()
-        .into_iter()
-        .map(|inst| {
-            let r = ev.verify_with_best_parent(&inst);
-            (inst, r)
-        })
-        .collect()
+    evaluate_universe_cancellable(ev).0
+}
+
+/// Like [`evaluate_universe`], but stops early when the configuration's
+/// [`CancelToken`](crate::CancelToken) fires; the second component is `true`
+/// iff the sweep was cut short.
+pub fn evaluate_universe_cancellable(
+    ev: &mut Evaluator<'_>,
+) -> (Vec<(Instantiation, Rc<EvalResult>)>, bool) {
+    let cfg = *ev.config();
+    let lat = InstanceLattice::new(cfg.domains);
+    let mut out = Vec::new();
+    for inst in lat.enumerate() {
+        if cfg.cancelled() {
+            return (out, true);
+        }
+        let r = ev.verify_with_best_parent(&inst);
+        out.push((inst, r));
+    }
+    (out, false)
 }
 
 /// `EnumQGen`: enumerate `I(Q)`, verify every instance, and maintain the
@@ -36,7 +48,12 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
     let mut anytime = Vec::new();
     let lat = InstanceLattice::new(cfg.domains);
     let mut spawned = 0u64;
+    let mut truncated = false;
     for inst in lat.enumerate() {
+        if cfg.cancelled() {
+            truncated = true;
+            break;
+        }
         spawned += 1;
         let r = ev.verify_with_best_parent(&inst);
         if r.feasible {
@@ -69,6 +86,7 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
             ..GenStats::default()
         },
         anytime,
+        truncated,
     }
 }
 
@@ -78,7 +96,19 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
 pub fn kungs(cfg: Configuration<'_>) -> Generated {
     let start = Instant::now();
     let mut ev = Evaluator::new(cfg);
-    let universe = evaluate_universe(&mut ev);
+    // Inline the universe sweep so a cancellation/deadline token can stop
+    // it; the Kung front of a partial universe is only exact for what was
+    // seen, which `truncated` signals to the caller.
+    let mut universe: Vec<(Instantiation, Rc<EvalResult>)> = Vec::new();
+    let mut truncated = false;
+    for inst in InstanceLattice::new(cfg.domains).enumerate() {
+        if cfg.cancelled() {
+            truncated = true;
+            break;
+        }
+        let r = ev.verify_with_best_parent(&inst);
+        universe.push((inst, r));
+    }
     let feasible: Vec<&(Instantiation, Rc<EvalResult>)> =
         universe.iter().filter(|(_, r)| r.feasible).collect();
     let objectives: Vec<_> = feasible.iter().map(|(_, r)| r.objectives).collect();
@@ -105,6 +135,7 @@ pub fn kungs(cfg: Configuration<'_>) -> Generated {
             ..GenStats::default()
         },
         anytime: Vec::new(),
+        truncated,
     }
 }
 

@@ -25,6 +25,7 @@
 
 mod archive;
 mod biqgen;
+mod cancel;
 mod cbm;
 mod config;
 mod enumerate;
@@ -42,6 +43,7 @@ pub(crate) mod test_support;
 
 pub use archive::{ArchiveEntry, EpsParetoArchive, UpdateOutcome};
 pub use biqgen::{biqgen, BiQGenOptions};
+pub use cancel::CancelToken;
 pub use cbm::{cbm, CbmOptions};
 pub use config::{Configuration, GenStats};
 pub use enumerate::{enum_qgen, evaluate_universe, kungs};

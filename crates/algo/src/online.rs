@@ -228,6 +228,7 @@ impl<'a> OnlineQGen<'a> {
                 ..GenStats::default()
             },
             anytime: Vec::new(),
+            truncated: false,
         }
     }
 }
@@ -243,11 +244,18 @@ where
 {
     let start = Instant::now();
     let mut gen = OnlineQGen::new(cfg, options);
+    let mut truncated = false;
     for inst in stream {
+        if cfg.cancelled() {
+            truncated = true;
+            break;
+        }
         gen.push(&inst);
     }
     let trace = gen.trace().to_vec();
-    (gen.finish(start), trace)
+    let mut out = gen.finish(start);
+    out.truncated = truncated;
+    (out, trace)
 }
 
 #[cfg(test)]

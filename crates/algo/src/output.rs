@@ -29,6 +29,11 @@ pub struct Generated {
     /// Anytime-quality trace (one point per `Update` invocation); empty when
     /// tracing was disabled.
     pub anytime: Vec<AnytimePoint>,
+    /// `true` when the run stopped early because its
+    /// [`CancelToken`](crate::CancelToken) fired (deadline or explicit
+    /// cancellation); `entries` is then the partial ε-Pareto archive built
+    /// so far.
+    pub truncated: bool,
 }
 
 impl Generated {

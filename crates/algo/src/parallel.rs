@@ -57,9 +57,16 @@ pub fn par_enum_qgen(cfg: Configuration<'_>, threads: usize) -> Generated {
                     cfg_ref.template.output_label(),
                     cfg_ref.diversity,
                 );
-                part.iter()
-                    .map(|inst| (inst.clone(), verify_standalone(cfg_ref, &measure, inst)))
-                    .collect::<Vec<_>>()
+                let mut out = Vec::with_capacity(part.len());
+                for inst in part {
+                    // Each worker observes the shared token independently;
+                    // a fired token stops all chunks within one T_q.
+                    if cfg_ref.cancelled() {
+                        break;
+                    }
+                    out.push((inst.clone(), verify_standalone(cfg_ref, &measure, inst)));
+                }
+                out
             }));
         }
         handles
@@ -68,7 +75,9 @@ pub fn par_enum_qgen(cfg: Configuration<'_>, threads: usize) -> Generated {
             .collect()
     });
 
+    let total = all.len() as u64;
     let verified = results.len() as u64;
+    let truncated = verified < total;
     let mut archive = EpsParetoArchive::new(cfg.eps);
     for (inst, result) in results {
         if result.feasible {
@@ -87,6 +96,7 @@ pub fn par_enum_qgen(cfg: Configuration<'_>, threads: usize) -> Generated {
             ..GenStats::default()
         },
         anytime: Vec::new(),
+        truncated,
     }
 }
 

@@ -48,8 +48,13 @@ pub fn rfqgen(cfg: Configuration<'_>, opts: RfQGenOptions) -> Generated {
     let mut visited: HashSet<Instantiation> = HashSet::new();
     let mut stack: Vec<Instantiation> = vec![root];
     stats.spawned = 1;
+    let mut truncated = false;
 
     while let Some(inst) = stack.pop() {
+        if cfg.cancelled() {
+            truncated = true;
+            break;
+        }
         if !visited.insert(inst.clone()) {
             continue;
         }
@@ -103,6 +108,7 @@ pub fn rfqgen(cfg: Configuration<'_>, opts: RfQGenOptions) -> Generated {
         eps: cfg.eps,
         stats,
         anytime,
+        truncated,
     }
 }
 

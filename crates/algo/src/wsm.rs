@@ -34,7 +34,7 @@ impl Default for WsmOptions {
 pub fn wsm(cfg: Configuration<'_>, opts: WsmOptions) -> Generated {
     let start = Instant::now();
     let mut ev = Evaluator::new(cfg);
-    let universe = crate::enumerate::evaluate_universe(&mut ev);
+    let (universe, truncated) = crate::enumerate::evaluate_universe_cancellable(&mut ev);
     let feasible: Vec<(Instantiation, Rc<EvalResult>)> =
         universe.into_iter().filter(|(_, r)| r.feasible).collect();
 
@@ -89,6 +89,7 @@ pub fn wsm(cfg: Configuration<'_>, opts: WsmOptions) -> Generated {
             ..GenStats::default()
         },
         anytime: Vec::new(),
+        truncated,
     }
 }
 

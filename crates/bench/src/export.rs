@@ -1,14 +1,15 @@
 //! JSON export of generated query workloads (the query-benchmarking
 //! application of Section IV-C: ship a size-`k` set of fair, diverse
-//! benchmark queries to a driver).
+//! benchmark queries to a driver). Serialization goes through
+//! `fairsqg-wire` (the workspace's dependency-free JSON layer).
 
 use crate::render::render_workload_instance;
 use fairsqg_algo::Generated;
 use fairsqg_datagen::Workload;
-use serde::Serialize;
+use fairsqg_wire::{to_string_pretty, Value};
 
 /// One exported query of a workload.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ExportedQuery {
     /// Human-readable variable bindings.
     pub bindings: String,
@@ -24,24 +25,27 @@ pub struct ExportedQuery {
     pub group_counts: Vec<u32>,
 }
 
-/// An exported workload.
-#[derive(Debug, Serialize)]
-pub struct ExportedWorkload {
-    /// Dataset name.
-    pub dataset: String,
-    /// Graph size `|V|`.
-    pub nodes: usize,
-    /// Graph size `|E|`.
-    pub edges: usize,
-    /// The ε the set conforms to.
-    pub eps: f64,
-    /// Per-group coverage constraints `c_i`.
-    pub coverage: Vec<u32>,
-    /// The queries, sorted by decreasing coverage score.
-    pub queries: Vec<ExportedQuery>,
+impl ExportedQuery {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("bindings", Value::Str(self.bindings.clone())),
+            (
+                "indices",
+                Value::Array(self.indices.iter().map(|&i| Value::Int(i as i64)).collect()),
+            ),
+            ("delta", Value::Float(self.delta)),
+            ("fcov", Value::Float(self.fcov)),
+            ("matches", Value::from(self.matches)),
+            (
+                "group_counts",
+                Value::Array(self.group_counts.iter().map(|&c| Value::from(c)).collect()),
+            ),
+        ])
+    }
 }
 
-/// Serializes a generated set over a workload as pretty JSON.
+/// Serializes a generated set over a workload as pretty JSON, queries
+/// sorted by decreasing coverage score.
 pub fn workload_json(w: &Workload, generated: &Generated) -> String {
     let mut queries: Vec<ExportedQuery> = generated
         .entries
@@ -56,15 +60,27 @@ pub fn workload_json(w: &Workload, generated: &Generated) -> String {
         })
         .collect();
     queries.sort_by(|a, b| b.fcov.partial_cmp(&a.fcov).unwrap());
-    let export = ExportedWorkload {
-        dataset: w.name.clone(),
-        nodes: w.graph.node_count(),
-        edges: w.graph.edge_count(),
-        eps: generated.eps,
-        coverage: w.spec.constraints().to_vec(),
-        queries,
-    };
-    serde_json::to_string_pretty(&export).expect("workload export is serializable")
+    let export = Value::object([
+        ("dataset", Value::Str(w.name.clone())),
+        ("nodes", Value::from(w.graph.node_count())),
+        ("edges", Value::from(w.graph.edge_count())),
+        ("eps", Value::Float(generated.eps)),
+        (
+            "coverage",
+            Value::Array(
+                w.spec
+                    .constraints()
+                    .iter()
+                    .map(|&c| Value::from(c))
+                    .collect(),
+            ),
+        ),
+        (
+            "queries",
+            Value::Array(queries.iter().map(ExportedQuery::to_value).collect()),
+        ),
+    ]);
+    to_string_pretty(&export)
 }
 
 #[cfg(test)]
@@ -85,18 +101,14 @@ mod tests {
         let cfg = configuration(&w, 0.2);
         let gen = biqgen(cfg, BiQGenOptions::default());
         let json = workload_json(&w, &gen);
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed["dataset"], "Cite");
-        assert_eq!(
-            parsed["queries"].as_array().unwrap().len(),
-            gen.entries.len()
-        );
+        let parsed = fairsqg_wire::parse(&json).unwrap();
+        assert_eq!(parsed.get("dataset").unwrap().as_str(), Some("Cite"));
+        let queries = parsed.get("queries").unwrap().as_array().unwrap();
+        assert_eq!(queries.len(), gen.entries.len());
         // Sorted by decreasing coverage.
-        let fcovs: Vec<f64> = parsed["queries"]
-            .as_array()
-            .unwrap()
+        let fcovs: Vec<f64> = queries
             .iter()
-            .map(|q| q["fcov"].as_f64().unwrap())
+            .map(|q| q.get("fcov").unwrap().as_f64().unwrap())
             .collect();
         assert!(fcovs.windows(2).all(|w| w[0] >= w[1]));
     }

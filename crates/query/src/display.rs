@@ -269,8 +269,14 @@ mod tests {
         let root = Instantiation::root(&d);
         let bottom = Instantiation::bottom(&d);
         let text = explain_revision(s, &t, &d, &root, &bottom);
-        assert!(text.contains("tightened u0.rating >= from unconstrained to 70"), "{text}");
-        assert!(text.contains("added the u1 -[actedIn]-> u0 requirement"), "{text}");
+        assert!(
+            text.contains("tightened u0.rating >= from unconstrained to 70"),
+            "{text}"
+        );
+        assert!(
+            text.contains("added the u1 -[actedIn]-> u0 requirement"),
+            "{text}"
+        );
 
         let back = explain_revision(s, &t, &d, &bottom, &root);
         assert!(back.contains("relaxed u0.rating"), "{back}");

@@ -1,0 +1,189 @@
+//! Blocking client for the NDJSON wire protocol.
+
+use crate::job::JobSpec;
+use fairsqg_wire::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply was not valid JSON.
+    Protocol(String),
+    /// The server answered `{"ok": false, ...}`.
+    Server {
+        /// Machine-readable error code (see the protocol table).
+        code: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// `wait` ran out of budget before the job settled.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the job"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client. One request/response in flight at a time.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request object, returns the `ok: true` response body or a
+    /// [`ClientError::Server`] for `ok: false` replies.
+    pub fn request(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        let value =
+            fairsqg_wire::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(value),
+            _ => {
+                let code = value
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("internal")
+                    .to_string();
+                let message = value
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string();
+                Err(ClientError::Server { code, message })
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Value::object([("op", Value::from("ping"))]))
+            .map(|_| ())
+    }
+
+    /// Submits a job; returns its id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        let reply = self.request(&Value::object([
+            ("op", Value::from("submit")),
+            ("job", spec.to_value()),
+        ]))?;
+        reply
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit reply missing 'id'".into()))
+    }
+
+    /// Fetches a job's status body.
+    pub fn status(&mut self, id: u64) -> Result<Value, ClientError> {
+        self.request(&Value::object([
+            ("op", Value::from("status")),
+            ("id", Value::from(id)),
+        ]))
+    }
+
+    /// Fetches a finished job's result body.
+    pub fn result(&mut self, id: u64) -> Result<Value, ClientError> {
+        self.request(&Value::object([
+            ("op", Value::from("result")),
+            ("id", Value::from(id)),
+        ]))
+    }
+
+    /// Requests cancellation of a job.
+    pub fn cancel(&mut self, id: u64) -> Result<(), ClientError> {
+        self.request(&Value::object([
+            ("op", Value::from("cancel")),
+            ("id", Value::from(id)),
+        ]))
+        .map(|_| ())
+    }
+
+    /// Engine statistics.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.request(&Value::object([("op", Value::from("stats"))]))
+    }
+
+    /// Registered graphs.
+    pub fn graphs(&mut self) -> Result<Value, ClientError> {
+        self.request(&Value::object([("op", Value::from("graphs"))]))
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Value::object([("op", Value::from("shutdown"))]))
+            .map(|_| ())
+    }
+
+    /// Polls `status` until the job settles, then returns the `result`
+    /// body for `done` jobs. Cancelled jobs yield a `Server` error with
+    /// code `"cancelled"`.
+    pub fn wait(&mut self, id: u64, budget: Duration) -> Result<Value, ClientError> {
+        let deadline = Instant::now() + budget;
+        loop {
+            let status = self.status(id)?;
+            match status.get("state").and_then(Value::as_str) {
+                Some("done") => return self.result(id),
+                Some("failed") => {
+                    return Err(ClientError::Server {
+                        code: "internal".into(),
+                        message: status
+                            .get("error_message")
+                            .and_then(Value::as_str)
+                            .unwrap_or("job failed")
+                            .to_string(),
+                    })
+                }
+                Some("cancelled") => {
+                    return Err(ClientError::Server {
+                        code: "cancelled".into(),
+                        message: format!("job {id} was cancelled"),
+                    })
+                }
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

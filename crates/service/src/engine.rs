@@ -1,0 +1,560 @@
+//! The job engine: a fixed worker pool over a bounded queue.
+//!
+//! Admission is explicit: `submit` either serves the request from the
+//! cross-request result cache, enqueues it, or rejects it with
+//! [`SubmitError::Overloaded`] when the queue is at capacity — jobs are
+//! never silently dropped and the queue never grows unbounded.
+//!
+//! Each job carries a [`CancelToken`]; the worker arms its deadline before
+//! running and the search loops observe it between verifications, so a
+//! deadline-exceeded job returns its partial archive flagged `truncated`
+//! instead of hanging a worker. Shutdown drains: workers finish what is
+//! queued, then exit.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::job::{generated_to_value, plan_spec, run_plan, JobSpec};
+use crate::registry::GraphRegistry;
+use fairsqg_algo::CancelToken;
+use fairsqg_wire::Value;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Result-cache entry budget (0 disables caching).
+    pub cache_entries: usize,
+    /// Deadline applied when a job does not set `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            cache_entries: 128,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry later.
+    Overloaded {
+        /// Queue capacity at rejection time.
+        capacity: usize,
+    },
+    /// The referenced graph is not in the registry.
+    UnknownGraph(String),
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; a result is available (possibly truncated).
+    Done,
+    /// Failed with an error message.
+    Failed,
+    /// Cancelled before producing a result.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+            Self::Cancelled => "cancelled",
+        }
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    cancel: CancelToken,
+    result: Option<Arc<Value>>,
+    error: Option<String>,
+    from_cache: bool,
+    truncated: bool,
+    submitted_at: Instant,
+}
+
+/// Point-in-time view of one job, as reported by `status`.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job id.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Whether the result came from the cross-request cache.
+    pub from_cache: bool,
+    /// Whether the result is a deadline/cancellation partial.
+    pub truncated: bool,
+    /// Error message (`Failed` only).
+    pub error: Option<String>,
+}
+
+#[derive(Default)]
+struct StageLatency {
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+impl StageLatency {
+    fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.max = self.max.max(d);
+    }
+
+    fn to_value(&self) -> Value {
+        let mean_ms = if self.count == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() * 1e3 / self.count as f64
+        };
+        Value::object([
+            ("count", Value::from(self.count)),
+            ("mean_ms", Value::from(mean_ms)),
+            ("max_ms", Value::from(self.max.as_secs_f64() * 1e3)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Latencies {
+    queue_wait: StageLatency,
+    plan: StageLatency,
+    generate: StageLatency,
+    render: StageLatency,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    truncated: AtomicU64,
+    // Per-evaluator memoization totals, summed over completed jobs.
+    eval_verified: AtomicU64,
+    eval_cache_hits: AtomicU64,
+}
+
+struct QueueState {
+    queue: VecDeque<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: EngineConfig,
+    registry: Arc<GraphRegistry>,
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    cache: Mutex<LruCache<Arc<Value>>>,
+    counters: Counters,
+    latencies: Mutex<Latencies>,
+    next_id: AtomicU64,
+}
+
+/// The concurrent generation engine. See the module docs.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts the worker pool over `registry`.
+    pub fn start(registry: Arc<GraphRegistry>, config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(LruCache::new(config.cache_entries)),
+            config,
+            registry,
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            latencies: Mutex::new(Latencies::default()),
+            next_id: AtomicU64::new(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fairsqg-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The registry this engine resolves graph names against.
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.shared.registry
+    }
+
+    /// Submits a job. On a cache hit the returned job is already `Done`.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let entry = self
+            .shared
+            .registry
+            .get(&spec.graph)
+            .ok_or_else(|| SubmitError::UnknownGraph(spec.graph.clone()))?;
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+
+        let key = spec.fingerprint(entry.epoch);
+        let cached = self.shared.cache.lock().expect("cache poisoned").get(&key);
+        if let Some(result) = cached {
+            let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+            let truncated = result
+                .get("truncated")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            self.shared.jobs.lock().expect("jobs poisoned").insert(
+                id,
+                JobRecord {
+                    spec,
+                    state: JobState::Done,
+                    cancel: CancelToken::new(),
+                    result: Some(result),
+                    error: None,
+                    from_cache: true,
+                    truncated,
+                    submitted_at: Instant::now(),
+                },
+            );
+            self.shared
+                .counters
+                .completed
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(id);
+        }
+
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        if q.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.queue.len() >= self.shared.config.queue_capacity {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded {
+                capacity: self.shared.config.queue_capacity,
+            });
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = spec
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.shared.config.default_deadline);
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        self.shared.jobs.lock().expect("jobs poisoned").insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                cancel,
+                result: None,
+                error: None,
+                from_cache: false,
+                truncated: false,
+                submitted_at: Instant::now(),
+            },
+        );
+        q.queue.push_back(id);
+        drop(q);
+        self.shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Snapshot of a job's state.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let jobs = self.shared.jobs.lock().expect("jobs poisoned");
+        jobs.get(&id).map(|r| JobStatus {
+            id,
+            state: r.state,
+            from_cache: r.from_cache,
+            truncated: r.truncated,
+            error: r.error.clone(),
+        })
+    }
+
+    /// The result of a `Done` job (shared, render-once).
+    pub fn result(&self, id: u64) -> Option<Arc<Value>> {
+        let jobs = self.shared.jobs.lock().expect("jobs poisoned");
+        jobs.get(&id).and_then(|r| r.result.clone())
+    }
+
+    /// Requests cancellation of a job. Queued jobs are skipped by the
+    /// worker; running jobs stop at the next verification boundary.
+    /// Returns `false` for unknown ids.
+    pub fn cancel(&self, id: u64) -> bool {
+        let jobs = self.shared.jobs.lock().expect("jobs poisoned");
+        match jobs.get(&id) {
+            Some(r) => {
+                r.cancel.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current queue depth (admitted, not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .queue
+            .len()
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Engine statistics in wire form (the `stats` response body).
+    pub fn stats_value(&self) -> Value {
+        let c = &self.shared.counters;
+        let cache = self.cache_stats();
+        let lat = self.shared.latencies.lock().expect("latencies poisoned");
+        let eval_verified = c.eval_verified.load(Ordering::Relaxed);
+        let eval_hits = c.eval_cache_hits.load(Ordering::Relaxed);
+        let eval_lookups = eval_verified + eval_hits;
+        let eval_rate = if eval_lookups == 0 {
+            0.0
+        } else {
+            eval_hits as f64 / eval_lookups as f64
+        };
+        Value::object([
+            ("workers", Value::from(self.shared.config.workers)),
+            ("queue_depth", Value::from(self.queue_depth())),
+            (
+                "queue_capacity",
+                Value::from(self.shared.config.queue_capacity),
+            ),
+            (
+                "submitted",
+                Value::from(c.submitted.load(Ordering::Relaxed)),
+            ),
+            (
+                "completed",
+                Value::from(c.completed.load(Ordering::Relaxed)),
+            ),
+            ("rejected", Value::from(c.rejected.load(Ordering::Relaxed))),
+            (
+                "cancelled",
+                Value::from(c.cancelled.load(Ordering::Relaxed)),
+            ),
+            ("failed", Value::from(c.failed.load(Ordering::Relaxed))),
+            (
+                "truncated",
+                Value::from(c.truncated.load(Ordering::Relaxed)),
+            ),
+            (
+                "result_cache",
+                Value::object([
+                    ("hits", Value::from(cache.hits)),
+                    ("misses", Value::from(cache.misses)),
+                    ("evictions", Value::from(cache.evictions)),
+                    ("entries", Value::from(cache.entries)),
+                    ("hit_rate", Value::from(cache.hit_rate())),
+                ]),
+            ),
+            (
+                "evaluator_cache",
+                Value::object([
+                    ("verified", Value::from(eval_verified)),
+                    ("hits", Value::from(eval_hits)),
+                    ("hit_rate", Value::from(eval_rate)),
+                ]),
+            ),
+            (
+                "latency",
+                Value::object([
+                    ("queue_wait", lat.queue_wait.to_value()),
+                    ("plan", lat.plan.to_value()),
+                    ("generate", lat.generate.to_value()),
+                    ("render", lat.render.to_value()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Drains the queue and stops the workers: already-admitted jobs run to
+    /// completion (their deadlines still apply), new submissions are
+    /// rejected with [`SubmitError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        let mut workers = self.workers.lock().expect("workers poisoned");
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let id = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(id) = q.queue.pop_front() {
+                    break id;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_ready.wait(q).expect("queue poisoned");
+            }
+        };
+        run_job(shared, id);
+    }
+}
+
+fn run_job(shared: &Shared, id: u64) {
+    // Snapshot what the job needs; the jobs lock is NOT held while running.
+    let (spec, cancel, submitted_at) = {
+        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        let Some(r) = jobs.get_mut(&id) else { return };
+        // Explicit cancellation skips the job entirely; a lapsed deadline
+        // does not — the generation runs and returns immediately with an
+        // empty archive flagged truncated, which is what deadline-bound
+        // callers are promised.
+        if r.cancel.cancel_requested() {
+            r.state = JobState::Cancelled;
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        r.state = JobState::Running;
+        (r.spec.clone(), r.cancel.clone(), r.submitted_at)
+    };
+    let picked_up = Instant::now();
+    shared
+        .latencies
+        .lock()
+        .expect("latencies poisoned")
+        .queue_wait
+        .record(picked_up - submitted_at);
+
+    let Some(entry) = shared.registry.get(&spec.graph) else {
+        finish_failed(shared, id, format!("graph '{}' disappeared", spec.graph));
+        return;
+    };
+
+    // A panic inside planning/generation must not kill the worker: the job
+    // is marked Failed and the thread returns to the queue.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let plan_started = Instant::now();
+        let plan = plan_spec(&entry.graph, &spec)?;
+        let planned = Instant::now();
+        let out = run_plan(&plan, &spec, &cancel);
+        let generated = Instant::now();
+        let rendered = generated_to_value(&plan, &out);
+        let render_done = Instant::now();
+        {
+            let mut lat = shared.latencies.lock().expect("latencies poisoned");
+            lat.plan.record(planned - plan_started);
+            lat.generate.record(generated - planned);
+            lat.render.record(render_done - generated);
+        }
+        shared
+            .counters
+            .eval_verified
+            .fetch_add(out.stats.verified, Ordering::Relaxed);
+        shared
+            .counters
+            .eval_cache_hits
+            .fetch_add(out.stats.cache_hits, Ordering::Relaxed);
+        Ok::<(Arc<Value>, bool), String>((Arc::new(rendered), out.truncated))
+    }));
+
+    match outcome {
+        Ok(Ok((result, truncated))) => {
+            if !truncated {
+                // Partial archives are deadline artifacts; only complete
+                // results are worth sharing across requests.
+                let key = spec.fingerprint(entry.epoch);
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .put(&key, Arc::clone(&result));
+            } else {
+                shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            if let Some(r) = jobs.get_mut(&id) {
+                r.state = JobState::Done;
+                r.result = Some(result);
+                r.truncated = truncated;
+            }
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Err(message)) => finish_failed(shared, id, message),
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            finish_failed(shared, id, format!("panic: {message}"));
+        }
+    }
+}
+
+fn finish_failed(shared: &Shared, id: u64, message: String) {
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    if let Some(r) = jobs.get_mut(&id) {
+        r.state = JobState::Failed;
+        r.error = Some(message);
+    }
+    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,400 @@
+//! Job specifications and their execution.
+//!
+//! A [`JobSpec`] is the wire-level description of one generation request:
+//! which registered graph, which template (DSL text), how groups are
+//! induced, and the generation parameters. [`run_spec`] executes a spec
+//! against a graph — this is the single code path shared by the engine
+//! workers and the CLI's JSON output, so the served results and
+//! `fairsqg generate --format json` render identically.
+
+use fairsqg_algo::{
+    biqgen, cbm, enum_qgen, kungs, rfqgen, BiQGenOptions, CancelToken, CbmOptions, Configuration,
+    Generated, RfQGenOptions,
+};
+use fairsqg_graph::{AttrValue, CoverageSpec, Graph, GroupSet};
+use fairsqg_measures::DiversityConfig;
+use fairsqg_query::{
+    parse_template, render_concrete_query, render_instance, ConcreteQuery, DomainConfig,
+    QueryTemplate, RefinementDomains,
+};
+use fairsqg_wire::Value;
+use std::collections::BTreeSet;
+
+/// Which generation algorithm a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Naive enumeration baseline.
+    EnumQGen,
+    /// Exact Pareto set (Kung's algorithm).
+    Kungs,
+    /// ε-constraint bi-objective baseline.
+    Cbm,
+    /// Depth-first refinement with pruning.
+    RfQGen,
+    /// Bi-directional generation with sandwich pruning.
+    BiQGen,
+}
+
+impl AlgoKind {
+    /// Parses the wire name (`enum|kungs|cbm|rfqgen|biqgen`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "enum" => Self::EnumQGen,
+            "kungs" => Self::Kungs,
+            "cbm" => Self::Cbm,
+            "rfqgen" => Self::RfQGen,
+            "biqgen" => Self::BiQGen,
+            other => return Err(format!("unknown algorithm '{other}'")),
+        })
+    }
+
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::EnumQGen => "enum",
+            Self::Kungs => "kungs",
+            Self::Cbm => "cbm",
+            Self::RfQGen => "rfqgen",
+            Self::BiQGen => "biqgen",
+        }
+    }
+}
+
+/// One generation request.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Name of a graph in the registry.
+    pub graph: String,
+    /// Template DSL text (see `fairsqg_query::parse_template`).
+    pub template: String,
+    /// Attribute inducing one group per distinct value over the output
+    /// label's population.
+    pub group_attr: String,
+    /// Required matches per group (equal-opportunity coverage).
+    pub cover: u32,
+    /// Algorithm to run.
+    pub algo: AlgoKind,
+    /// ε-dominance tolerance.
+    pub eps: f64,
+    /// Diversity trade-off λ.
+    pub lambda: f64,
+    /// Per-job deadline in milliseconds (`None` = engine default).
+    pub deadline_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// Parses a spec from the wire object (the `job` field of a `submit`).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("job.{name} (string) is required"))
+        };
+        let eps = v.get("eps").and_then(Value::as_f64).unwrap_or(0.1);
+        let lambda = v.get("lambda").and_then(Value::as_f64).unwrap_or(0.5);
+        if eps <= 0.0 {
+            return Err("job.eps must be positive".into());
+        }
+        let cover = v
+            .get("cover")
+            .and_then(Value::as_u64)
+            .ok_or("job.cover (integer) is required")?;
+        let cover = u32::try_from(cover).map_err(|_| "job.cover out of range".to_string())?;
+        Ok(Self {
+            graph: field("graph")?,
+            template: field("template")?,
+            group_attr: field("group_attr")?,
+            cover,
+            algo: AlgoKind::parse(v.get("algo").and_then(Value::as_str).unwrap_or("biqgen"))?,
+            eps,
+            lambda,
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+        })
+    }
+
+    /// The wire form of this spec.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("graph", Value::from(self.graph.as_str())),
+            ("template", Value::from(self.template.as_str())),
+            ("group_attr", Value::from(self.group_attr.as_str())),
+            ("cover", Value::from(self.cover as i64)),
+            ("algo", Value::from(self.algo.name())),
+            ("eps", Value::from(self.eps)),
+            ("lambda", Value::from(self.lambda)),
+        ];
+        if let Some(d) = self.deadline_ms {
+            pairs.push(("deadline_ms", Value::from(d as i64)));
+        }
+        Value::object(pairs)
+    }
+
+    /// Cache fingerprint: graph epoch + template hash + every parameter
+    /// that affects the result. Deadlines are deliberately excluded — a
+    /// completed (non-truncated) result is valid whatever budget produced
+    /// it.
+    pub fn fingerprint(&self, graph_epoch: u64) -> String {
+        format!(
+            "g={}#{};t={:016x};a={};ga={};c={};e={};l={}",
+            self.graph,
+            graph_epoch,
+            fnv1a(self.template.as_bytes()),
+            self.algo.name(),
+            self.group_attr,
+            self.cover,
+            self.eps,
+            self.lambda,
+        )
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A fully planned job: parsed template, induced groups, built domains.
+pub struct Plan<'g> {
+    /// The parsed template.
+    pub template: QueryTemplate,
+    /// Refinement domains built over `graph`.
+    pub domains: RefinementDomains,
+    /// Induced groups (one per distinct `group_attr` value).
+    pub groups: GroupSet,
+    /// Equal-opportunity coverage constraints.
+    pub spec: CoverageSpec,
+    graph: &'g Graph,
+}
+
+/// Parses and plans `spec` against `graph` (no verification happens yet).
+pub fn plan_spec<'g>(graph: &'g Graph, spec: &JobSpec) -> Result<Plan<'g>, String> {
+    let template = parse_template(graph.schema(), &spec.template).map_err(|e| e.to_string())?;
+    let attr = graph
+        .schema()
+        .find_attr(&spec.group_attr)
+        .ok_or_else(|| format!("attribute '{}' not in the graph", spec.group_attr))?;
+    let values: BTreeSet<AttrValue> = graph
+        .nodes_with_label(template.output_label())
+        .iter()
+        .filter_map(|&v| graph.attr(v, attr))
+        .collect();
+    if values.is_empty() {
+        return Err(format!(
+            "no '{}' values on the output label population",
+            spec.group_attr
+        ));
+    }
+    if values.len() > 16 {
+        return Err(format!(
+            "'{}' has {} distinct values; choose a categorical attribute",
+            spec.group_attr,
+            values.len()
+        ));
+    }
+    let values: Vec<AttrValue> = values.into_iter().collect();
+    let groups = GroupSet::by_attribute(graph, attr, &values);
+    let coverage = CoverageSpec::equal_opportunity(groups.len(), spec.cover);
+    let domains = RefinementDomains::build(&template, graph, DomainConfig::default());
+    Ok(Plan {
+        template,
+        domains,
+        groups,
+        spec: coverage,
+        graph,
+    })
+}
+
+/// Runs a planned job, observing `cancel` between verifications.
+pub fn run_plan(plan: &Plan<'_>, spec: &JobSpec, cancel: &CancelToken) -> Generated {
+    let diversity = DiversityConfig {
+        lambda: spec.lambda,
+        ..DiversityConfig::default()
+    };
+    let cfg = Configuration::new(
+        plan.graph,
+        &plan.template,
+        &plan.domains,
+        &plan.groups,
+        &plan.spec,
+        spec.eps,
+        diversity,
+    )
+    .with_cancel(cancel);
+    match spec.algo {
+        AlgoKind::EnumQGen => enum_qgen(cfg, false),
+        AlgoKind::Kungs => kungs(cfg),
+        AlgoKind::Cbm => cbm(cfg, CbmOptions::default()),
+        AlgoKind::RfQGen => rfqgen(cfg, RfQGenOptions::default()),
+        AlgoKind::BiQGen => biqgen(cfg, BiQGenOptions::default()),
+    }
+}
+
+/// Renders a generation result into its wire form. Entries are sorted by
+/// descending coverage, then descending diversity (the CLI's order).
+pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
+    let schema = plan.graph.schema();
+    let mut entries = out.entries.clone();
+    entries.sort_by(|a, b| {
+        b.objectives()
+            .fcov
+            .partial_cmp(&a.objectives().fcov)
+            .unwrap()
+            .then(
+                b.objectives()
+                    .delta
+                    .partial_cmp(&a.objectives().delta)
+                    .unwrap(),
+            )
+    });
+    let rendered: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            let counts: Vec<Value> = e
+                .result
+                .counts
+                .iter()
+                .map(|&c| Value::from(c as i64))
+                .collect();
+            let q = ConcreteQuery::materialize(&plan.template, &plan.domains, &e.inst);
+            Value::object([
+                ("delta", Value::from(e.result.objectives.delta)),
+                ("fcov", Value::from(e.result.objectives.fcov)),
+                ("matches", Value::from(e.result.matches.len() as i64)),
+                ("group_counts", Value::Array(counts)),
+                (
+                    "bindings",
+                    Value::from(
+                        render_instance(schema, &plan.template, &plan.domains, &e.inst).as_str(),
+                    ),
+                ),
+                (
+                    "query",
+                    Value::from(render_concrete_query(schema, &q).as_str()),
+                ),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("eps", Value::from(out.eps)),
+        ("truncated", Value::from(out.truncated)),
+        ("entries", Value::Array(rendered)),
+        (
+            "stats",
+            Value::object([
+                ("spawned", Value::from(out.stats.spawned as i64)),
+                ("verified", Value::from(out.stats.verified as i64)),
+                ("cache_hits", Value::from(out.stats.cache_hits as i64)),
+                (
+                    "pruned_infeasible",
+                    Value::from(out.stats.pruned_infeasible as i64),
+                ),
+                (
+                    "pruned_sandwich",
+                    Value::from(out.stats.pruned_sandwich as i64),
+                ),
+                (
+                    "elapsed_ms",
+                    Value::from(out.stats.elapsed.as_secs_f64() * 1e3),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsqg_datagen::{social_graph, SocialConfig};
+
+    pub(crate) const TEMPLATE: &str = "\
+        node u0 : director\n\
+        node u1 : user\n\
+        edge u1 -recommend-> u0\n\
+        where u1.yearsOfExp >= ?\n\
+        output u0\n";
+
+    fn graph() -> Graph {
+        social_graph(SocialConfig {
+            directors: 60,
+            majority_share: 0.6,
+            seed: 5,
+        })
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            graph: "g".into(),
+            template: TEMPLATE.into(),
+            group_attr: "gender".into(),
+            cover: 5,
+            algo: AlgoKind::BiQGen,
+            eps: 0.1,
+            lambda: 0.5,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_wire() {
+        let v = spec().to_value();
+        let back = JobSpec::from_value(&v).unwrap();
+        assert_eq!(back.graph, "g");
+        assert_eq!(back.algo, AlgoKind::BiQGen);
+        assert_eq!(back.cover, 5);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_epoch_and_params() {
+        let s = spec();
+        let a = s.fingerprint(1);
+        assert_ne!(a, s.fingerprint(2));
+        let mut s2 = s.clone();
+        s2.eps = 0.2;
+        assert_ne!(a, s2.fingerprint(1));
+        let mut s3 = s.clone();
+        s3.deadline_ms = Some(9);
+        assert_eq!(a, s3.fingerprint(1), "deadline must not affect the key");
+    }
+
+    #[test]
+    fn plan_and_run_produce_entries() {
+        let g = graph();
+        let s = spec();
+        let plan = plan_spec(&g, &s).unwrap();
+        let out = run_plan(&plan, &s, &CancelToken::new());
+        assert!(!out.truncated);
+        assert!(!out.entries.is_empty());
+        let v = generated_to_value(&plan, &out);
+        assert_eq!(v.get("truncated").and_then(Value::as_bool), Some(false));
+        assert!(!v
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn cancelled_token_truncates_immediately() {
+        let g = graph();
+        let s = spec();
+        let plan = plan_spec(&g, &s).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let out = run_plan(&plan, &s, &token);
+        assert!(out.truncated);
+        assert!(out.entries.is_empty());
+    }
+
+    #[test]
+    fn unknown_attr_is_a_plan_error() {
+        let g = graph();
+        let mut s = spec();
+        s.group_attr = "nope".into();
+        assert!(plan_spec(&g, &s).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # fairsqg-service
+//!
+//! A concurrent query-generation service over the FairSQG algorithms:
+//!
+//! * [`GraphRegistry`] — named graphs loaded once, shared immutably via
+//!   `Arc`, with per-name epochs for cache invalidation on reload;
+//! * [`Engine`] — a fixed worker pool over a bounded queue with explicit
+//!   admission control ([`SubmitError::Overloaded`]), per-job deadlines
+//!   and cooperative cancellation (partial results come back flagged
+//!   `truncated`), and a cross-request LRU result cache keyed by
+//!   `(graph epoch, template hash, parameters)`;
+//! * [`Server`]/[`Client`] — a newline-delimited JSON TCP wire surface
+//!   (`submit`/`status`/`result`/`cancel`/`stats`/`graphs`/`shutdown`);
+//!   see [`proto`] for the protocol table and error codes.
+//!
+//! ```
+//! use fairsqg_service::{Engine, EngineConfig, GraphRegistry, JobSpec, AlgoKind, JobState};
+//! use fairsqg_datagen::{social_graph, SocialConfig};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(GraphRegistry::new());
+//! registry.insert("talent", social_graph(SocialConfig {
+//!     directors: 60, majority_share: 0.6, seed: 5,
+//! }));
+//! let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+//! let id = engine.submit(JobSpec {
+//!     graph: "talent".into(),
+//!     template: "node u0 : director\nnode u1 : user\n\
+//!                edge u1 -recommend-> u0\nwhere u1.yearsOfExp >= ?\noutput u0\n".into(),
+//!     group_attr: "gender".into(),
+//!     cover: 5,
+//!     algo: AlgoKind::BiQGen,
+//!     eps: 0.1,
+//!     lambda: 0.5,
+//!     deadline_ms: None,
+//! }).unwrap();
+//! while engine.status(id).unwrap().state != JobState::Done {
+//!     std::thread::yield_now();
+//! }
+//! assert!(engine.result(id).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+mod engine;
+pub mod job;
+pub mod proto;
+mod registry;
+mod server;
+
+pub use cache::{CacheStats, LruCache};
+pub use client::{Client, ClientError};
+pub use engine::{Engine, EngineConfig, JobState, JobStatus, SubmitError};
+pub use job::{generated_to_value, plan_spec, run_plan, AlgoKind, JobSpec, Plan};
+pub use registry::{GraphEntry, GraphRegistry};
+pub use server::{spawn, Server, StopHandle};

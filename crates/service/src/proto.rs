@@ -1,0 +1,184 @@
+//! Newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line. Every request is an object
+//! with an `op` field:
+//!
+//! | op          | fields                         | response body              |
+//! |-------------|--------------------------------|----------------------------|
+//! | `ping`      | —                              | `{"pong": true}`           |
+//! | `submit`    | `job` (see [`JobSpec`])        | `{"id", "state"}`          |
+//! | `status`    | `id`                           | `{"id", "state", ...}`     |
+//! | `result`    | `id`                           | `{"id", "result"}`         |
+//! | `cancel`    | `id`                           | `{"id", "cancelled"}`      |
+//! | `stats`     | —                              | engine statistics          |
+//! | `graphs`    | —                              | `{"graphs": [...]}`        |
+//! | `shutdown`  | —                              | `{"stopping": true}`       |
+//!
+//! Responses are `{"ok": true, ...body}` or
+//! `{"ok": false, "error": {"code", "message"}}`. Error codes:
+//! `bad_request`, `unknown_graph`, `overloaded`, `shutting_down`,
+//! `not_found`, `not_ready`, `internal`.
+
+use crate::engine::{Engine, JobState, SubmitError};
+use crate::job::JobSpec;
+use fairsqg_wire::Value;
+
+/// Builds the error response for `code`/`message`.
+pub fn error_response(code: &'static str, message: &str) -> Value {
+    Value::object([
+        ("ok", Value::from(false)),
+        (
+            "error",
+            Value::object([
+                ("code", Value::from(code)),
+                ("message", Value::from(message)),
+            ]),
+        ),
+    ])
+}
+
+fn ok_response(mut body: Vec<(&'static str, Value)>) -> Value {
+    let mut pairs = vec![("ok", Value::from(true))];
+    pairs.append(&mut body);
+    Value::object(pairs)
+}
+
+fn status_body(engine: &Engine, id: u64) -> Option<Vec<(&'static str, Value)>> {
+    let s = engine.status(id)?;
+    let mut body = vec![
+        ("id", Value::from(s.id)),
+        ("state", Value::from(s.state.name())),
+        ("from_cache", Value::from(s.from_cache)),
+        ("truncated", Value::from(s.truncated)),
+    ];
+    if let Some(e) = s.error {
+        body.push(("error_message", Value::from(e)));
+    }
+    Some(body)
+}
+
+/// Handles one parsed request against the engine. Returns the response and
+/// whether the server should begin shutting down.
+pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
+    let Some(op) = request.get("op").and_then(Value::as_str) else {
+        return (error_response("bad_request", "missing 'op'"), false);
+    };
+    let id_field = || {
+        request
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| error_response("bad_request", "missing 'id'"))
+    };
+    let response = match op {
+        "ping" => ok_response(vec![("pong", Value::from(true))]),
+        "submit" => {
+            let Some(job) = request.get("job") else {
+                return (error_response("bad_request", "missing 'job'"), false);
+            };
+            match JobSpec::from_value(job) {
+                Err(m) => error_response("bad_request", &m),
+                Ok(spec) => match engine.submit(spec) {
+                    Ok(id) => {
+                        let state = engine.status(id).map_or(JobState::Queued, |s| s.state);
+                        ok_response(vec![
+                            ("id", Value::from(id)),
+                            ("state", Value::from(state.name())),
+                        ])
+                    }
+                    Err(SubmitError::Overloaded { capacity }) => error_response(
+                        "overloaded",
+                        &format!("queue full ({capacity} jobs); retry later"),
+                    ),
+                    Err(SubmitError::UnknownGraph(name)) => {
+                        error_response("unknown_graph", &format!("no graph named '{name}'"))
+                    }
+                    Err(SubmitError::ShuttingDown) => {
+                        error_response("shutting_down", "engine is draining")
+                    }
+                },
+            }
+        }
+        "status" => match id_field() {
+            Err(e) => e,
+            Ok(id) => match status_body(engine, id) {
+                Some(body) => ok_response(body),
+                None => error_response("not_found", &format!("no job {id}")),
+            },
+        },
+        "result" => match id_field() {
+            Err(e) => e,
+            Ok(id) => match engine.status(id) {
+                None => error_response("not_found", &format!("no job {id}")),
+                Some(s) if s.state == JobState::Done => match engine.result(id) {
+                    Some(r) => ok_response(vec![
+                        ("id", Value::from(id)),
+                        ("from_cache", Value::from(s.from_cache)),
+                        ("result", (*r).clone()),
+                    ]),
+                    None => error_response("internal", "done job lost its result"),
+                },
+                Some(s) if s.state == JobState::Failed => {
+                    error_response("internal", s.error.as_deref().unwrap_or("job failed"))
+                }
+                Some(s) => error_response("not_ready", &format!("job {id} is {}", s.state.name())),
+            },
+        },
+        "cancel" => match id_field() {
+            Err(e) => e,
+            Ok(id) => {
+                if engine.cancel(id) {
+                    ok_response(vec![
+                        ("id", Value::from(id)),
+                        ("cancelled", Value::from(true)),
+                    ])
+                } else {
+                    error_response("not_found", &format!("no job {id}"))
+                }
+            }
+        },
+        "stats" => match engine.stats_value() {
+            Value::Object(mut map) => {
+                map.insert("ok".to_string(), Value::from(true));
+                Value::Object(map)
+            }
+            _ => error_response("internal", "stats not an object"),
+        },
+        "graphs" => {
+            let graphs: Vec<Value> = engine
+                .registry()
+                .list()
+                .into_iter()
+                .map(|(name, epoch, nodes)| {
+                    Value::object([
+                        ("name", Value::from(name)),
+                        ("epoch", Value::from(epoch)),
+                        ("nodes", Value::from(nodes)),
+                    ])
+                })
+                .collect();
+            ok_response(vec![("graphs", Value::Array(graphs))])
+        }
+        "shutdown" => {
+            return (ok_response(vec![("stopping", Value::from(true))]), true);
+        }
+        other => error_response("bad_request", &format!("unknown op '{other}'")),
+    };
+    (response, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_shape() {
+        let e = error_response("overloaded", "queue full");
+        assert_eq!(e.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            e.get("error")
+                .and_then(|x| x.get("code"))
+                .and_then(Value::as_str),
+            Some("overloaded")
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! TCP front end: newline-delimited JSON over `std::net`.
+//!
+//! One thread per connection (connections are few and long-lived; the
+//! engine's worker pool bounds actual compute concurrency). A `shutdown`
+//! request flips the stop flag and self-connects to unblock the blocking
+//! `accept`, then the engine drains.
+
+use crate::engine::Engine;
+use crate::proto::{error_response, handle_request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A running server bound to a local address.
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            engine,
+            listener,
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the accept loop from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stopping: Arc::clone(&self.stopping),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Accepts and serves connections until a `shutdown` request (or a
+    /// [`StopHandle`]) stops the loop, then drains the engine.
+    pub fn serve(self) -> std::io::Result<()> {
+        let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        for conn in self.listener.incoming() {
+            if self.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let engine = Arc::clone(&self.engine);
+            let stopping = Arc::clone(&self.stopping);
+            let stop = self.stop_handle();
+            let handle = std::thread::Builder::new()
+                .name("fairsqg-conn".to_string())
+                .spawn(move || {
+                    if serve_connection(&engine, stream, &stopping) {
+                        stop.stop();
+                    }
+                })
+                .expect("spawn connection thread");
+            handles.lock().expect("handles poisoned").push(handle);
+        }
+        for h in handles.lock().expect("handles poisoned").drain(..) {
+            let _ = h.join();
+        }
+        self.engine.shutdown();
+        Ok(())
+    }
+}
+
+/// Stops a [`Server`]'s accept loop from another thread.
+#[derive(Clone)]
+pub struct StopHandle {
+    stopping: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl StopHandle {
+    /// Flags the server to stop and unblocks its `accept`.
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::Release);
+        if let Some(addr) = self.addr {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Serves one connection; returns `true` if a `shutdown` was requested.
+fn serve_connection(engine: &Engine, stream: TcpStream, stopping: &AtomicBool) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        if stopping.load(Ordering::Acquire) {
+            return false;
+        }
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match fairsqg_wire::parse(&line) {
+            Ok(request) => handle_request(engine, &request),
+            Err(e) => (
+                error_response("bad_request", &format!("invalid JSON: {e}")),
+                false,
+            ),
+        };
+        let mut text = response.to_string();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+/// Convenience: serve `engine` on `addr` in a background thread, returning
+/// the bound address, the stop handle, and the server thread's handle.
+pub fn spawn(
+    addr: &str,
+    engine: Arc<Engine>,
+) -> std::io::Result<(
+    SocketAddr,
+    StopHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+)> {
+    let server = Server::bind(addr, engine)?;
+    let bound = server.local_addr()?;
+    let stop = server.stop_handle();
+    let handle = std::thread::Builder::new()
+        .name("fairsqg-server".to_string())
+        .spawn(move || server.serve())
+        .expect("spawn server thread");
+    Ok((bound, stop, handle))
+}

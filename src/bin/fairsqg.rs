@@ -3,7 +3,10 @@
 //! ```text
 //! fairsqg generate --graph g.tsv --template q.dsl \
 //!     --group-attr topic --cover 10 [--algo biqgen] [--eps 0.1] [--top 10]
+//!     [--format human|json]
 //! fairsqg stats --graph g.tsv
+//! fairsqg serve --addr 127.0.0.1:7878 --load name=g.tsv [--load ...]
+//! fairsqg client --addr 127.0.0.1:7878 --op stats
 //! fairsqg demo
 //! ```
 //!
@@ -12,20 +15,35 @@
 //! induces one group per distinct value of `--group-attr` over the
 //! template's output label, requires `--cover` matches per group, and
 //! prints the suggested ε-Pareto query set.
+//!
+//! `serve` runs the concurrent generation server (`fairsqg::service`);
+//! `client` speaks its newline-delimited JSON protocol. See
+//! `docs/service.md` for the full protocol.
 
 use fairsqg::prelude::*;
-use fairsqg::query::{parse_template, render_concrete_query, render_instance, ConcreteQuery};
-use std::collections::BTreeSet;
+use fairsqg::query::{render_concrete_query, render_instance, ConcreteQuery};
+use fairsqg::service::{
+    plan_spec, run_plan, AlgoKind, Client, Engine, EngineConfig, GraphRegistry, JobSpec,
+};
+use fairsqg::wire::Value;
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          fairsqg generate --graph <tsv> --template <dsl> --group-attr <attr> --cover <n>\n      \
-         [--algo enum|kungs|cbm|rfqgen|biqgen] [--eps <f>] [--lambda <f>] [--top <n>]\n  \
+         [--algo enum|kungs|cbm|rfqgen|biqgen] [--eps <f>] [--lambda <f>] [--top <n>]\n      \
+         [--deadline-ms <n>] [--format human|json]\n  \
          fairsqg stats --graph <tsv>\n  \
+         fairsqg serve --addr <host:port> --load <name>=<tsv> [--load ...]\n      \
+         [--workers <n>] [--queue <n>] [--cache <n>] [--default-deadline-ms <n>]\n  \
+         fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|shutdown|submit\n      \
+         [--id <n>] [--graph <name> --template <dsl> --group-attr <attr> --cover <n>\n      \
+         [--algo ...] [--eps <f>] [--lambda <f>] [--deadline-ms <n>] [--wait-ms <n>]]\n  \
          fairsqg demo"
     );
     ExitCode::from(2)
@@ -52,6 +70,23 @@ impl Args {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
     }
 
     fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
@@ -89,112 +124,189 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
-    let graph = load_graph(args.get("graph").ok_or("--graph is required")?)?;
+/// Builds a [`JobSpec`] from generate/submit-style flags. `graph_name` is
+/// the registry name the spec refers to (unused when planning locally).
+fn job_spec_from_args(args: &Args, graph_name: &str) -> Result<JobSpec, String> {
     let template_path = args.get("template").ok_or("--template is required")?;
-    let template_text = std::fs::read_to_string(template_path)
+    let template = std::fs::read_to_string(template_path)
         .map_err(|e| format!("cannot read {template_path}: {e}"))?;
-    let template = parse_template(graph.schema(), &template_text)
-        .map_err(|e| format!("{template_path}: {e}"))?;
-
-    // Groups: one per distinct value of --group-attr over the output label.
-    let attr_name = args.get("group-attr").ok_or("--group-attr is required")?;
-    let attr = graph
-        .schema()
-        .find_attr(attr_name)
-        .ok_or_else(|| format!("attribute '{attr_name}' not in the graph"))?;
-    let values: BTreeSet<AttrValue> = graph
-        .nodes_with_label(template.output_label())
-        .iter()
-        .filter_map(|&v| graph.attr(v, attr))
-        .collect();
-    if values.is_empty() {
-        return Err(format!(
-            "no '{attr_name}' values on the output label population"
-        ));
-    }
-    if values.len() > 16 {
-        return Err(format!(
-            "'{attr_name}' has {} distinct values; choose a categorical attribute",
-            values.len()
-        ));
-    }
-    let values: Vec<AttrValue> = values.into_iter().collect();
-    let groups = GroupSet::by_attribute(&graph, attr, &values);
-
     let cover: u32 = args
         .get("cover")
         .ok_or("--cover is required")?
         .parse()
         .map_err(|_| "--cover expects an integer".to_string())?;
-    let spec = CoverageSpec::equal_opportunity(groups.len(), cover);
-
-    let eps = args.get_f64("eps", 0.1)?;
-    let lambda = args.get_f64("lambda", 0.5)?;
-    let algo = match args.get("algo").unwrap_or("biqgen") {
-        "enum" => Algorithm::EnumQGen,
-        "kungs" => Algorithm::Kungs,
-        "cbm" => Algorithm::Cbm,
-        "rfqgen" => Algorithm::RfQGen,
-        "biqgen" => Algorithm::BiQGen,
-        other => return Err(format!("unknown algorithm '{other}'")),
-    };
-    let top: usize = args
-        .get("top")
+    let deadline_ms = args
+        .get("deadline-ms")
         .map(|v| {
             v.parse()
-                .map_err(|_| "--top expects an integer".to_string())
+                .map_err(|_| "--deadline-ms expects an integer".to_string())
         })
-        .transpose()?
-        .unwrap_or(10);
+        .transpose()?;
+    Ok(JobSpec {
+        graph: graph_name.to_string(),
+        template,
+        group_attr: args
+            .get("group-attr")
+            .ok_or("--group-attr is required")?
+            .to_string(),
+        cover,
+        algo: AlgoKind::parse(args.get("algo").unwrap_or("biqgen"))?,
+        eps: args.get_f64("eps", 0.1)?,
+        lambda: args.get_f64("lambda", 0.5)?,
+        deadline_ms,
+    })
+}
 
-    let fair = FairSqg::new(&graph)
-        .epsilon(eps)
-        .diversity(DiversityConfig {
-            lambda,
-            ..DiversityConfig::default()
-        });
-    let domains = fair.domains_for(&template);
-    let result = fair.generate(&template, &groups, &spec, algo);
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let graph_path = args.get("graph").ok_or("--graph is required")?;
+    let graph = load_graph(graph_path)?;
+    let spec = job_spec_from_args(args, graph_path)?;
+    let top = args.get_usize("top", 10)?;
+    let format = args.get("format").unwrap_or("human");
 
-    println!(
-        "searched {} instantiations, verified {}, {} suggestions ({} ms):",
-        domains.instance_space_size(),
-        result.stats.verified,
-        result.entries.len(),
-        result.stats.elapsed.as_millis()
-    );
-    let mut entries = result.entries.clone();
-    entries.sort_by(|a, b| {
-        b.objectives()
-            .fcov
-            .partial_cmp(&a.objectives().fcov)
-            .unwrap()
-            .then(
-                b.objectives()
-                    .delta
-                    .partial_cmp(&a.objectives().delta)
-                    .unwrap(),
-            )
-    });
-    for (rank, e) in entries.iter().take(top).enumerate() {
-        println!(
-            "\n#{} δ={:.3} f={:.1} matches={} per-group={:?}",
-            rank + 1,
-            e.result.objectives.delta,
-            e.result.objectives.fcov,
-            e.result.matches.len(),
-            e.result.counts
-        );
-        println!(
-            "  bindings: {}",
-            render_instance(graph.schema(), &template, &domains, &e.inst)
-        );
-        let q = ConcreteQuery::materialize(&template, &domains, &e.inst);
-        for line in render_concrete_query(graph.schema(), &q).lines() {
-            println!("  {line}");
+    // The same planning/execution path the server's workers run.
+    let plan = plan_spec(&graph, &spec)?;
+    let cancel = match spec.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    let result = run_plan(&plan, &spec, &cancel);
+
+    match format {
+        "json" => {
+            let rendered = fairsqg::service::generated_to_value(&plan, &result);
+            println!("{}", fairsqg::wire::to_string_pretty(&rendered));
         }
+        "human" => {
+            println!(
+                "searched {} instantiations, verified {}, {} suggestions ({} ms){}:",
+                plan.domains.instance_space_size(),
+                result.stats.verified,
+                result.entries.len(),
+                result.stats.elapsed.as_millis(),
+                if result.truncated {
+                    " [truncated by deadline]"
+                } else {
+                    ""
+                }
+            );
+            let mut entries = result.entries.clone();
+            entries.sort_by(|a, b| {
+                b.objectives()
+                    .fcov
+                    .partial_cmp(&a.objectives().fcov)
+                    .unwrap()
+                    .then(
+                        b.objectives()
+                            .delta
+                            .partial_cmp(&a.objectives().delta)
+                            .unwrap(),
+                    )
+            });
+            for (rank, e) in entries.iter().take(top).enumerate() {
+                println!(
+                    "\n#{} δ={:.3} f={:.1} matches={} per-group={:?}",
+                    rank + 1,
+                    e.result.objectives.delta,
+                    e.result.objectives.fcov,
+                    e.result.matches.len(),
+                    e.result.counts
+                );
+                println!(
+                    "  bindings: {}",
+                    render_instance(graph.schema(), &plan.template, &plan.domains, &e.inst)
+                );
+                let q = ConcreteQuery::materialize(&plan.template, &plan.domains, &e.inst);
+                for line in render_concrete_query(graph.schema(), &q).lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        other => return Err(format!("unknown format '{other}' (human|json)")),
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let registry = Arc::new(GraphRegistry::new());
+    for load in args.get_all("load") {
+        let (name, path) = load
+            .split_once('=')
+            .ok_or_else(|| format!("--load expects <name>=<tsv>, got '{load}'"))?;
+        let epoch = registry.load_tsv(name, path)?;
+        eprintln!("loaded graph '{name}' from {path} (epoch {epoch})");
+    }
+    if registry.is_empty() {
+        return Err("no graphs loaded; pass at least one --load <name>=<tsv>".into());
+    }
+    let config = EngineConfig {
+        workers: args.get_usize("workers", 4)?,
+        queue_capacity: args.get_usize("queue", 64)?,
+        cache_entries: args.get_usize("cache", 128)?,
+        default_deadline: args
+            .get("default-deadline-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| "--default-deadline-ms expects an integer".to_string())
+            })
+            .transpose()?,
+    };
+    let engine = Arc::new(Engine::start(registry, config));
+    let server =
+        fairsqg::service::Server::bind(addr, engine).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("fairsqg-service listening on {bound}");
+    server.serve().map_err(|e| e.to_string())
+}
+
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let op = args.get("op").ok_or("--op is required")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let id_arg = || -> Result<u64, String> {
+        args.get("id")
+            .ok_or("--id is required for this op")?
+            .parse()
+            .map_err(|_| "--id expects an integer".to_string())
+    };
+    let reply = match op {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            Value::object([("pong", Value::from(true))])
+        }
+        "stats" => client.stats().map_err(|e| e.to_string())?,
+        "graphs" => client.graphs().map_err(|e| e.to_string())?,
+        "status" => client.status(id_arg()?).map_err(|e| e.to_string())?,
+        "result" => client.result(id_arg()?).map_err(|e| e.to_string())?,
+        "cancel" => {
+            let id = id_arg()?;
+            client.cancel(id).map_err(|e| e.to_string())?;
+            Value::object([("cancelled", Value::from(id))])
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            Value::object([("stopping", Value::from(true))])
+        }
+        "submit" => {
+            let graph = args
+                .get("graph")
+                .ok_or("--graph (registry name) is required")?;
+            let spec = job_spec_from_args(args, graph)?;
+            let id = client.submit(&spec).map_err(|e| e.to_string())?;
+            let wait_ms = args.get_usize("wait-ms", 60_000)?;
+            if wait_ms == 0 {
+                Value::object([("id", Value::from(id))])
+            } else {
+                client
+                    .wait(id, Duration::from_millis(wait_ms as u64))
+                    .map_err(|e| e.to_string())?
+            }
+        }
+        other => return Err(format!("unknown op '{other}'")),
+    };
+    println!("{}", fairsqg::wire::to_string_pretty(&reply));
     Ok(())
 }
 
@@ -244,6 +356,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "demo" => cmd_demo(),
         _ => return usage(),
     };

@@ -61,10 +61,12 @@ pub use fairsqg_matcher as matcher;
 pub use fairsqg_measures as measures;
 pub use fairsqg_query as query;
 pub use fairsqg_rpq as rpq;
+pub use fairsqg_service as service;
+pub use fairsqg_wire as wire;
 
 use fairsqg_algo::{
-    biqgen, cbm, enum_qgen, kungs, rfqgen, BiQGenOptions, CbmOptions, Configuration, Generated,
-    RfQGenOptions,
+    biqgen, cbm, enum_qgen, kungs, rfqgen, BiQGenOptions, CancelToken, CbmOptions, Configuration,
+    Generated, RfQGenOptions,
 };
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet};
 use fairsqg_measures::DiversityConfig;
@@ -152,6 +154,31 @@ impl<'g> FairSqg<'g> {
         spec: &CoverageSpec,
         algorithm: Algorithm,
     ) -> Generated {
+        self.generate_inner(template, groups, spec, algorithm, None)
+    }
+
+    /// Like [`generate`](Self::generate), but observing a cancellation /
+    /// deadline token: when it fires, the returned set is the partial
+    /// archive built so far, flagged [`Generated::truncated`].
+    pub fn generate_cancellable(
+        &self,
+        template: &QueryTemplate,
+        groups: &GroupSet,
+        spec: &CoverageSpec,
+        algorithm: Algorithm,
+        cancel: &CancelToken,
+    ) -> Generated {
+        self.generate_inner(template, groups, spec, algorithm, Some(cancel))
+    }
+
+    fn generate_inner(
+        &self,
+        template: &QueryTemplate,
+        groups: &GroupSet,
+        spec: &CoverageSpec,
+        algorithm: Algorithm,
+        cancel: Option<&CancelToken>,
+    ) -> Generated {
         let domains = self.domains_for(template);
         let mut cfg = Configuration::new(
             self.graph,
@@ -164,6 +191,9 @@ impl<'g> FairSqg<'g> {
         );
         if let Some(pool) = &self.output_restriction {
             cfg = cfg.with_output_restriction(pool);
+        }
+        if let Some(token) = cancel {
+            cfg = cfg.with_cancel(token);
         }
         match algorithm {
             Algorithm::EnumQGen => enum_qgen(cfg, false),
@@ -179,7 +209,7 @@ impl<'g> FairSqg<'g> {
 pub mod prelude {
     pub use crate::{Algorithm, FairSqg};
     pub use fairsqg_algo::{
-        biqgen, cbm, enum_qgen, kungs, online_qgen, rfqgen, BiQGenOptions, CbmOptions,
+        biqgen, cbm, enum_qgen, kungs, online_qgen, rfqgen, BiQGenOptions, CancelToken, CbmOptions,
         Configuration, EvalResult, Evaluator, GenStats, Generated, OnlineOptions, OnlineQGen,
         RfQGenOptions, ShuffledStream,
     };

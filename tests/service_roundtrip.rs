@@ -1,0 +1,247 @@
+//! End-to-end tests of the `fairsqg-service` subsystem: wire round-trips
+//! against an in-process server on an ephemeral port, deadline truncation,
+//! cancellation, admission control, and concurrent in-flight jobs.
+
+use fairsqg::datagen::{social_graph, SocialConfig};
+use fairsqg::service::{
+    AlgoKind, Client, Engine, EngineConfig, GraphRegistry, JobSpec, JobState, SubmitError,
+};
+use fairsqg::wire::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TEMPLATE: &str = "\
+    node u0 : director\n\
+    node u1 : user\n\
+    edge u1 -recommend-> u0\n\
+    where u1.yearsOfExp >= ?\n\
+    output u0\n";
+
+fn graph(directors: usize, seed: u64) -> fairsqg::graph::Graph {
+    social_graph(SocialConfig {
+        directors,
+        majority_share: 0.6,
+        seed,
+    })
+}
+
+fn spec(graph: &str, deadline_ms: Option<u64>) -> JobSpec {
+    JobSpec {
+        graph: graph.into(),
+        template: TEMPLATE.into(),
+        group_attr: "gender".into(),
+        cover: 5,
+        algo: AlgoKind::EnumQGen,
+        eps: 0.05,
+        lambda: 0.5,
+        deadline_ms,
+    }
+}
+
+/// submit → poll → result over TCP, result caching, deadline truncation,
+/// and cancel-frees-worker — all against one served engine.
+#[test]
+fn wire_roundtrip_cache_deadline_cancel() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("small", graph(100, 1));
+    registry.insert("slow", graph(400, 2));
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_entries: 32,
+            default_deadline: None,
+        },
+    ));
+    let (addr, _stop, server) =
+        fairsqg::service::spawn("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = Client::connect(&addr.to_string()).unwrap();
+    client.ping().unwrap();
+
+    // Round trip: submit, wait, inspect the result body.
+    let id = client.submit(&spec("small", None)).unwrap();
+    let result = client.wait(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(
+        result.get("from_cache").and_then(Value::as_bool),
+        Some(false)
+    );
+    let body = result.get("result").expect("result body");
+    assert_eq!(body.get("truncated").and_then(Value::as_bool), Some(false));
+    assert!(
+        !body
+            .get("entries")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty(),
+        "a completed run must return suggestions"
+    );
+
+    // Identical resubmission is served from the cross-request cache.
+    let id2 = client.submit(&spec("small", None)).unwrap();
+    let cached = client.wait(id2, Duration::from_secs(60)).unwrap();
+    assert_eq!(
+        cached.get("from_cache").and_then(Value::as_bool),
+        Some(true)
+    );
+    let stats = client.stats().unwrap();
+    let hits = stats
+        .get("result_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(hits >= 1, "cache hit must be visible in stats, got {hits}");
+
+    // A tiny deadline yields a truncated partial archive, not a hang.
+    let id3 = client.submit(&spec("slow", Some(0))).unwrap();
+    let truncated = client.wait(id3, Duration::from_secs(60)).unwrap();
+    assert_eq!(
+        truncated
+            .get("result")
+            .and_then(|r| r.get("truncated"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+
+    // Cancelling a job frees its worker: a subsequent job still completes.
+    let id4 = client.submit(&spec("slow", None)).unwrap();
+    client.cancel(id4).unwrap();
+    match client.wait(id4, Duration::from_secs(60)) {
+        // Ran before the cancel landed: must be flagged truncated.
+        Ok(r) => assert_eq!(
+            r.get("result")
+                .and_then(|x| x.get("truncated"))
+                .and_then(Value::as_bool),
+            Some(true)
+        ),
+        // Cancelled while still queued.
+        Err(e) => assert!(e.to_string().contains("cancelled"), "unexpected: {e}"),
+    }
+    let id5 = client.submit(&spec("small", Some(60_000))).unwrap();
+    let after = client.wait(id5, Duration::from_secs(60)).unwrap();
+    assert!(after.get("result").is_some(), "worker was not freed");
+
+    // Per-stage latency aggregates are exposed.
+    let stats = client.stats().unwrap();
+    let generate_count = stats
+        .get("latency")
+        .and_then(|l| l.get("generate"))
+        .and_then(|g| g.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(generate_count >= 1);
+
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Eight jobs on eight distinct graphs are all in flight simultaneously.
+#[test]
+fn engine_sustains_eight_concurrent_jobs() {
+    let registry = Arc::new(GraphRegistry::new());
+    for i in 0..8u64 {
+        registry.insert(&format!("g{i}"), graph(400, 10 + i));
+    }
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 8,
+            queue_capacity: 16,
+            cache_entries: 0,
+            default_deadline: None,
+        },
+    );
+    let ids: Vec<u64> = (0..8)
+        .map(|i| engine.submit(spec(&format!("g{i}"), None)).unwrap())
+        .collect();
+
+    // All eight must be observed Running at the same instant.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let running = ids
+            .iter()
+            .filter(|&&id| engine.status(id).unwrap().state == JobState::Running)
+            .count();
+        if running == 8 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "never saw 8 simultaneous running jobs (last count: {running})"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Wind down quickly; a mid-run cancel settles as a truncated Done.
+    for &id in &ids {
+        engine.cancel(id);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let settled = ids
+            .iter()
+            .filter(|&&id| {
+                matches!(
+                    engine.status(id).unwrap().state,
+                    JobState::Done | JobState::Cancelled | JobState::Failed
+                )
+            })
+            .count();
+        if settled == 8 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "jobs failed to settle");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for &id in &ids {
+        assert_ne!(engine.status(id).unwrap().state, JobState::Failed);
+    }
+    engine.shutdown();
+}
+
+/// A full queue rejects with a structured `Overloaded`, and the rejection
+/// is counted in stats.
+#[test]
+fn engine_overload_is_structured() {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("g", graph(400, 42));
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            cache_entries: 0,
+            default_deadline: None,
+        },
+    );
+
+    // Occupy the single worker, then fill the single queue slot.
+    let running = engine.submit(spec("g", None)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.status(running).unwrap().state != JobState::Running {
+        assert!(Instant::now() < deadline, "worker never picked up the job");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut slow = spec("g", None);
+    slow.eps = 0.07; // distinct fingerprint — not served from cache
+    let queued = engine.submit(slow).unwrap();
+
+    let mut third = spec("g", None);
+    third.eps = 0.09;
+    match engine.submit(third) {
+        Err(SubmitError::Overloaded { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = engine.stats_value();
+    assert!(stats.get("rejected").and_then(Value::as_u64).unwrap() >= 1);
+
+    // Unknown graphs are rejected up front, not queued.
+    assert!(matches!(
+        engine.submit(spec("missing", None)),
+        Err(SubmitError::UnknownGraph(_))
+    ));
+
+    engine.cancel(running);
+    engine.cancel(queued);
+    engine.shutdown();
+}

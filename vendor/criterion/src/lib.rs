@@ -1,0 +1,226 @@
+//! Offline vendored mini benchmark harness exposing the `criterion 0.5`
+//! API subset used by the workspace benches: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `sample_size`, and `Bencher::iter`.
+//!
+//! Measurements are a simple mean over the sample count (no outlier
+//! analysis or plots); results print one line per benchmark. The point is
+//! to keep `cargo bench` and `cargo test --benches` compiling and usable
+//! offline, not to replace criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function/parameter pair, rendered `name/param`.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, param: P) -> Self {
+        Self {
+            name: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter<P: fmt::Display>(param: P) -> Self {
+        Self {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `samples` executions of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut body);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    fn effective_samples(&self) -> u64 {
+        self.sample_size.unwrap_or(self.parent.sample_size)
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.effective_samples(), &mut body);
+        self
+    }
+
+    /// Runs a named benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        let mut b = Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut b, input);
+        report(&full, samples, b.elapsed);
+        self
+    }
+
+    /// Finishes the group (no-op; mirrors criterion's API).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: u64, body: &mut F) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    body(&mut b);
+    report(id, samples, b.elapsed);
+}
+
+fn report(id: &str, samples: u64, elapsed: Duration) {
+    let per = if samples > 0 {
+        elapsed.as_secs_f64() / samples as f64
+    } else {
+        0.0
+    };
+    println!(
+        "bench: {id:<48} {samples:>4} iters  {:>12.3} ms/iter",
+        per * 1e3
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("unit/noop", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.bench_function("plain", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(runs)
+                })
+            });
+            g.finish();
+        }
+        assert!(runs >= 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline vendored `Pcg64Mcg`: the 128-bit multiplicative congruential
+//! PCG with XSL-RR output, as popularized by `rand_pcg 0.3`. Deterministic
+//! and seedable, which is all the workspace relies on.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+
+/// PCG XSL-RR 128/64 (MCG). State advances by multiplication only, so the
+/// state must be odd; `new` forces the low bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64Mcg {
+    state: u128,
+}
+
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+impl Pcg64Mcg {
+    /// Creates a generator from a 128-bit seed (low bit forced to 1).
+    pub fn new(state: u128) -> Self {
+        Self { state: state | 1 }
+    }
+}
+
+impl RngCore for Pcg64Mcg {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MULTIPLIER);
+        // XSL-RR output function.
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Pcg64Mcg::new(11);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Pcg64Mcg::new(11);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Pcg64Mcg::new(12);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn usable_through_rng_trait() {
+        let mut r = Pcg64Mcg::new(99);
+        let x: usize = r.gen_range(0..10);
+        assert!(x < 10);
+        let f: f64 = r.gen_range(0.0f64..1.0);
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn output_is_well_distributed() {
+        // Cheap sanity: over 4096 draws, each of the 16 top nibbles shows up.
+        let mut r = Pcg64Mcg::new(5);
+        let mut seen = [false; 16];
+        for _ in 0..4096 {
+            seen[(r.next_u64() >> 60) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
