@@ -138,7 +138,7 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
 
     let mut truncated = false;
     while !s_f.is_empty() || !s_b.is_empty() {
-        if cfg.cancelled() {
+        if ev.should_stop() {
             truncated = true;
             break;
         }
@@ -284,6 +284,8 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
     stats.verified = ev.verified_count();
     stats.cache_hits = ev.cache_hit_count();
     stats.elapsed = start.elapsed();
+    stats.budget_tripped = ev.budget_tripped();
+    truncated |= stats.budget_tripped.is_some();
     Generated {
         entries: archive.entries().to_vec(),
         eps: cfg.eps,

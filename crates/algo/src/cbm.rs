@@ -127,6 +127,7 @@ pub fn cbm(cfg: Configuration<'_>, opts: CbmOptions) -> Generated {
             verified: anchor_ev.verified_count() + ev.verified_count(),
             cache_hits: anchor_ev.cache_hit_count() + ev.cache_hit_count(),
             elapsed: start.elapsed(),
+            budget_tripped: anchor_ev.budget_tripped().or(ev.budget_tripped()),
             ..GenStats::default()
         },
         anytime: Vec::new(),

@@ -2,6 +2,7 @@
 
 use crate::cancel::CancelToken;
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
+use fairsqg_matcher::{BudgetExceeded, MatchBudget};
 use fairsqg_measures::DiversityConfig;
 use fairsqg_query::{QueryTemplate, RefinementDomains};
 
@@ -35,6 +36,12 @@ pub struct Configuration<'a> {
     /// returns its partial archive with
     /// [`Generated::truncated`](crate::Generated::truncated) set.
     pub cancel: Option<&'a CancelToken>,
+    /// Per-verification resource caps (candidate-set size, backtracking
+    /// steps, match count). When a verification trips a cap, the run stops
+    /// and returns its partial archive flagged truncated, with the tripped
+    /// cap recorded in [`GenStats::budget_tripped`] — graceful degradation
+    /// instead of OOM/livelock on adversarial templates.
+    pub budget: MatchBudget,
 }
 
 impl<'a> Configuration<'a> {
@@ -73,6 +80,7 @@ impl<'a> Configuration<'a> {
             diversity,
             output_restriction: None,
             cancel: None,
+            budget: MatchBudget::UNLIMITED,
         }
     }
 
@@ -92,6 +100,12 @@ impl<'a> Configuration<'a> {
     /// [`cancel`](Self::cancel)).
     pub fn with_cancel(mut self, token: &'a CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Caps per-verification resources (see [`budget`](Self::budget)).
+    pub fn with_budget(mut self, budget: MatchBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -117,4 +131,7 @@ pub struct GenStats {
     pub pruned_sandwich: u64,
     /// Wall-clock time of the run.
     pub elapsed: std::time::Duration,
+    /// The resource cap that stopped the run early, if any (the run's
+    /// result is then flagged truncated).
+    pub budget_tripped: Option<BudgetExceeded>,
 }

@@ -21,8 +21,9 @@ pub fn evaluate_universe(ev: &mut Evaluator<'_>) -> Vec<(Instantiation, Rc<EvalR
 }
 
 /// Like [`evaluate_universe`], but stops early when the configuration's
-/// [`CancelToken`](crate::CancelToken) fires; the second component is `true`
-/// iff the sweep was cut short.
+/// [`CancelToken`](crate::CancelToken) fires or a verification trips its
+/// resource budget; the second component is `true` iff the sweep was cut
+/// short.
 pub fn evaluate_universe_cancellable(
     ev: &mut Evaluator<'_>,
 ) -> (Vec<(Instantiation, Rc<EvalResult>)>, bool) {
@@ -30,13 +31,13 @@ pub fn evaluate_universe_cancellable(
     let lat = InstanceLattice::new(cfg.domains);
     let mut out = Vec::new();
     for inst in lat.enumerate() {
-        if cfg.cancelled() {
+        if ev.should_stop() {
             return (out, true);
         }
         let r = ev.verify_with_best_parent(&inst);
         out.push((inst, r));
     }
-    (out, false)
+    (out, ev.should_stop())
 }
 
 /// `EnumQGen`: enumerate `I(Q)`, verify every instance, and maintain the
@@ -50,7 +51,7 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
     let mut spawned = 0u64;
     let mut truncated = false;
     for inst in lat.enumerate() {
-        if cfg.cancelled() {
+        if ev.should_stop() {
             truncated = true;
             break;
         }
@@ -75,6 +76,7 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
             }
         }
     }
+    truncated |= ev.budget_tripped().is_some();
     Generated {
         entries: archive.entries().to_vec(),
         eps: cfg.eps,
@@ -83,6 +85,7 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
             verified: ev.verified_count(),
             cache_hits: ev.cache_hit_count(),
             elapsed: start.elapsed(),
+            budget_tripped: ev.budget_tripped(),
             ..GenStats::default()
         },
         anytime,
@@ -102,13 +105,14 @@ pub fn kungs(cfg: Configuration<'_>) -> Generated {
     let mut universe: Vec<(Instantiation, Rc<EvalResult>)> = Vec::new();
     let mut truncated = false;
     for inst in InstanceLattice::new(cfg.domains).enumerate() {
-        if cfg.cancelled() {
+        if ev.should_stop() {
             truncated = true;
             break;
         }
         let r = ev.verify_with_best_parent(&inst);
         universe.push((inst, r));
     }
+    truncated |= ev.budget_tripped().is_some();
     let feasible: Vec<&(Instantiation, Rc<EvalResult>)> =
         universe.iter().filter(|(_, r)| r.feasible).collect();
     let objectives: Vec<_> = feasible.iter().map(|(_, r)| r.objectives).collect();
@@ -132,6 +136,7 @@ pub fn kungs(cfg: Configuration<'_>) -> Generated {
             verified: ev.verified_count(),
             cache_hits: ev.cache_hit_count(),
             elapsed: start.elapsed(),
+            budget_tripped: ev.budget_tripped(),
             ..GenStats::default()
         },
         anytime: Vec::new(),
@@ -244,6 +249,39 @@ mod tests {
         for p in &out.anytime {
             assert!(p.delta_star >= 0.0 && p.f_star >= 0.0);
         }
+    }
+
+    #[test]
+    fn tripped_budget_truncates_and_is_named_in_stats() {
+        use fairsqg_matcher::{BudgetKind, MatchBudget};
+        let fx = talent_fixture();
+        let cfg = fx.configuration(0.3).with_budget(MatchBudget {
+            max_steps: Some(1),
+            ..MatchBudget::UNLIMITED
+        });
+        let out = enum_qgen(cfg, false);
+        assert!(out.truncated, "a tripped budget must flag truncation");
+        let tripped = out.stats.budget_tripped.expect("budget trip recorded");
+        assert_eq!(tripped.kind, BudgetKind::Steps);
+        assert_eq!(tripped.limit, 1);
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited_run() {
+        use fairsqg_matcher::MatchBudget;
+        let fx = talent_fixture();
+        let unlimited = enum_qgen(fx.configuration(0.3), false);
+        let capped = enum_qgen(
+            fx.configuration(0.3).with_budget(MatchBudget {
+                max_candidates: Some(1_000_000),
+                max_steps: Some(100_000_000),
+                max_matches: Some(1_000_000),
+            }),
+            false,
+        );
+        assert!(!capped.truncated);
+        assert!(capped.stats.budget_tripped.is_none());
+        assert_eq!(unlimited.entries.len(), capped.entries.len());
     }
 
     #[test]

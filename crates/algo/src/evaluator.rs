@@ -2,7 +2,7 @@
 
 use crate::config::Configuration;
 use fairsqg_graph::NodeId;
-use fairsqg_matcher::{match_output_set, MatchOptions};
+use fairsqg_matcher::{try_match_output_set, BudgetExceeded, MatchOptions};
 use fairsqg_measures::{coverage_score, is_feasible, DiversityMeasure, Objectives};
 use fairsqg_query::{ConcreteQuery, Instantiation};
 use std::collections::HashMap;
@@ -33,6 +33,7 @@ pub struct Evaluator<'a> {
     cache: HashMap<Instantiation, Rc<EvalResult>>,
     verified: u64,
     cache_hits: u64,
+    budget_tripped: Option<BudgetExceeded>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -45,6 +46,7 @@ impl<'a> Evaluator<'a> {
             cache: HashMap::new(),
             verified: 0,
             cache_hits: 0,
+            budget_tripped: None,
         }
     }
 
@@ -66,6 +68,19 @@ impl<'a> Evaluator<'a> {
     /// Number of cache hits.
     pub fn cache_hit_count(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// The resource cap a verification tripped, if any. Once set, the
+    /// search loops stop and flag their partial archive truncated.
+    pub fn budget_tripped(&self) -> Option<BudgetExceeded> {
+        self.budget_tripped
+    }
+
+    /// Whether the run should stop: the cancel token fired, or a
+    /// verification tripped its resource budget. This is the single check
+    /// every search loop performs between verifications.
+    pub fn should_stop(&self) -> bool {
+        self.budget_tripped.is_some() || self.cfg.cancelled()
     }
 
     /// Returns the cached result for `inst`, if already verified.
@@ -98,13 +113,29 @@ impl<'a> Evaluator<'a> {
         // output restriction (the root was verified under it), so the
         // tighter of the two suffices.
         let restriction = ancestor_matches.or(self.cfg.output_restriction);
-        let matches = match_output_set(
+        let matches = match try_match_output_set(
             self.cfg.graph,
             &query,
             MatchOptions {
                 restrict_output: restriction,
             },
-        );
+            &self.cfg.budget,
+        ) {
+            Ok(matches) => matches,
+            Err(tripped) => {
+                // The result is unknown, not infeasible: record the trip
+                // (stopping the run) and hand back a conservative
+                // empty/infeasible placeholder that is *not* cached, so it
+                // can never masquerade as a real verification later.
+                self.budget_tripped.get_or_insert(tripped);
+                return Rc::new(EvalResult {
+                    matches: Vec::new(),
+                    counts: vec![0; self.cfg.groups.len()],
+                    objectives: Objectives::new(0.0, 0.0),
+                    feasible: false,
+                });
+            }
+        };
         let counts = self.cfg.groups.count_in_groups(&matches);
         let delta = self.measure.score(&matches);
         let fcov = coverage_score(&counts, self.cfg.spec);

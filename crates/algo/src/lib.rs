@@ -48,6 +48,7 @@ pub use cbm::{cbm, CbmOptions};
 pub use config::{Configuration, GenStats};
 pub use enumerate::{enum_qgen, evaluate_universe, kungs};
 pub use evaluator::{EvalResult, Evaluator};
+pub use fairsqg_matcher::{BudgetExceeded, BudgetKind, MatchBudget};
 pub use online::{online_qgen, EpsTrace, OnlineOptions, OnlineQGen};
 pub use output::{AnytimePoint, Generated};
 pub use parallel::par_enum_qgen;

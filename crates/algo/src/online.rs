@@ -215,8 +215,15 @@ impl<'a> OnlineQGen<'a> {
         self.window.push_back((self.t, inst, result));
     }
 
+    /// Whether a verification tripped the configuration's resource budget
+    /// (the stream should stop feeding this generator).
+    pub fn should_stop(&self) -> bool {
+        self.evaluator.should_stop()
+    }
+
     /// Finalizes the run into a [`Generated`] report.
     pub fn finish(self, started: Instant) -> Generated {
+        let truncated = self.evaluator.budget_tripped().is_some();
         Generated {
             entries: self.archive.entries().to_vec(),
             eps: self.archive.eps(),
@@ -225,10 +232,11 @@ impl<'a> OnlineQGen<'a> {
                 verified: self.evaluator.verified_count(),
                 cache_hits: self.evaluator.cache_hit_count(),
                 elapsed: started.elapsed(),
+                budget_tripped: self.evaluator.budget_tripped(),
                 ..GenStats::default()
             },
             anytime: Vec::new(),
-            truncated: false,
+            truncated,
         }
     }
 }
@@ -246,7 +254,7 @@ where
     let mut gen = OnlineQGen::new(cfg, options);
     let mut truncated = false;
     for inst in stream {
-        if cfg.cancelled() {
+        if cfg.cancelled() || gen.should_stop() {
             truncated = true;
             break;
         }
@@ -254,7 +262,7 @@ where
     }
     let trace = gen.trace().to_vec();
     let mut out = gen.finish(start);
-    out.truncated = truncated;
+    out.truncated |= truncated;
     (out, trace)
 }
 

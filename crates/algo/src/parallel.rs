@@ -12,7 +12,7 @@ use crate::archive::EpsParetoArchive;
 use crate::config::{Configuration, GenStats};
 use crate::evaluator::EvalResult;
 use crate::output::Generated;
-use fairsqg_matcher::{match_output_set, MatchOptions};
+use fairsqg_matcher::{try_match_output_set, BudgetExceeded, MatchOptions};
 use fairsqg_measures::{coverage_score, is_feasible, DiversityMeasure, Objectives};
 use fairsqg_query::{ConcreteQuery, InstanceLattice, Instantiation};
 use std::rc::Rc;
@@ -23,19 +23,19 @@ fn verify_standalone(
     cfg: &Configuration<'_>,
     measure: &DiversityMeasure<'_>,
     inst: &Instantiation,
-) -> EvalResult {
+) -> Result<EvalResult, BudgetExceeded> {
     let query = ConcreteQuery::materialize(cfg.template, cfg.domains, inst);
-    let matches = match_output_set(cfg.graph, &query, MatchOptions::default());
+    let matches = try_match_output_set(cfg.graph, &query, MatchOptions::default(), &cfg.budget)?;
     let counts = cfg.groups.count_in_groups(&matches);
     let delta = measure.score(&matches);
     let fcov = coverage_score(&counts, cfg.spec);
     let feasible = is_feasible(&counts, cfg.spec);
-    EvalResult {
+    Ok(EvalResult {
         matches,
         counts,
         objectives: Objectives::new(delta, fcov),
         feasible,
-    }
+    })
 }
 
 /// Parallel `EnumQGen`: verifies the whole instance space on `threads`
@@ -47,7 +47,8 @@ pub fn par_enum_qgen(cfg: Configuration<'_>, threads: usize) -> Generated {
     let all = lat.enumerate();
     let chunk = all.len().div_ceil(threads);
 
-    let results: Vec<(Instantiation, EvalResult)> = std::thread::scope(|scope| {
+    type ChunkOut = (Vec<(Instantiation, EvalResult)>, Option<BudgetExceeded>);
+    let chunk_outs: Vec<ChunkOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in all.chunks(chunk.max(1)) {
             let cfg_ref = &cfg;
@@ -58,22 +59,35 @@ pub fn par_enum_qgen(cfg: Configuration<'_>, threads: usize) -> Generated {
                     cfg_ref.diversity,
                 );
                 let mut out = Vec::with_capacity(part.len());
+                let mut tripped = None;
                 for inst in part {
                     // Each worker observes the shared token independently;
                     // a fired token stops all chunks within one T_q.
                     if cfg_ref.cancelled() {
                         break;
                     }
-                    out.push((inst.clone(), verify_standalone(cfg_ref, &measure, inst)));
+                    match verify_standalone(cfg_ref, &measure, inst) {
+                        Ok(result) => out.push((inst.clone(), result)),
+                        Err(e) => {
+                            // A tripped budget stops this chunk; the partial
+                            // match set is discarded, never reported.
+                            tripped = Some(e);
+                            break;
+                        }
+                    }
                 }
-                out
+                (out, tripped)
             }));
         }
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("verification worker panicked"))
+            .map(|h| h.join().expect("verification worker panicked"))
             .collect()
     });
+
+    let budget_tripped = chunk_outs.iter().find_map(|(_, t)| *t);
+    let results: Vec<(Instantiation, EvalResult)> =
+        chunk_outs.into_iter().flat_map(|(out, _)| out).collect();
 
     let total = all.len() as u64;
     let verified = results.len() as u64;
@@ -93,6 +107,7 @@ pub fn par_enum_qgen(cfg: Configuration<'_>, threads: usize) -> Generated {
             spawned: verified,
             verified,
             elapsed: start.elapsed(),
+            budget_tripped,
             ..GenStats::default()
         },
         anytime: Vec::new(),

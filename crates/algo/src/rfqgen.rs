@@ -51,7 +51,7 @@ pub fn rfqgen(cfg: Configuration<'_>, opts: RfQGenOptions) -> Generated {
     let mut truncated = false;
 
     while let Some(inst) = stack.pop() {
-        if cfg.cancelled() {
+        if ev.should_stop() {
             truncated = true;
             break;
         }
@@ -103,6 +103,8 @@ pub fn rfqgen(cfg: Configuration<'_>, opts: RfQGenOptions) -> Generated {
     stats.verified = ev.verified_count();
     stats.cache_hits = ev.cache_hit_count();
     stats.elapsed = start.elapsed();
+    stats.budget_tripped = ev.budget_tripped();
+    truncated |= stats.budget_tripped.is_some();
     Generated {
         entries: archive.entries().to_vec(),
         eps: cfg.eps,

@@ -86,6 +86,7 @@ pub fn wsm(cfg: Configuration<'_>, opts: WsmOptions) -> Generated {
             verified: ev.verified_count(),
             cache_hits: ev.cache_hit_count(),
             elapsed: start.elapsed(),
+            budget_tripped: ev.budget_tripped(),
             ..GenStats::default()
         },
         anytime: Vec::new(),

@@ -1,0 +1,356 @@
+//! # fairsqg-faults
+//!
+//! A deterministic fail-point layer for chaos-testing the FairSQG stack.
+//!
+//! Production code places *named points* on its failure-prone paths:
+//!
+//! ```
+//! if let Some(fault) = fairsqg_faults::fire("queue.admit") {
+//!     match fault {
+//!         fairsqg_faults::Fault::Error(msg) => { /* return a structured error */ }
+//!         fairsqg_faults::Fault::ReturnEarly => { /* skip the step */ }
+//!     }
+//! }
+//! ```
+//!
+//! Points are *armed* with an action — [`arm`] programmatically, or the
+//! `FAIRSQG_FAILPOINTS` environment variable
+//! (`point=action[;point=action...]`) read once on first use. Supported
+//! actions:
+//!
+//! | action         | effect at the point                               |
+//! |----------------|---------------------------------------------------|
+//! | `panic`        | `panic!` (optionally `panic(message)`)            |
+//! | `error`        | yields [`Fault::Error`] (optionally `error(msg)`) |
+//! | `sleep(ms)`    | blocks the calling thread for `ms` milliseconds   |
+//! | `return_early` | yields [`Fault::ReturnEarly`]                     |
+//! | `off`          | disarms the point                                 |
+//!
+//! Any action can be limited to the first `N` firings with an `N*` prefix
+//! (`2*error(connection reset)`), after which the point is spent and
+//! subsequent [`fire`] calls pass through — this makes "fail twice, then
+//! recover" retry tests deterministic.
+//!
+//! Without the `failpoints` cargo feature every function in this crate is
+//! a no-op ([`fire`] is a constant `None`), so release builds carry no
+//! registry, no locks, and no branches beyond one inlined return.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// What an armed point asks the calling code to do.
+///
+/// `Panic` and `Sleep` are handled inside [`fire`] itself; only the two
+/// variants a caller must act on are surfaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the current operation with this message.
+    Error(String),
+    /// Skip the guarded step (e.g. drop a cache insert) and continue.
+    ReturnEarly,
+}
+
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use super::Fault;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Debug, Clone)]
+    enum Action {
+        Panic(Option<String>),
+        Error(String),
+        SleepMs(u64),
+        ReturnEarly,
+    }
+
+    struct Entry {
+        action: Action,
+        /// `None` = unlimited; `Some(n)` = fire `n` more times, then pass
+        /// through.
+        remaining: Option<u64>,
+        hits: u64,
+    }
+
+    /// Fast path: a single relaxed load when nothing was ever armed.
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+    fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("FAIRSQG_FAILPOINTS") {
+                for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+                    if let Some((name, action)) = part.split_once('=') {
+                        if let Ok(entry) = parse_entry(action.trim()) {
+                            map.insert(name.trim().to_string(), entry);
+                        }
+                    }
+                }
+                if !map.is_empty() {
+                    ANY_ARMED.store(true, Ordering::Release);
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    fn parse_entry(spec: &str) -> Result<Entry, String> {
+        let (remaining, action) = match spec.split_once('*') {
+            Some((n, rest)) => {
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad count in '{spec}'"))?;
+                (Some(n), rest.trim())
+            }
+            None => (None, spec),
+        };
+        let (head, arg) = match action.split_once('(') {
+            Some((h, rest)) => {
+                let arg = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed '(' in '{spec}'"))?;
+                (h.trim(), Some(arg.to_string()))
+            }
+            None => (action.trim(), None),
+        };
+        let action = match head {
+            "panic" => Action::Panic(arg),
+            "error" => Action::Error(arg.unwrap_or_else(|| "injected fault".to_string())),
+            "sleep" => Action::SleepMs(
+                arg.ok_or_else(|| "sleep needs a duration: sleep(ms)".to_string())?
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad sleep duration in '{spec}'"))?,
+            ),
+            "return_early" => Action::ReturnEarly,
+            other => return Err(format!("unknown fail-point action '{other}'")),
+        };
+        Ok(Entry {
+            action,
+            remaining,
+            hits: 0,
+        })
+    }
+
+    pub fn arm(name: &str, action: &str) -> Result<(), String> {
+        if action.trim() == "off" {
+            disarm(name);
+            return Ok(());
+        }
+        let entry = parse_entry(action)?;
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), entry);
+        ANY_ARMED.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    pub fn disarm(name: &str) {
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name);
+    }
+
+    pub fn disarm_all() {
+        registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    pub fn hits(name: &str) -> u64 {
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map_or(0, |e| e.hits)
+    }
+
+    pub fn fire(name: &str) -> Option<Fault> {
+        // Force the registry (and with it the FAIRSQG_FAILPOINTS parse) to
+        // initialize before consulting the fast-path flag — otherwise
+        // env-armed points never fire because nothing else touches the
+        // registry. Once initialized this is a single atomic load.
+        registry();
+        if !ANY_ARMED.load(Ordering::Acquire) {
+            return None;
+        }
+        // Decide under the lock, act after releasing it: a `panic` action
+        // must not poison the registry, and a `sleep` must not serialize
+        // unrelated points.
+        let action = {
+            let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+            let entry = map.get_mut(name)?;
+            match entry.remaining {
+                Some(0) => return None,
+                Some(ref mut n) => *n -= 1,
+                None => {}
+            }
+            entry.hits += 1;
+            entry.action.clone()
+        };
+        match action {
+            Action::Panic(msg) => {
+                let msg = msg.unwrap_or_else(|| format!("fail point '{name}' panicked"));
+                panic!("{msg}");
+            }
+            Action::Error(msg) => Some(Fault::Error(msg)),
+            Action::SleepMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Action::ReturnEarly => Some(Fault::ReturnEarly),
+        }
+    }
+}
+
+/// Evaluates the fail point `name`.
+///
+/// Returns `None` when the point is disarmed, spent, or fail points are
+/// compiled out. A `panic` action panics here; a `sleep(ms)` action blocks
+/// and then returns `None`; `error`/`return_early` are returned for the
+/// caller to act on.
+#[cfg(feature = "failpoints")]
+pub fn fire(name: &str) -> Option<Fault> {
+    enabled::fire(name)
+}
+
+/// No-op (fail points compiled out).
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn fire(_name: &str) -> Option<Fault> {
+    None
+}
+
+/// Arms `name` with `action` (see the crate docs for the action grammar).
+///
+/// Errors on a malformed action, or — so that chaos tests fail loudly
+/// instead of silently testing nothing — when fail points are compiled out.
+#[cfg(feature = "failpoints")]
+pub fn arm(name: &str, action: &str) -> Result<(), String> {
+    enabled::arm(name, action)
+}
+
+/// Always errors (fail points compiled out).
+#[cfg(not(feature = "failpoints"))]
+pub fn arm(_name: &str, _action: &str) -> Result<(), String> {
+    Err("fail points are compiled out (enable the `failpoints` feature)".into())
+}
+
+/// Disarms `name` (no-op if not armed or compiled out).
+pub fn disarm(name: &str) {
+    #[cfg(feature = "failpoints")]
+    enabled::disarm(name);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = name;
+}
+
+/// Disarms every point (no-op when compiled out).
+pub fn disarm_all() {
+    #[cfg(feature = "failpoints")]
+    enabled::disarm_all();
+}
+
+/// How many times `name` has fired (always 0 when compiled out).
+pub fn hits(name: &str) -> u64 {
+    #[cfg(feature = "failpoints")]
+    return enabled::hits(name);
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = name;
+        0
+    }
+}
+
+/// RAII guard that disarms its point on drop — keeps chaos tests from
+/// leaking armed points into each other.
+pub struct Guard(String);
+
+impl Guard {
+    /// Arms `name` with `action`, disarming it when the guard drops.
+    pub fn arm(name: &str, action: &str) -> Result<Self, String> {
+        arm(name, action)?;
+        Ok(Self(name.to_string()))
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        disarm(&self.0);
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // Tests share a process-global registry; use distinct point names.
+
+    #[test]
+    fn disarmed_points_pass_through() {
+        assert_eq!(fire("t.nothing"), None);
+    }
+
+    #[test]
+    fn error_action_fires_and_counts() {
+        arm("t.err", "error(boom)").unwrap();
+        assert_eq!(fire("t.err"), Some(Fault::Error("boom".into())));
+        assert_eq!(hits("t.err"), 1);
+        disarm("t.err");
+        assert_eq!(fire("t.err"), None);
+    }
+
+    #[test]
+    fn count_limits_are_honored() {
+        arm("t.twice", "2*error(x)").unwrap();
+        assert!(fire("t.twice").is_some());
+        assert!(fire("t.twice").is_some());
+        assert_eq!(fire("t.twice"), None, "spent after two firings");
+        assert_eq!(hits("t.twice"), 2);
+        disarm("t.twice");
+    }
+
+    #[test]
+    fn return_early_and_guard() {
+        {
+            let _g = Guard::arm("t.skip", "return_early").unwrap();
+            assert_eq!(fire("t.skip"), Some(Fault::ReturnEarly));
+        }
+        assert_eq!(fire("t.skip"), None, "guard disarms on drop");
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        arm("t.panic", "panic(kaboom)").unwrap();
+        let err = std::panic::catch_unwind(|| fire("t.panic")).unwrap_err();
+        disarm("t.panic");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("kaboom"));
+    }
+
+    #[test]
+    fn sleep_action_blocks_then_passes() {
+        arm("t.sleep", "sleep(30)").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(fire("t.sleep"), None);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        disarm("t.sleep");
+    }
+
+    #[test]
+    fn malformed_actions_are_rejected() {
+        assert!(arm("t.bad", "explode").is_err());
+        assert!(arm("t.bad", "sleep").is_err());
+        assert!(arm("t.bad", "x*error").is_err());
+        assert!(arm("t.bad", "sleep(abc)").is_err());
+    }
+
+    #[test]
+    fn off_disarms() {
+        arm("t.off", "error").unwrap();
+        arm("t.off", "off").unwrap();
+        assert_eq!(fire("t.off"), None);
+    }
+}

@@ -28,20 +28,36 @@ use std::io::{BufRead, Write};
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Malformed content (with 1-based line number).
+    /// Malformed content (with 1-based line and column numbers).
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the offending field.
+        column: usize,
         /// Explanation.
         message: String,
     },
+}
+
+impl IoError {
+    /// The 1-based (line, column) position for `Parse` errors.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            IoError::Io(_) => None,
+            IoError::Parse { line, column, .. } => Some((*line, *column)),
+        }
+    }
 }
 
 impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "line {line}, column {column}: {message}"),
         }
     }
 }
@@ -83,8 +99,42 @@ pub fn write_tsv<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
     Ok(())
 }
 
+fn parse_err(line: usize, column: usize, message: String) -> IoError {
+    IoError::Parse {
+        line,
+        column,
+        message,
+    }
+}
+
+/// Splits one content line into its TAB-separated fields, each paired with
+/// its 1-based byte column in the original line.
+fn split_fields<'a>(line: &str, content: &'a str) -> Vec<(usize, &'a str)> {
+    // `content` is `line` minus leading/trailing whitespace; its offset in
+    // `line` anchors the column numbers to what the user actually sent.
+    let base = content.as_ptr() as usize - line.as_ptr() as usize;
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for f in content.split('\t') {
+        out.push((base + pos + 1, f));
+        pos += f.len() + 1;
+    }
+    out
+}
+
 /// Reads a graph from the TSV format.
+///
+/// Errors carry the 1-based line and column of the offending field, so a
+/// caller (e.g. the service's `load` op) can report them as structured,
+/// machine-readable positions instead of opaque strings.
 pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
+    if let Some(fault) = fairsqg_faults::fire("graph.load") {
+        let message = match fault {
+            fairsqg_faults::Fault::Error(m) => m,
+            fairsqg_faults::Fault::ReturnEarly => "graph load aborted (injected)".to_string(),
+        };
+        return Err(IoError::Io(std::io::Error::other(message)));
+    }
     let mut builder = GraphBuilder::new();
     let mut in_edges = false;
     let mut expected_id: u64 = 0;
@@ -99,36 +149,45 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
         if content.starts_with('#') {
             continue;
         }
-        let mut fields = content.split('\t');
+        let fields = split_fields(&line, content);
+        let mut fields = fields.into_iter();
         if !in_edges {
-            let id: u64 = fields.next().unwrap().parse().map_err(|_| IoError::Parse {
-                line: line_no,
-                message: "node id must be an integer".into(),
+            let (col, id_str) = fields
+                .next()
+                .ok_or_else(|| parse_err(line_no, 1, "empty node line".into()))?;
+            let id: u64 = id_str.parse().map_err(|_| {
+                parse_err(
+                    line_no,
+                    col,
+                    format!("node id must be an integer, found '{id_str}'"),
+                )
             })?;
             if id != expected_id {
-                return Err(IoError::Parse {
-                    line: line_no,
-                    message: format!("node ids must be dense (expected {expected_id}, got {id})"),
-                });
+                return Err(parse_err(
+                    line_no,
+                    col,
+                    format!("node ids must be dense (expected {expected_id}, got {id})"),
+                ));
             }
             expected_id += 1;
-            let label = fields.next().ok_or_else(|| IoError::Parse {
-                line: line_no,
-                message: "missing node label".into(),
-            })?;
+            let (_, label) = fields
+                .next()
+                .ok_or_else(|| parse_err(line_no, col, "missing node label".into()))?;
             let mut attrs = Vec::new();
-            for f in fields {
-                let (name, value) = f.split_once('=').ok_or_else(|| IoError::Parse {
-                    line: line_no,
-                    message: format!("expected attr=value, found '{f}'"),
+            for (fcol, f) in fields {
+                let (name, value) = f.split_once('=').ok_or_else(|| {
+                    parse_err(line_no, fcol, format!("expected attr=value, found '{f}'"))
                 })?;
                 let value = if let Some(s) = value.strip_prefix("s:") {
                     let sym = builder.schema_mut().symbol(s);
                     AttrValue::Str(sym)
                 } else {
-                    AttrValue::Int(value.parse().map_err(|_| IoError::Parse {
-                        line: line_no,
-                        message: format!("expected integer or s:string value, found '{value}'"),
+                    AttrValue::Int(value.parse().map_err(|_| {
+                        parse_err(
+                            line_no,
+                            fcol + name.len() + 1,
+                            format!("expected integer or s:string value, found '{value}'"),
+                        )
                     })?)
                 };
                 let attr = builder.schema_mut().attr(name);
@@ -137,30 +196,43 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
             let label = builder.schema_mut().node_label(label);
             builder.add_node(label, &attrs);
         } else {
-            let src: u32 = fields.next().unwrap().parse().map_err(|_| IoError::Parse {
-                line: line_no,
-                message: "edge source must be an integer".into(),
-            })?;
-            let label = fields.next().ok_or_else(|| IoError::Parse {
-                line: line_no,
-                message: "missing edge label".into(),
-            })?;
-            let dst: u32 = fields
+            let (col, src_str) = fields
                 .next()
-                .ok_or_else(|| IoError::Parse {
-                    line: line_no,
-                    message: "missing edge target".into(),
-                })?
-                .parse()
-                .map_err(|_| IoError::Parse {
-                    line: line_no,
-                    message: "edge target must be an integer".into(),
-                })?;
+                .ok_or_else(|| parse_err(line_no, 1, "empty edge line".into()))?;
+            let src: u32 = src_str.parse().map_err(|_| {
+                parse_err(
+                    line_no,
+                    col,
+                    format!("edge source must be an integer, found '{src_str}'"),
+                )
+            })?;
+            let (lcol, label) = fields
+                .next()
+                .ok_or_else(|| parse_err(line_no, col, "missing edge label".into()))?;
+            let (dcol, dst_str) = fields
+                .next()
+                .ok_or_else(|| parse_err(line_no, lcol, "missing edge target".into()))?;
+            let dst: u32 = dst_str.parse().map_err(|_| {
+                parse_err(
+                    line_no,
+                    dcol,
+                    format!("edge target must be an integer, found '{dst_str}'"),
+                )
+            })?;
             if src as usize >= builder.node_count() || dst as usize >= builder.node_count() {
-                return Err(IoError::Parse {
-                    line: line_no,
-                    message: "edge endpoint out of range".into(),
-                });
+                let col = if src as usize >= builder.node_count() {
+                    col
+                } else {
+                    dcol
+                };
+                return Err(parse_err(
+                    line_no,
+                    col,
+                    format!(
+                        "edge endpoint out of range (graph has {} nodes)",
+                        builder.node_count()
+                    ),
+                ));
             }
             let label = builder.schema_mut().edge_label(label);
             builder.add_edge(NodeId(src), NodeId(dst), label);
@@ -231,6 +303,24 @@ mod tests {
         let text = "0\ta\tbroken\n\n";
         let err = read_tsv(BufReader::new(text.as_bytes())).unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        // Bad attribute value on the third field of line 1.
+        let text = "0\ta\tgender=x\n\n";
+        let err = read_tsv(BufReader::new(text.as_bytes())).unwrap_err();
+        let (line, column) = err.position().expect("parse error");
+        assert_eq!(line, 1);
+        // Field starts at byte 5 (1-based), value after "gender=".
+        assert_eq!(column, 5 + "gender=".len());
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn io_errors_have_no_position() {
+        let e = IoError::from(std::io::Error::other("boom"));
+        assert!(e.position().is_none());
     }
 
     #[test]

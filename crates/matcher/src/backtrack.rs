@@ -9,6 +9,7 @@
 //! and drives each extension through the adjacency list of an
 //! already-matched neighbor.
 
+use crate::budget::{BudgetExceeded, BudgetKind, MatchBudget};
 use crate::candidates::{candidates, candidates_from_pool};
 use fairsqg_graph::{EdgeLabelId, Graph, NodeId};
 use fairsqg_query::{ConcreteQuery, QNodeId};
@@ -36,6 +37,22 @@ struct QConstraint {
 
 /// Computes the match set `q(u_o, G)` of the output node, sorted ascending.
 pub fn match_output_set(graph: &Graph, query: &ConcreteQuery, opts: MatchOptions) -> Vec<NodeId> {
+    match try_match_output_set(graph, query, opts, &MatchBudget::UNLIMITED) {
+        Ok(matches) => matches,
+        Err(e) => unreachable!("unlimited budget tripped: {e}"),
+    }
+}
+
+/// Like [`match_output_set`], but stops with a structured
+/// [`BudgetExceeded`] as soon as `budget`'s candidate/step/match caps are
+/// reached — the worst-case-exponential search can never OOM or livelock
+/// past its caps.
+pub fn try_match_output_set(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    opts: MatchOptions,
+    budget: &MatchBudget,
+) -> Result<Vec<NodeId>, BudgetExceeded> {
     let active: Vec<QNodeId> = query.active_nodes().collect();
     debug_assert!(active.contains(&query.output));
 
@@ -64,14 +81,31 @@ pub fn match_output_set(graph: &Graph, query: &ConcreteQuery, opts: MatchOptions
             c.retain(|&v| graph.out_degree(v) >= out_req && graph.in_degree(v) >= in_req);
         }
         if c.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if let Some(max) = budget.max_candidates {
+            if c.len() as u64 > max {
+                return Err(BudgetExceeded {
+                    kind: BudgetKind::Candidates,
+                    limit: max,
+                });
+            }
         }
         cand.push(c);
     }
 
     // Single-node query: the candidate set is the match set.
     if active.len() == 1 {
-        return cand.into_iter().next().unwrap();
+        let matches = cand.into_iter().next().unwrap();
+        if let Some(max) = budget.max_matches {
+            if matches.len() as u64 > max {
+                return Err(BudgetExceeded {
+                    kind: BudgetKind::Matches,
+                    limit: max,
+                });
+            }
+        }
+        return Ok(matches);
     }
 
     // Greedy connected matching order starting from the output node.
@@ -139,26 +173,47 @@ pub fn match_output_set(graph: &Graph, query: &ConcreteQuery, opts: MatchOptions
 
     let mut result = Vec::new();
     let mut assignment: Vec<NodeId> = vec![NodeId(0); order.len()];
+    let mut steps: u64 = 0;
     for &v in cand_by_pos[0] {
         assignment[0] = v;
-        if extend(graph, &cand_by_pos, &constraints, &mut assignment, 1) {
+        if extend(
+            graph,
+            &cand_by_pos,
+            &constraints,
+            &mut assignment,
+            1,
+            &mut steps,
+            budget,
+        )? {
             result.push(v);
+            if let Some(max) = budget.max_matches {
+                if result.len() as u64 > max {
+                    return Err(BudgetExceeded {
+                        kind: BudgetKind::Matches,
+                        limit: max,
+                    });
+                }
+            }
         }
     }
-    result
+    Ok(result)
 }
 
-/// Tries to extend the partial embedding at `pos`; returns `true` on the
-/// first complete embedding.
+/// Tries to extend the partial embedding at `pos`; returns `Ok(true)` on
+/// the first complete embedding, or [`BudgetExceeded`] once the step cap
+/// is reached.
+#[allow(clippy::too_many_arguments)]
 fn extend(
     graph: &Graph,
     cand_by_pos: &[&[NodeId]],
     constraints: &[Vec<QConstraint>],
     assignment: &mut [NodeId],
     pos: usize,
-) -> bool {
+    steps: &mut u64,
+    budget: &MatchBudget,
+) -> Result<bool, BudgetExceeded> {
     if pos == cand_by_pos.len() {
-        return true;
+        return Ok(true);
     }
     let cons = &constraints[pos];
 
@@ -194,6 +249,15 @@ fn extend(
         if l != drive.label {
             continue;
         }
+        *steps += 1;
+        if let Some(max) = budget.max_steps {
+            if *steps > max {
+                return Err(BudgetExceeded {
+                    kind: BudgetKind::Steps,
+                    limit: max,
+                });
+            }
+        }
         // Injectivity.
         if assignment[..pos].contains(&v) {
             continue;
@@ -218,9 +282,17 @@ fn extend(
             }
         }
         assignment[pos] = v;
-        if extend(graph, cand_by_pos, constraints, assignment, pos + 1) {
-            return true;
+        if extend(
+            graph,
+            cand_by_pos,
+            constraints,
+            assignment,
+            pos + 1,
+            steps,
+            budget,
+        )? {
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }

@@ -1,0 +1,124 @@
+//! Resource budgets for one match-set computation.
+//!
+//! Subgraph isomorphism is NP-hard; one adversarial template can pin a
+//! core or exhaust memory long before any wall-clock deadline check runs.
+//! A [`MatchBudget`] caps the three quantities that grow without bound —
+//! candidate-set size, backtracking steps, and emitted matches — and trips
+//! a structured [`BudgetExceeded`] instead, letting callers degrade to a
+//! partial, `truncated`-flagged result.
+
+use std::fmt;
+
+/// Caps applied to a single verification (all `None` = unlimited).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchBudget {
+    /// Maximum size of any per-query-node candidate set.
+    pub max_candidates: Option<u64>,
+    /// Maximum backtracking extension steps (candidate nodes tried).
+    pub max_steps: Option<u64>,
+    /// Maximum output matches emitted.
+    pub max_matches: Option<u64>,
+}
+
+impl MatchBudget {
+    /// A budget with no caps.
+    pub const UNLIMITED: MatchBudget = MatchBudget {
+        max_candidates: None,
+        max_steps: None,
+        max_matches: None,
+    };
+
+    /// Whether any cap is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_candidates.is_some() || self.max_steps.is_some() || self.max_matches.is_some()
+    }
+
+    /// Field-wise: this budget's caps, falling back to `default` where
+    /// unset. Used by the service to merge per-job caps over engine
+    /// defaults.
+    pub fn or(&self, default: &MatchBudget) -> MatchBudget {
+        MatchBudget {
+            max_candidates: self.max_candidates.or(default.max_candidates),
+            max_steps: self.max_steps.or(default.max_steps),
+            max_matches: self.max_matches.or(default.max_matches),
+        }
+    }
+}
+
+/// Which cap a verification tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// A candidate set exceeded `max_candidates`.
+    Candidates,
+    /// The backtracking search exceeded `max_steps`.
+    Steps,
+    /// The match set exceeded `max_matches`.
+    Matches,
+}
+
+impl BudgetKind {
+    /// The wire/stats name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Candidates => "max_candidates",
+            Self::Steps => "max_steps",
+            Self::Matches => "max_matches",
+        }
+    }
+}
+
+/// A verification stopped because a [`MatchBudget`] cap was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The cap that tripped.
+    pub kind: BudgetKind,
+    /// Its configured limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verification budget exceeded: {} > {}",
+            self.kind.name(),
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_prefers_specific_caps() {
+        let default = MatchBudget {
+            max_candidates: Some(100),
+            max_steps: Some(1000),
+            max_matches: None,
+        };
+        let specific = MatchBudget {
+            max_steps: Some(10),
+            ..MatchBudget::default()
+        };
+        let merged = specific.or(&default);
+        assert_eq!(merged.max_candidates, Some(100));
+        assert_eq!(merged.max_steps, Some(10));
+        assert_eq!(merged.max_matches, None);
+        assert!(merged.is_limited());
+        assert!(!MatchBudget::UNLIMITED.is_limited());
+    }
+
+    #[test]
+    fn display_names_the_cap() {
+        let e = BudgetExceeded {
+            kind: BudgetKind::Steps,
+            limit: 42,
+        };
+        assert!(e.to_string().contains("max_steps"));
+        assert!(e.to_string().contains("42"));
+    }
+}

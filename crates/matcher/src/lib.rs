@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 
 mod backtrack;
+mod budget;
 mod candidates;
 mod multi_output;
 mod node_matches;
 mod reference;
 
-pub use backtrack::{match_output_set, MatchOptions};
+pub use backtrack::{match_output_set, try_match_output_set, MatchOptions};
+pub use budget::{BudgetExceeded, BudgetKind, MatchBudget};
 pub use candidates::{candidates, candidates_from_pool, satisfies_literals};
 pub use multi_output::match_output_tuples;
 pub use node_matches::{count_embeddings, match_node_set};
@@ -118,6 +120,70 @@ mod tests {
         );
         assert_eq!(full, restricted);
         assert_eq!(full, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn unlimited_budget_agrees_with_plain_matching() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let plain = match_output_set(&g, &q, MatchOptions::default());
+        let bounded =
+            try_match_output_set(&g, &q, MatchOptions::default(), &MatchBudget::UNLIMITED).unwrap();
+        assert_eq!(plain, bounded);
+    }
+
+    #[test]
+    fn candidate_cap_trips_structurally() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let budget = MatchBudget {
+            max_candidates: Some(1),
+            ..MatchBudget::default()
+        };
+        let err = try_match_output_set(&g, &q, MatchOptions::default(), &budget).unwrap_err();
+        assert_eq!(err.kind, BudgetKind::Candidates);
+        assert_eq!(err.limit, 1);
+    }
+
+    #[test]
+    fn step_cap_trips_structurally() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let budget = MatchBudget {
+            max_steps: Some(1),
+            ..MatchBudget::default()
+        };
+        let err = try_match_output_set(&g, &q, MatchOptions::default(), &budget).unwrap_err();
+        assert_eq!(err.kind, BudgetKind::Steps);
+    }
+
+    #[test]
+    fn match_cap_trips_structurally() {
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        let budget = MatchBudget {
+            max_matches: Some(2),
+            ..MatchBudget::default()
+        };
+        // Root instance has 3 matches; a cap of 2 must trip.
+        let err = try_match_output_set(&g, &q, MatchOptions::default(), &budget).unwrap_err();
+        assert_eq!(err.kind, BudgetKind::Matches);
+        // A generous cap passes through untouched.
+        let ok = try_match_output_set(
+            &g,
+            &q,
+            MatchOptions::default(),
+            &MatchBudget {
+                max_matches: Some(10),
+                ..MatchBudget::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 3);
     }
 
     #[test]

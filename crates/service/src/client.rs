@@ -1,10 +1,22 @@
-//! Blocking client for the NDJSON wire protocol.
+//! Blocking client for the NDJSON wire protocol, with retry/backoff.
+//!
+//! Transport robustness lives here so callers don't re-implement it:
+//!
+//! * **Connect retries** — `connect` retries with exponential backoff and
+//!   jitter (policy-controlled) before giving up.
+//! * **Timeouts** — every socket gets per-request read/write timeouts, so
+//!   a stalled server surfaces as an error instead of a hang.
+//! * **Reconnect + idempotent retry** — read-only requests (and submits
+//!   carrying a `request_key`) are replayed on a fresh connection when the
+//!   old one dies mid-request; the server dedups the key, so a replayed
+//!   submit maps to the original job instead of running twice.
 
 use crate::job::JobSpec;
+use fairsqg_faults::Fault;
 use fairsqg_wire::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -43,32 +55,187 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// A connected client. One request/response in flight at a time.
-pub struct Client {
+/// Retry/timeout policy of a [`Client`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per operation (connect, or idempotent request), ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Socket read timeout (None = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (None = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out (the pre-robustness
+    /// behavior; useful in tests that assert on first-failure semantics).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+
+    /// Exponential backoff for the retry after `attempt` (0-based), with
+    /// ±50% multiplicative jitter so synchronized clients fan out.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        // Deterministic-free jitter from the wall clock's nanoseconds: no
+        // RNG dependency, good enough to de-synchronize a retry herd.
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::from(d.subsec_nanos()))
+            .unwrap_or(0);
+        let percent = 50 + ((nanos ^ salt) % 101); // 50..=150
+        exp.mul_f64(percent as f64 / 100.0)
+    }
+}
+
+struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
+/// A connected client. One request/response in flight at a time.
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Conn>,
+    request_seq: u64,
+}
+
 impl Client {
-    /// Connects to `addr` (`host:port`).
+    /// Connects to `addr` (`host:port`) with the default [`RetryPolicy`].
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connects with an explicit policy, retrying the connect itself with
+    /// backoff.
+    pub fn connect_with(addr: &str, policy: RetryPolicy) -> Result<Self, ClientError> {
+        let mut client = Self {
+            addr: addr.to_string(),
+            policy,
+            conn: None,
+            request_seq: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    fn dial(&self) -> Result<Conn, ClientError> {
+        if let Some(fault) = fairsqg_faults::fire("client.connect") {
+            let message = match fault {
+                Fault::Error(m) => m,
+                Fault::ReturnEarly => "connect aborted (injected)".to_string(),
+            };
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                message,
+            )));
+        }
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(self.policy.read_timeout)?;
+        stream.set_write_timeout(self.policy.write_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
+        Ok(Conn {
             writer: stream,
             reader,
         })
     }
 
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.dial() {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.policy.backoff(attempt - 1, u64::from(attempt)));
+                }
+            }
+        }
+    }
+
     /// Sends one request object, returns the `ok: true` response body or a
-    /// [`ClientError::Server`] for `ok: false` replies.
+    /// [`ClientError::Server`] for `ok: false` replies. Transport failures
+    /// drop the connection (a later request reconnects) and are returned
+    /// to the caller — use [`Client::request_idempotent`] when the request
+    /// is safe to replay.
     pub fn request(&mut self, request: &Value) -> Result<Value, ClientError> {
+        self.ensure_connected()?;
+        let outcome = self.exchange(request);
+        if matches!(outcome, Err(ClientError::Io(_) | ClientError::Protocol(_))) {
+            self.conn = None;
+        }
+        outcome
+    }
+
+    /// Like [`Client::request`], but replays the request on a fresh
+    /// connection (with backoff) when the transport fails. Only use for
+    /// requests that are safe to execute more than once — reads, cancels,
+    /// and submits carrying a `request_key`.
+    pub fn request_idempotent(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request(request);
+            match outcome {
+                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        return outcome;
+                    }
+                    std::thread::sleep(self.policy.backoff(attempt - 1, u64::from(attempt)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn exchange(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let conn = self.conn.as_mut().expect("connected");
         let mut line = request.to_string();
         line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.flush()?;
         let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
+        let n = conn.reader.read_line(&mut reply)?;
         if n == 0 {
             return Err(ClientError::Protocol("connection closed".into()));
         }
@@ -96,25 +263,56 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.request(&Value::object([("op", Value::from("ping"))]))
+        self.request_idempotent(&Value::object([("op", Value::from("ping"))]))
             .map(|_| ())
     }
 
-    /// Submits a job; returns its id.
+    /// Submits a job; returns its id. Specs without a `request_key` are
+    /// sent once (a transport failure could leave the job running
+    /// server-side unobserved) — prefer [`Client::submit_idempotent`].
     pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
-        let reply = self.request(&Value::object([
-            ("op", Value::from("submit")),
-            ("job", spec.to_value()),
-        ]))?;
+        let request = Value::object([("op", Value::from("submit")), ("job", spec.to_value())]);
+        let reply = if spec.request_key.is_some() {
+            self.request_idempotent(&request)?
+        } else {
+            self.request(&request)?
+        };
         reply
             .get("id")
             .and_then(Value::as_u64)
             .ok_or_else(|| ClientError::Protocol("submit reply missing 'id'".into()))
     }
 
+    /// Submits with a generated `request_key` (when the spec has none), so
+    /// transport-level retries can never run the job twice. Returns the
+    /// job id.
+    pub fn submit_idempotent(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        if spec.request_key.is_some() {
+            return self.submit(spec);
+        }
+        let mut keyed = spec.clone();
+        keyed.request_key = Some(self.fresh_request_key());
+        self.submit(&keyed)
+    }
+
+    /// A key unique enough for server-side dedup: wall-clock nanoseconds
+    /// plus a per-client sequence number.
+    fn fresh_request_key(&mut self) -> String {
+        self.request_seq += 1;
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO);
+        format!(
+            "ck-{:x}-{:x}-{:x}",
+            now.as_secs(),
+            now.subsec_nanos(),
+            self.request_seq
+        )
+    }
+
     /// Fetches a job's status body.
     pub fn status(&mut self, id: u64) -> Result<Value, ClientError> {
-        self.request(&Value::object([
+        self.request_idempotent(&Value::object([
             ("op", Value::from("status")),
             ("id", Value::from(id)),
         ]))
@@ -122,15 +320,15 @@ impl Client {
 
     /// Fetches a finished job's result body.
     pub fn result(&mut self, id: u64) -> Result<Value, ClientError> {
-        self.request(&Value::object([
+        self.request_idempotent(&Value::object([
             ("op", Value::from("result")),
             ("id", Value::from(id)),
         ]))
     }
 
-    /// Requests cancellation of a job.
+    /// Requests cancellation of a job (idempotent server-side).
     pub fn cancel(&mut self, id: u64) -> Result<(), ClientError> {
-        self.request(&Value::object([
+        self.request_idempotent(&Value::object([
             ("op", Value::from("cancel")),
             ("id", Value::from(id)),
         ]))
@@ -139,12 +337,25 @@ impl Client {
 
     /// Engine statistics.
     pub fn stats(&mut self) -> Result<Value, ClientError> {
-        self.request(&Value::object([("op", Value::from("stats"))]))
+        self.request_idempotent(&Value::object([("op", Value::from("stats"))]))
     }
 
     /// Registered graphs.
     pub fn graphs(&mut self) -> Result<Value, ClientError> {
-        self.request(&Value::object([("op", Value::from("graphs"))]))
+        self.request_idempotent(&Value::object([("op", Value::from("graphs"))]))
+    }
+
+    /// Loads a TSV graph file server-side under `name`.
+    pub fn load(&mut self, name: &str, path: &str) -> Result<u64, ClientError> {
+        let reply = self.request_idempotent(&Value::object([
+            ("op", Value::from("load")),
+            ("name", Value::from(name)),
+            ("path", Value::from(path)),
+        ]))?;
+        reply
+            .get("epoch")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("load reply missing 'epoch'".into()))
     }
 
     /// Asks the server to drain and stop.
@@ -185,5 +396,46 @@ impl Client {
             }
             std::thread::sleep(Duration::from_millis(10));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            read_timeout: None,
+            write_timeout: None,
+        };
+        // Jitter is 50%..150%, so bound-check instead of equality.
+        let b0 = p.backoff(0, 1);
+        assert!(b0 >= Duration::from_millis(5) && b0 <= Duration::from_millis(15));
+        let b9 = p.backoff(9, 1);
+        assert!(b9 <= Duration::from_millis(150), "cap applies: {b9:?}");
+    }
+
+    #[test]
+    fn connect_fails_after_max_attempts() {
+        // Port 1 on localhost: connection refused immediately.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            read_timeout: None,
+            write_timeout: None,
+        };
+        let started = Instant::now();
+        let err = match Client::connect_with("127.0.0.1:1", policy) {
+            Ok(_) => panic!("connect to a closed port succeeded"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ClientError::Io(_)));
+        // One backoff happened, not max_attempts worth of hanging.
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }

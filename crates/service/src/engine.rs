@@ -10,14 +10,23 @@
 //! deadline-exceeded job returns its partial archive flagged `truncated`
 //! instead of hanging a worker. Shutdown drains: workers finish what is
 //! queued, then exit.
+//!
+//! Workers are **supervised**: a panic inside planning/generation marks the
+//! job `Failed`, then the panic is re-raised to retire the thread and a
+//! replacement worker is spawned in its place, so the pool stays at full
+//! strength. Locks are poison-tolerant throughout (see [`crate::sync`]).
+//! Jobs may carry a client-supplied `request_key`; resubmitting the same
+//! key returns the original job id instead of running the work twice.
 
 use crate::cache::{CacheStats, LruCache};
 use crate::job::{generated_to_value, plan_spec, run_plan, JobSpec};
 use crate::registry::GraphRegistry;
-use fairsqg_algo::CancelToken;
+use crate::sync;
+use fairsqg_algo::{CancelToken, MatchBudget};
+use fairsqg_faults::Fault;
 use fairsqg_wire::Value;
 use std::collections::{HashMap, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -33,6 +42,11 @@ pub struct EngineConfig {
     pub cache_entries: usize,
     /// Deadline applied when a job does not set `deadline_ms`.
     pub default_deadline: Option<Duration>,
+    /// Default per-verification resource caps; a job's own caps override
+    /// these axis by axis.
+    pub budget: MatchBudget,
+    /// Remembered `request_key` → job id mappings (FIFO-evicted).
+    pub dedup_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +56,8 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             cache_entries: 128,
             default_deadline: None,
+            budget: MatchBudget::UNLIMITED,
+            dedup_entries: 4096,
         }
     }
 }
@@ -58,6 +74,8 @@ pub enum SubmitError {
     UnknownGraph(String),
     /// The engine is shutting down.
     ShuttingDown,
+    /// Admission failed for an internal reason (e.g. an injected fault).
+    Internal(String),
 }
 
 /// Lifecycle of a job.
@@ -161,11 +179,52 @@ struct Counters {
     // Per-evaluator memoization totals, summed over completed jobs.
     eval_verified: AtomicU64,
     eval_cache_hits: AtomicU64,
+    // Robustness counters.
+    job_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    budget_trips: AtomicU64,
+    dedup_hits: AtomicU64,
 }
 
 struct QueueState {
     queue: VecDeque<u64>,
     shutdown: bool,
+}
+
+/// `request_key` → job id memory with FIFO eviction: large enough that a
+/// retrying client always finds its key, bounded so a key-spamming client
+/// cannot grow it without limit.
+struct DedupMap {
+    map: HashMap<String, u64>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl DedupMap {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<u64> {
+        self.map.get(key).copied()
+    }
+
+    fn insert(&mut self, key: String, id: u64) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        while self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, id);
+    }
 }
 
 struct Shared {
@@ -175,22 +234,29 @@ struct Shared {
     work_ready: Condvar,
     jobs: Mutex<HashMap<u64, JobRecord>>,
     cache: Mutex<LruCache<Arc<Value>>>,
+    dedup: Mutex<DedupMap>,
     counters: Counters,
     latencies: Mutex<Latencies>,
     next_id: AtomicU64,
+    // Supervision state: live handles (replacements register themselves
+    // here), a name sequence for respawned threads, and the live count.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_seq: AtomicU64,
+    workers_alive: AtomicU64,
 }
 
 /// The concurrent generation engine. See the module docs.
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Engine {
     /// Starts the worker pool over `registry`.
     pub fn start(registry: Arc<GraphRegistry>, config: EngineConfig) -> Self {
+        let pool = config.workers.max(1) as u64;
         let shared = Arc::new(Shared {
             cache: Mutex::new(LruCache::new(config.cache_entries)),
+            dedup: Mutex::new(DedupMap::new(config.dedup_entries)),
             config,
             registry,
             queue: Mutex::new(QueueState {
@@ -202,20 +268,14 @@ impl Engine {
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             next_id: AtomicU64::new(1),
+            workers: Mutex::new(Vec::new()),
+            worker_seq: AtomicU64::new(pool),
+            workers_alive: AtomicU64::new(0),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("fairsqg-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Self {
-            shared,
-            workers: Mutex::new(workers),
+        for i in 0..pool {
+            spawn_worker(&shared, i);
         }
+        Self { shared }
     }
 
     /// The registry this engine resolves graph names against.
@@ -223,8 +283,34 @@ impl Engine {
         &self.shared.registry
     }
 
-    /// Submits a job. On a cache hit the returned job is already `Done`.
-    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+    /// Submits a job. On a cache hit the returned job is already `Done`;
+    /// on a `request_key` replay the original job's id is returned and
+    /// nothing new runs.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<u64, SubmitError> {
+        // Idempotent replay: a retried submission (same request_key) maps
+        // to the job admitted the first time, whatever state it is in.
+        if let Some(key) = &spec.request_key {
+            if let Some(id) = sync::lock(&self.shared.dedup).get(key) {
+                self.shared
+                    .counters
+                    .dedup_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(id);
+            }
+        }
+
+        if let Some(fault) = fairsqg_faults::fire("queue.admit") {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let message = match fault {
+                Fault::Error(m) => m,
+                Fault::ReturnEarly => "admission rejected (injected)".to_string(),
+            };
+            return Err(SubmitError::Internal(message));
+        }
+
         let entry = self
             .shared
             .registry
@@ -235,15 +321,20 @@ impl Engine {
             .submitted
             .fetch_add(1, Ordering::Relaxed);
 
+        // Per-job caps override the engine defaults axis by axis; the
+        // merged budget is what runs and what the cache keys on.
+        spec.budget = spec.budget.or(&self.shared.config.budget);
+
         let key = spec.fingerprint(entry.epoch);
-        let cached = self.shared.cache.lock().expect("cache poisoned").get(&key);
+        let cached = sync::lock(&self.shared.cache).get(&key);
         if let Some(result) = cached {
             let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
             let truncated = result
                 .get("truncated")
                 .and_then(Value::as_bool)
                 .unwrap_or(false);
-            self.shared.jobs.lock().expect("jobs poisoned").insert(
+            let request_key = spec.request_key.clone();
+            sync::lock(&self.shared.jobs).insert(
                 id,
                 JobRecord {
                     spec,
@@ -256,6 +347,9 @@ impl Engine {
                     submitted_at: Instant::now(),
                 },
             );
+            if let Some(k) = request_key {
+                sync::lock(&self.shared.dedup).insert(k, id);
+            }
             self.shared
                 .counters
                 .completed
@@ -263,7 +357,7 @@ impl Engine {
             return Ok(id);
         }
 
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let mut q = sync::lock(&self.shared.queue);
         if q.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -285,7 +379,8 @@ impl Engine {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
         };
-        self.shared.jobs.lock().expect("jobs poisoned").insert(
+        let request_key = spec.request_key.clone();
+        sync::lock(&self.shared.jobs).insert(
             id,
             JobRecord {
                 spec,
@@ -298,6 +393,9 @@ impl Engine {
                 submitted_at: Instant::now(),
             },
         );
+        if let Some(k) = request_key {
+            sync::lock(&self.shared.dedup).insert(k, id);
+        }
         q.queue.push_back(id);
         drop(q);
         self.shared.work_ready.notify_one();
@@ -306,7 +404,7 @@ impl Engine {
 
     /// Snapshot of a job's state.
     pub fn status(&self, id: u64) -> Option<JobStatus> {
-        let jobs = self.shared.jobs.lock().expect("jobs poisoned");
+        let jobs = sync::lock(&self.shared.jobs);
         jobs.get(&id).map(|r| JobStatus {
             id,
             state: r.state,
@@ -318,7 +416,7 @@ impl Engine {
 
     /// The result of a `Done` job (shared, render-once).
     pub fn result(&self, id: u64) -> Option<Arc<Value>> {
-        let jobs = self.shared.jobs.lock().expect("jobs poisoned");
+        let jobs = sync::lock(&self.shared.jobs);
         jobs.get(&id).and_then(|r| r.result.clone())
     }
 
@@ -326,7 +424,7 @@ impl Engine {
     /// worker; running jobs stop at the next verification boundary.
     /// Returns `false` for unknown ids.
     pub fn cancel(&self, id: u64) -> bool {
-        let jobs = self.shared.jobs.lock().expect("jobs poisoned");
+        let jobs = sync::lock(&self.shared.jobs);
         match jobs.get(&id) {
             Some(r) => {
                 r.cancel.cancel();
@@ -338,24 +436,24 @@ impl Engine {
 
     /// Current queue depth (admitted, not yet picked up).
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .expect("queue poisoned")
-            .queue
-            .len()
+        sync::lock(&self.shared.queue).queue.len()
     }
 
     /// Result-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.cache.lock().expect("cache poisoned").stats()
+        sync::lock(&self.shared.cache).stats()
+    }
+
+    /// Worker threads currently alive (dips briefly during a respawn).
+    pub fn workers_alive(&self) -> u64 {
+        self.shared.workers_alive.load(Ordering::SeqCst)
     }
 
     /// Engine statistics in wire form (the `stats` response body).
     pub fn stats_value(&self) -> Value {
         let c = &self.shared.counters;
         let cache = self.cache_stats();
-        let lat = self.shared.latencies.lock().expect("latencies poisoned");
+        let lat = sync::lock(&self.shared.latencies);
         let eval_verified = c.eval_verified.load(Ordering::Relaxed);
         let eval_hits = c.eval_cache_hits.load(Ordering::Relaxed);
         let eval_lookups = eval_verified + eval_hits;
@@ -388,6 +486,28 @@ impl Engine {
             (
                 "truncated",
                 Value::from(c.truncated.load(Ordering::Relaxed)),
+            ),
+            (
+                "robustness",
+                Value::object([
+                    ("workers_alive", Value::from(self.workers_alive())),
+                    (
+                        "job_panics",
+                        Value::from(c.job_panics.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "worker_respawns",
+                        Value::from(c.worker_respawns.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "budget_trips",
+                        Value::from(c.budget_trips.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "dedup_hits",
+                        Value::from(c.dedup_hits.load(Ordering::Relaxed)),
+                    ),
+                ]),
             ),
             (
                 "result_cache",
@@ -424,13 +544,20 @@ impl Engine {
     /// rejected with [`SubmitError::ShuttingDown`].
     pub fn shutdown(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            let mut q = sync::lock(&self.shared.queue);
             q.shutdown = true;
         }
         self.shared.work_ready.notify_all();
-        let mut workers = self.workers.lock().expect("workers poisoned");
-        for h in workers.drain(..) {
-            let _ = h.join();
+        // A dying worker registers its replacement's handle before
+        // terminating, so keep draining until the vector stays empty.
+        loop {
+            let drained: Vec<_> = sync::lock(&self.shared.workers).drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -441,10 +568,45 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>, seq: u64) {
+    let arc = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("fairsqg-worker-{seq}"))
+        .spawn(move || worker_loop(&arc))
+        .expect("spawn worker");
+    sync::lock(&shared.workers).push(handle);
+}
+
+/// Supervision guard living on each worker thread's stack: when the thread
+/// unwinds out of [`worker_loop`] (a re-raised job panic), a replacement
+/// worker is spawned so the pool returns to full strength. Normal exits
+/// (shutdown drain) do not respawn.
+struct WorkerGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() && !sync::lock(&self.shared.queue).shutdown {
+            self.shared
+                .counters
+                .worker_respawns
+                .fetch_add(1, Ordering::Relaxed);
+            let seq = self.shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(&self.shared, seq);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let _guard = WorkerGuard {
+        shared: Arc::clone(shared),
+    };
+    shared.workers_alive.fetch_add(1, Ordering::SeqCst);
     loop {
         let id = {
-            let mut q = shared.queue.lock().expect("queue poisoned");
+            let mut q = sync::lock(&shared.queue);
             loop {
                 if let Some(id) = q.queue.pop_front() {
                     break id;
@@ -452,7 +614,7 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown {
                     return;
                 }
-                q = shared.work_ready.wait(q).expect("queue poisoned");
+                q = sync::wait(&shared.work_ready, q);
             }
         };
         run_job(shared, id);
@@ -462,7 +624,7 @@ fn worker_loop(shared: &Shared) {
 fn run_job(shared: &Shared, id: u64) {
     // Snapshot what the job needs; the jobs lock is NOT held while running.
     let (spec, cancel, submitted_at) = {
-        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        let mut jobs = sync::lock(&shared.jobs);
         let Some(r) = jobs.get_mut(&id) else { return };
         // Explicit cancellation skips the job entirely; a lapsed deadline
         // does not — the generation runs and returns immediately with an
@@ -477,10 +639,7 @@ fn run_job(shared: &Shared, id: u64) {
         (r.spec.clone(), r.cancel.clone(), r.submitted_at)
     };
     let picked_up = Instant::now();
-    shared
-        .latencies
-        .lock()
-        .expect("latencies poisoned")
+    sync::lock(&shared.latencies)
         .queue_wait
         .record(picked_up - submitted_at);
 
@@ -489,9 +648,16 @@ fn run_job(shared: &Shared, id: u64) {
         return;
     };
 
-    // A panic inside planning/generation must not kill the worker: the job
-    // is marked Failed and the thread returns to the queue.
+    // A panic inside planning/generation must not lose the job: it is
+    // marked Failed, then the panic is re-raised so the supervisor retires
+    // this thread and spawns a replacement.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(fault) = fairsqg_faults::fire("worker.run") {
+            return Err(match fault {
+                Fault::Error(m) => m,
+                Fault::ReturnEarly => "job aborted (injected)".to_string(),
+            });
+        }
         let plan_started = Instant::now();
         let plan = plan_spec(&entry.graph, &spec)?;
         let planned = Instant::now();
@@ -500,7 +666,7 @@ fn run_job(shared: &Shared, id: u64) {
         let rendered = generated_to_value(&plan, &out);
         let render_done = Instant::now();
         {
-            let mut lat = shared.latencies.lock().expect("latencies poisoned");
+            let mut lat = sync::lock(&shared.latencies);
             lat.plan.record(planned - plan_started);
             lat.generate.record(generated - planned);
             lat.render.record(render_done - generated);
@@ -513,24 +679,32 @@ fn run_job(shared: &Shared, id: u64) {
             .counters
             .eval_cache_hits
             .fetch_add(out.stats.cache_hits, Ordering::Relaxed);
+        if out.stats.budget_tripped.is_some() {
+            shared.counters.budget_trips.fetch_add(1, Ordering::Relaxed);
+        }
         Ok::<(Arc<Value>, bool), String>((Arc::new(rendered), out.truncated))
     }));
 
     match outcome {
         Ok(Ok((result, truncated))) => {
             if !truncated {
-                // Partial archives are deadline artifacts; only complete
-                // results are worth sharing across requests.
+                // Partial archives are deadline/budget artifacts; only
+                // complete results are worth sharing across requests. The
+                // insert is fenced: a panic here (e.g. injected through the
+                // `cache.insert` fail point) poisons the cache lock but the
+                // job still completes, and later lock takers recover.
                 let key = spec.fingerprint(entry.epoch);
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .put(&key, Arc::clone(&result));
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let mut cache = sync::lock(&shared.cache);
+                    match fairsqg_faults::fire("cache.insert") {
+                        Some(_) => {} // injected: serve the result uncached
+                        None => cache.put(&key, Arc::clone(&result)),
+                    }
+                }));
             } else {
                 shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
             }
-            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            let mut jobs = sync::lock(&shared.jobs);
             if let Some(r) = jobs.get_mut(&id) {
                 r.state = JobState::Done;
                 r.result = Some(result);
@@ -540,18 +714,22 @@ fn run_job(shared: &Shared, id: u64) {
         }
         Ok(Err(message)) => finish_failed(shared, id, message),
         Err(panic) => {
+            shared.counters.job_panics.fetch_add(1, Ordering::Relaxed);
             let message = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "job panicked".to_string());
             finish_failed(shared, id, format!("panic: {message}"));
+            // The thread's state can't be trusted after an arbitrary
+            // panic; re-raise so WorkerGuard replaces this worker.
+            resume_unwind(panic);
         }
     }
 }
 
 fn finish_failed(shared: &Shared, id: u64, message: String) {
-    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let mut jobs = sync::lock(&shared.jobs);
     if let Some(r) = jobs.get_mut(&id) {
         r.state = JobState::Failed;
         r.error = Some(message);

@@ -9,7 +9,7 @@
 
 use fairsqg_algo::{
     biqgen, cbm, enum_qgen, kungs, rfqgen, BiQGenOptions, CancelToken, CbmOptions, Configuration,
-    Generated, RfQGenOptions,
+    Generated, MatchBudget, RfQGenOptions,
 };
 use fairsqg_graph::{AttrValue, CoverageSpec, Graph, GroupSet};
 use fairsqg_measures::DiversityConfig;
@@ -80,6 +80,12 @@ pub struct JobSpec {
     pub lambda: f64,
     /// Per-job deadline in milliseconds (`None` = engine default).
     pub deadline_ms: Option<u64>,
+    /// Per-verification resource caps (unset axes fall back to the
+    /// engine's defaults at admission).
+    pub budget: MatchBudget,
+    /// Client-supplied idempotency key: resubmitting with the same key
+    /// returns the original job id instead of running the job again.
+    pub request_key: Option<String>,
 }
 
 impl JobSpec {
@@ -110,6 +116,15 @@ impl JobSpec {
             eps,
             lambda,
             deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            budget: MatchBudget {
+                max_candidates: v.get("max_candidates").and_then(Value::as_u64),
+                max_steps: v.get("max_steps").and_then(Value::as_u64),
+                max_matches: v.get("max_matches").and_then(Value::as_u64),
+            },
+            request_key: v
+                .get("request_key")
+                .and_then(Value::as_str)
+                .map(str::to_string),
         })
     }
 
@@ -127,16 +142,30 @@ impl JobSpec {
         if let Some(d) = self.deadline_ms {
             pairs.push(("deadline_ms", Value::from(d as i64)));
         }
+        if let Some(c) = self.budget.max_candidates {
+            pairs.push(("max_candidates", Value::from(c as i64)));
+        }
+        if let Some(s) = self.budget.max_steps {
+            pairs.push(("max_steps", Value::from(s as i64)));
+        }
+        if let Some(m) = self.budget.max_matches {
+            pairs.push(("max_matches", Value::from(m as i64)));
+        }
+        if let Some(k) = &self.request_key {
+            pairs.push(("request_key", Value::from(k.as_str())));
+        }
         Value::object(pairs)
     }
 
     /// Cache fingerprint: graph epoch + template hash + every parameter
-    /// that affects the result. Deadlines are deliberately excluded — a
-    /// completed (non-truncated) result is valid whatever budget produced
-    /// it.
+    /// that affects the result. Deadlines and the idempotency key are
+    /// deliberately excluded — a completed (non-truncated) result is valid
+    /// whatever deadline produced it — but the resource caps are included
+    /// because a tripped budget changes the archive.
     pub fn fingerprint(&self, graph_epoch: u64) -> String {
+        let cap = |o: Option<u64>| o.map_or_else(|| "-".to_string(), |v| v.to_string());
         format!(
-            "g={}#{};t={:016x};a={};ga={};c={};e={};l={}",
+            "g={}#{};t={:016x};a={};ga={};c={};e={};l={};mc={};ms={};mm={}",
             self.graph,
             graph_epoch,
             fnv1a(self.template.as_bytes()),
@@ -145,6 +174,9 @@ impl JobSpec {
             self.cover,
             self.eps,
             self.lambda,
+            cap(self.budget.max_candidates),
+            cap(self.budget.max_steps),
+            cap(self.budget.max_matches),
         )
     }
 }
@@ -224,7 +256,8 @@ pub fn run_plan(plan: &Plan<'_>, spec: &JobSpec, cancel: &CancelToken) -> Genera
         spec.eps,
         diversity,
     )
-    .with_cancel(cancel);
+    .with_cancel(cancel)
+    .with_budget(spec.budget);
     match spec.algo {
         AlgoKind::EnumQGen => enum_qgen(cfg, false),
         AlgoKind::Kungs => kungs(cfg),
@@ -301,6 +334,16 @@ pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
                     "elapsed_ms",
                     Value::from(out.stats.elapsed.as_secs_f64() * 1e3),
                 ),
+                (
+                    "budget_tripped",
+                    match out.stats.budget_tripped {
+                        Some(t) => Value::object([
+                            ("budget", Value::from(t.kind.name())),
+                            ("limit", Value::from(t.limit as i64)),
+                        ]),
+                        None => Value::Null,
+                    },
+                ),
             ]),
         ),
     ])
@@ -336,6 +379,8 @@ mod tests {
             eps: 0.1,
             lambda: 0.5,
             deadline_ms: None,
+            budget: MatchBudget::UNLIMITED,
+            request_key: None,
         }
     }
 

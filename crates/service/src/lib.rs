@@ -33,6 +33,8 @@
 //!     eps: 0.1,
 //!     lambda: 0.5,
 //!     deadline_ms: None,
+//!     budget: fairsqg_algo::MatchBudget::UNLIMITED,
+//!     request_key: None,
 //! }).unwrap();
 //! while engine.status(id).unwrap().state != JobState::Done {
 //!     std::thread::yield_now();
@@ -50,10 +52,11 @@ pub mod job;
 pub mod proto;
 mod registry;
 mod server;
+pub mod sync;
 
 pub use cache::{CacheStats, LruCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use engine::{Engine, EngineConfig, JobState, JobStatus, SubmitError};
 pub use job::{generated_to_value, plan_spec, run_plan, AlgoKind, JobSpec, Plan};
-pub use registry::{GraphEntry, GraphRegistry};
-pub use server::{spawn, Server, StopHandle};
+pub use registry::{GraphEntry, GraphRegistry, LoadError};
+pub use server::{spawn, spawn_with, Server, ServerOptions, StopHandle};

@@ -12,15 +12,19 @@
 //! | `cancel`    | `id`                           | `{"id", "cancelled"}`      |
 //! | `stats`     | —                              | engine statistics          |
 //! | `graphs`    | —                              | `{"graphs": [...]}`        |
+//! | `load`      | `name`, `path`                 | `{"name", "epoch"}`        |
 //! | `shutdown`  | —                              | `{"stopping": true}`       |
 //!
 //! Responses are `{"ok": true, ...body}` or
 //! `{"ok": false, "error": {"code", "message"}}`. Error codes:
 //! `bad_request`, `unknown_graph`, `overloaded`, `shutting_down`,
-//! `not_found`, `not_ready`, `internal`.
+//! `not_found`, `not_ready`, `internal`, `load_failed`, `parse_error`.
+//! `parse_error` additionally carries 1-based `line` and `column` fields
+//! locating the malformed input.
 
 use crate::engine::{Engine, JobState, SubmitError};
 use crate::job::JobSpec;
+use crate::registry::LoadError;
 use fairsqg_wire::Value;
 
 /// Builds the error response for `code`/`message`.
@@ -95,6 +99,7 @@ pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
                     Err(SubmitError::ShuttingDown) => {
                         error_response("shutting_down", "engine is draining")
                     }
+                    Err(SubmitError::Internal(m)) => error_response("internal", &m),
                 },
             }
         }
@@ -157,6 +162,40 @@ pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
                 })
                 .collect();
             ok_response(vec![("graphs", Value::Array(graphs))])
+        }
+        "load" => {
+            let str_field = |name: &'static str| {
+                request
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| error_response("bad_request", &format!("missing '{name}'")))
+            };
+            match (str_field("name"), str_field("path")) {
+                (Err(e), _) | (_, Err(e)) => e,
+                (Ok(name), Ok(path)) => match engine.registry().load_tsv(name, path) {
+                    Ok(epoch) => ok_response(vec![
+                        ("name", Value::from(name)),
+                        ("epoch", Value::from(epoch)),
+                    ]),
+                    Err(LoadError::Io(m)) => error_response("load_failed", &m),
+                    Err(LoadError::Parse {
+                        line,
+                        column,
+                        message,
+                    }) => Value::object([
+                        ("ok", Value::from(false)),
+                        (
+                            "error",
+                            Value::object([
+                                ("code", Value::from("parse_error")),
+                                ("message", Value::from(message.as_str())),
+                                ("line", Value::from(line)),
+                                ("column", Value::from(column)),
+                            ]),
+                        ),
+                    ]),
+                },
+            }
         }
         "shutdown" => {
             return (ok_response(vec![("stopping", Value::from(true))]), true);

@@ -7,10 +7,49 @@
 //! result cache keys on `(name, epoch, …)`, so cached results for a stale
 //! graph simply stop being reachable instead of needing eager eviction.
 
-use fairsqg_graph::Graph;
+use fairsqg_graph::{Graph, IoError};
 use std::collections::HashMap;
+use std::fmt;
 use std::io::BufReader;
 use std::sync::{Arc, RwLock};
+
+/// Why a graph failed to load — kept structured (not a pre-rendered
+/// string) so the wire layer can report the exact position to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file could not be opened or read.
+    Io(String),
+    /// Malformed content, with its 1-based position in the file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based byte column of the offending field.
+        column: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(m) => write!(f, "{m}"),
+            LoadError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "line {line}, column {column}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<LoadError> for String {
+    fn from(e: LoadError) -> Self {
+        e.to_string()
+    }
+}
 
 /// A registered graph together with its load epoch.
 #[derive(Clone)]
@@ -35,7 +74,7 @@ impl GraphRegistry {
 
     /// Registers (or reloads) `graph` under `name`; returns the new epoch.
     pub fn insert(&self, name: &str, graph: Graph) -> u64 {
-        let mut map = self.inner.write().expect("registry poisoned");
+        let mut map = crate::sync::write(&self.inner);
         let epoch = map.get(name).map_or(1, |e| e.epoch + 1);
         map.insert(
             name.to_string(),
@@ -48,25 +87,32 @@ impl GraphRegistry {
     }
 
     /// Loads a TSV graph file (see `fairsqg_graph::read_tsv`) under `name`.
-    pub fn load_tsv(&self, name: &str, path: &str) -> Result<u64, String> {
-        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-        let graph =
-            fairsqg_graph::read_tsv(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    pub fn load_tsv(&self, name: &str, path: &str) -> Result<u64, LoadError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| LoadError::Io(format!("cannot open {path}: {e}")))?;
+        let graph = fairsqg_graph::read_tsv(BufReader::new(file)).map_err(|e| match e {
+            IoError::Io(e) => LoadError::Io(format!("{path}: {e}")),
+            IoError::Parse {
+                line,
+                column,
+                message,
+            } => LoadError::Parse {
+                line,
+                column,
+                message,
+            },
+        })?;
         Ok(self.insert(name, graph))
     }
 
     /// Returns the current entry for `name`, if registered.
     pub fn get(&self, name: &str) -> Option<GraphEntry> {
-        self.inner
-            .read()
-            .expect("registry poisoned")
-            .get(name)
-            .cloned()
+        crate::sync::read(&self.inner).get(name).cloned()
     }
 
     /// Registered names with their epochs and node counts, sorted by name.
     pub fn list(&self) -> Vec<(String, u64, usize)> {
-        let map = self.inner.read().expect("registry poisoned");
+        let map = crate::sync::read(&self.inner);
         let mut out: Vec<(String, u64, usize)> = map
             .iter()
             .map(|(n, e)| (n.clone(), e.epoch, e.graph.node_count()))
@@ -77,7 +123,7 @@ impl GraphRegistry {
 
     /// Number of registered graphs.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("registry poisoned").len()
+        crate::sync::read(&self.inner).len()
     }
 
     /// Whether no graph is registered.

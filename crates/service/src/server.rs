@@ -4,29 +4,77 @@
 //! engine's worker pool bounds actual compute concurrency). A `shutdown`
 //! request flips the stop flag and self-connects to unblock the blocking
 //! `accept`, then the engine drains.
+//!
+//! Robustness: connections get read/write timeouts (a stalled peer cannot
+//! pin a thread forever), frames are size-capped via
+//! [`fairsqg_wire::read_frame`] (an oversized line is answered with a
+//! structured `bad_request` and the stream resyncs at the next newline),
+//! and garbage input of any kind produces an error *response*, never a
+//! dropped connection or a panic.
 
 use crate::engine::Engine;
 use crate::proto::{error_response, handle_request};
-use std::io::{BufRead, BufReader, Write};
+use crate::sync;
+use fairsqg_faults::Fault;
+use fairsqg_wire::FrameError;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Transport limits of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Per-connection socket read timeout (None = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout (None = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Maximum request frame size in bytes; larger frames are rejected
+    /// with a `bad_request` response and the connection keeps serving.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            // Idle protocol connections are legitimate (a client polling
+            // slowly), so reads don't time out by default; writes do —
+            // a peer that stops draining responses is gone.
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frame_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
 
 /// A running server bound to a local address.
 pub struct Server {
     engine: Arc<Engine>,
     listener: TcpListener,
     stopping: Arc<AtomicBool>,
+    options: ServerOptions,
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port).
+    /// Binds to `addr` (use port 0 for an ephemeral port) with default
+    /// [`ServerOptions`].
     pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Self> {
+        Self::bind_with(addr, engine, ServerOptions::default())
+    }
+
+    /// Binds with explicit transport limits.
+    pub fn bind_with(
+        addr: &str,
+        engine: Arc<Engine>,
+        options: ServerOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         Ok(Self {
             engine,
             listener,
             stopping: Arc::new(AtomicBool::new(false)),
+            options,
         })
     }
 
@@ -56,20 +104,23 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            let _ = stream.set_read_timeout(self.options.read_timeout);
+            let _ = stream.set_write_timeout(self.options.write_timeout);
             let engine = Arc::clone(&self.engine);
             let stopping = Arc::clone(&self.stopping);
             let stop = self.stop_handle();
+            let options = self.options;
             let handle = std::thread::Builder::new()
                 .name("fairsqg-conn".to_string())
                 .spawn(move || {
-                    if serve_connection(&engine, stream, &stopping) {
+                    if serve_connection(&engine, stream, &stopping, &options) {
                         stop.stop();
                     }
                 })
                 .expect("spawn connection thread");
-            handles.lock().expect("handles poisoned").push(handle);
+            sync::lock(&handles).push(handle);
         }
-        for h in handles.lock().expect("handles poisoned").drain(..) {
+        for h in sync::lock(&handles).drain(..) {
             let _ = h.join();
         }
         self.engine.shutdown();
@@ -95,28 +146,74 @@ impl StopHandle {
     }
 }
 
+/// Reads one frame, honoring the `server.read` fail point. Injected
+/// errors surface as I/O failures, exactly like a dead peer. The point
+/// fires *after* the blocking read so a fault armed while the connection
+/// sits idle deterministically hits the very next request.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_bytes: usize,
+) -> Result<Option<String>, FrameError> {
+    let frame = fairsqg_wire::read_frame(reader, max_bytes);
+    if let Some(fault) = fairsqg_faults::fire("server.read") {
+        let message = match fault {
+            Fault::Error(m) => m,
+            Fault::ReturnEarly => return Ok(None),
+        };
+        return Err(FrameError::Io(std::io::Error::other(message)));
+    }
+    frame
+}
+
 /// Serves one connection; returns `true` if a `shutdown` was requested.
-fn serve_connection(engine: &Engine, stream: TcpStream, stopping: &AtomicBool) -> bool {
+fn serve_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    stopping: &AtomicBool,
+    options: &ServerOptions,
+) -> bool {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return false,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
+    let mut reader = BufReader::new(stream);
+    loop {
         if stopping.load(Ordering::Acquire) {
             return false;
         }
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = match fairsqg_wire::parse(&line) {
-            Ok(request) => handle_request(engine, &request),
-            Err(e) => (
-                error_response("bad_request", &format!("invalid JSON: {e}")),
+        let (response, shutdown) = match read_request(&mut reader, options.max_frame_bytes) {
+            Ok(None) => break,
+            Ok(Some(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match fairsqg_wire::parse(&line) {
+                    Ok(request) => handle_request(engine, &request),
+                    Err(e) => (
+                        error_response("bad_request", &format!("invalid JSON: {e}")),
+                        false,
+                    ),
+                }
+            }
+            Err(FrameError::TooLarge { limit }) => (
+                error_response(
+                    "bad_request",
+                    &format!("frame exceeds {limit} bytes; line discarded"),
+                ),
                 false,
             ),
+            // Invalid UTF-8 comes through as InvalidData: answer and
+            // keep the connection; real transport errors end it.
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::InvalidData => (
+                error_response("bad_request", &format!("unreadable frame: {e}")),
+                false,
+            ),
+            Err(FrameError::Io(_)) => break,
         };
+        if fairsqg_faults::fire("server.write").is_some() {
+            // Injected write failure: the peer sees a dropped connection.
+            break;
+        }
         let mut text = response.to_string();
         text.push('\n');
         if writer.write_all(text.as_bytes()).is_err() {
@@ -140,7 +237,20 @@ pub fn spawn(
     StopHandle,
     std::thread::JoinHandle<std::io::Result<()>>,
 )> {
-    let server = Server::bind(addr, engine)?;
+    spawn_with(addr, engine, ServerOptions::default())
+}
+
+/// [`spawn`] with explicit transport limits.
+pub fn spawn_with(
+    addr: &str,
+    engine: Arc<Engine>,
+    options: ServerOptions,
+) -> std::io::Result<(
+    SocketAddr,
+    StopHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+)> {
+    let server = Server::bind_with(addr, engine, options)?;
     let bound = server.local_addr()?;
     let stop = server.stop_handle();
     let handle = std::thread::Builder::new()

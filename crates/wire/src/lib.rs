@@ -14,9 +14,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod frame;
 mod parse;
 mod write;
 
+pub use frame::{read_frame, FrameError};
 pub use parse::{parse, ParseError};
 pub use write::{to_string, to_string_pretty};
 

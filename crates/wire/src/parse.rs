@@ -259,8 +259,12 @@ impl Parser<'_> {
         if self.peek() == Some(b'.') {
             is_float = true;
             self.pos += 1;
+            let frac_start = self.pos;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("digit required after decimal point"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {

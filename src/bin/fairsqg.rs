@@ -20,10 +20,12 @@
 //! `client` speaks its newline-delimited JSON protocol. See
 //! `docs/service.md` for the full protocol.
 
+use fairsqg::algo::MatchBudget;
 use fairsqg::prelude::*;
 use fairsqg::query::{render_concrete_query, render_instance, ConcreteQuery};
 use fairsqg::service::{
     plan_spec, run_plan, AlgoKind, Client, Engine, EngineConfig, GraphRegistry, JobSpec,
+    RetryPolicy,
 };
 use fairsqg::wire::Value;
 use std::fs::File;
@@ -37,13 +39,17 @@ fn usage() -> ExitCode {
         "usage:\n  \
          fairsqg generate --graph <tsv> --template <dsl> --group-attr <attr> --cover <n>\n      \
          [--algo enum|kungs|cbm|rfqgen|biqgen] [--eps <f>] [--lambda <f>] [--top <n>]\n      \
-         [--deadline-ms <n>] [--format human|json]\n  \
+         [--deadline-ms <n>] [--format human|json]\n      \
+         [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
          fairsqg stats --graph <tsv>\n  \
          fairsqg serve --addr <host:port> --load <name>=<tsv> [--load ...]\n      \
-         [--workers <n>] [--queue <n>] [--cache <n>] [--default-deadline-ms <n>]\n  \
+         [--workers <n>] [--queue <n>] [--cache <n>] [--default-deadline-ms <n>]\n      \
+         [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
          fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|shutdown|submit\n      \
          [--id <n>] [--graph <name> --template <dsl> --group-attr <attr> --cover <n>\n      \
-         [--algo ...] [--eps <f>] [--lambda <f>] [--deadline-ms <n>] [--wait-ms <n>]]\n  \
+         [--algo ...] [--eps <f>] [--lambda <f>] [--deadline-ms <n>] [--wait-ms <n>]\n      \
+         [--retries <n>] [--timeout-ms <n>] [--request-key <key>]\n      \
+         [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]]\n  \
          fairsqg demo"
     );
     ExitCode::from(2)
@@ -96,6 +102,24 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("--{name} expects a number, got '{v}'")),
         }
+    }
+
+    fn get_opt_u64(&self, name: &str) -> Result<Option<u64>, String> {
+        self.get(name)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} expects an integer, got '{v}'"))
+            })
+            .transpose()
+    }
+
+    /// Verification caps shared by `generate`, `serve`, and `submit`.
+    fn budget(&self) -> Result<MatchBudget, String> {
+        Ok(MatchBudget {
+            max_candidates: self.get_opt_u64("max-candidates")?,
+            max_steps: self.get_opt_u64("max-steps")?,
+            max_matches: self.get_opt_u64("max-matches")?,
+        })
     }
 }
 
@@ -154,6 +178,8 @@ fn job_spec_from_args(args: &Args, graph_name: &str) -> Result<JobSpec, String> 
         eps: args.get_f64("eps", 0.1)?,
         lambda: args.get_f64("lambda", 0.5)?,
         deadline_ms,
+        budget: args.budget()?,
+        request_key: args.get("request-key").map(str::to_string),
     })
 }
 
@@ -252,6 +278,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                     .map_err(|_| "--default-deadline-ms expects an integer".to_string())
             })
             .transpose()?,
+        budget: args.budget()?,
+        ..EngineConfig::default()
     };
     let engine = Arc::new(Engine::start(registry, config));
     let server =
@@ -264,7 +292,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 fn cmd_client(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     let op = args.get("op").ok_or("--op is required")?;
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut policy = RetryPolicy::default();
+    if let Some(retries) = args.get_opt_u64("retries")? {
+        policy.max_attempts = (retries.max(1)).min(u64::from(u32::MAX)) as u32;
+    }
+    if let Some(ms) = args.get_opt_u64("timeout-ms")? {
+        let t = (ms > 0).then(|| Duration::from_millis(ms));
+        policy.read_timeout = t;
+        policy.write_timeout = t;
+    }
+    let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
     let id_arg = || -> Result<u64, String> {
         args.get("id")
             .ok_or("--id is required for this op")?
@@ -294,7 +331,7 @@ fn cmd_client(args: &Args) -> Result<(), String> {
                 .get("graph")
                 .ok_or("--graph (registry name) is required")?;
             let spec = job_spec_from_args(args, graph)?;
-            let id = client.submit(&spec).map_err(|e| e.to_string())?;
+            let id = client.submit_idempotent(&spec).map_err(|e| e.to_string())?;
             let wait_ms = args.get_usize("wait-ms", 60_000)?;
             if wait_ms == 0 {
                 Value::object([("id", Value::from(id))])

@@ -56,6 +56,7 @@
 
 pub use fairsqg_algo as algo;
 pub use fairsqg_datagen as datagen;
+pub use fairsqg_faults as faults;
 pub use fairsqg_graph as graph;
 pub use fairsqg_matcher as matcher;
 pub use fairsqg_measures as measures;

@@ -1,0 +1,380 @@
+//! Chaos integration suite: drives the service through injected faults
+//! (`crates/faults`) and asserts it degrades the way `docs/service.md`
+//! promises — structured errors, supervised recovery, no hangs, no
+//! corrupted state.
+//!
+//! Compiled (and meaningful) only with the `failpoints` feature:
+//!
+//! ```text
+//! cargo test --features failpoints --test chaos
+//! ```
+#![cfg(feature = "failpoints")]
+
+use fairsqg::algo::MatchBudget;
+use fairsqg::datagen::{social_graph, SocialConfig};
+use fairsqg::faults::Guard;
+use fairsqg::service::{
+    AlgoKind, Client, Engine, EngineConfig, GraphRegistry, JobSpec, JobState, RetryPolicy,
+    SubmitError,
+};
+use fairsqg::wire::Value;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Fail points are process-global; chaos tests must not run concurrently
+/// or one test's armed point fires inside another's engine.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const TEMPLATE: &str = "\
+    node u0 : director\n\
+    node u1 : user\n\
+    edge u1 -recommend-> u0\n\
+    where u1.yearsOfExp >= ?\n\
+    output u0\n";
+
+fn registry(name: &str, seed: u64) -> Arc<GraphRegistry> {
+    let r = Arc::new(GraphRegistry::new());
+    r.insert(
+        name,
+        social_graph(SocialConfig {
+            directors: 100,
+            majority_share: 0.6,
+            seed,
+        }),
+    );
+    r
+}
+
+fn spec(graph: &str) -> JobSpec {
+    JobSpec {
+        graph: graph.into(),
+        template: TEMPLATE.into(),
+        group_attr: "gender".into(),
+        cover: 5,
+        algo: AlgoKind::EnumQGen,
+        eps: 0.05,
+        lambda: 0.5,
+        deadline_ms: None,
+        budget: MatchBudget::UNLIMITED,
+        request_key: None,
+    }
+}
+
+fn wait_settled(engine: &Engine, id: u64) -> JobState {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let state = engine.status(id).unwrap().state;
+        if matches!(
+            state,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        ) {
+            return state;
+        }
+        assert!(Instant::now() < deadline, "job {id} never settled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn robustness_counter(engine: &Engine, name: &str) -> u64 {
+    engine
+        .stats_value()
+        .get("robustness")
+        .and_then(|r| r.get(name))
+        .and_then(Value::as_u64)
+        .unwrap()
+}
+
+/// Acceptance criterion: a worker panic mid-job marks that job `Failed`
+/// with a structured message, the pool respawns to full size, and the next
+/// job completes normally.
+#[test]
+fn worker_panic_fails_job_respawns_pool_and_recovers() {
+    let _serial = serial();
+    let registry = registry("g", 11);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    );
+    // Workers start asynchronously; wait for full strength first so the
+    // respawn assertion below is unambiguous.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.workers_alive() < 2 {
+        assert!(Instant::now() < deadline, "pool never reached full size");
+        std::thread::yield_now();
+    }
+
+    let _fp = Guard::arm("worker.run", "1*panic(injected chaos)").unwrap();
+    let id = engine.submit(spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Failed);
+    let status = engine.status(id).unwrap();
+    assert!(
+        status
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("injected chaos"),
+        "panic message surfaces in the job error: {:?}",
+        status.error
+    );
+
+    // Supervision: the pool returns to full size.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.workers_alive() < 2 {
+        assert!(Instant::now() < deadline, "pool never respawned");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(robustness_counter(&engine, "job_panics") >= 1);
+    assert!(robustness_counter(&engine, "worker_respawns") >= 1);
+
+    // The replacement worker serves the next job (fail point is spent).
+    let id2 = engine.submit(spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id2), JobState::Done);
+    engine.shutdown();
+}
+
+/// An injected admission fault comes back as `SubmitError::Internal`, is
+/// counted as a rejection, and the engine keeps admitting afterwards.
+#[test]
+fn queue_admission_fault_is_structured_and_transient() {
+    let _serial = serial();
+    let registry = registry("g", 12);
+    let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+    let _fp = Guard::arm("queue.admit", "1*error(admission disabled)").unwrap();
+    match engine.submit(spec("g")) {
+        Err(SubmitError::Internal(m)) => assert!(m.contains("admission disabled")),
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    let id = engine.submit(spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Done);
+    engine.shutdown();
+}
+
+/// A panic inside the result-cache insert poisons the cache lock but not
+/// the job: the result is still delivered, later jobs still run, and later
+/// cache takers recover from the poison.
+#[test]
+fn cache_insert_panic_does_not_lose_the_job() {
+    let _serial = serial();
+    let registry = registry("g", 13);
+    let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+    let _fp = Guard::arm("cache.insert", "1*panic(cache chaos)").unwrap();
+    let id = engine.submit(spec("g")).unwrap();
+    assert_eq!(
+        wait_settled(&engine, id),
+        JobState::Done,
+        "the job survives a cache-insert panic"
+    );
+    assert!(engine.result(id).is_some());
+
+    // The cache mutex was poisoned mid-insert; both the stats reader and
+    // the next job's insert recover instead of propagating the poison.
+    let _ = engine.cache_stats();
+    let mut again = spec("g");
+    again.eps = 0.07; // distinct fingerprint: forces a fresh cache insert
+    let id2 = engine.submit(again.clone()).unwrap();
+    assert_eq!(wait_settled(&engine, id2), JobState::Done);
+    let id3 = engine.submit(again).unwrap();
+    assert_eq!(wait_settled(&engine, id3), JobState::Done);
+    assert!(
+        engine.status(id3).unwrap().from_cache,
+        "the cache keeps caching after poison recovery"
+    );
+    engine.shutdown();
+}
+
+/// The client's connect retry absorbs transient connection failures: two
+/// injected refusals, then the real connection succeeds.
+#[test]
+fn client_connect_retries_through_transient_refusals() {
+    let _serial = serial();
+    let registry = registry("g", 14);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig::default(),
+    ));
+    let (addr, stop, server) = fairsqg::service::spawn("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+
+    let _fp = Guard::arm("client.connect", "2*error(connection refused)").unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with(&addr.to_string(), policy).unwrap();
+    assert_eq!(fairsqg::faults::hits("client.connect"), 2);
+    client.ping().unwrap();
+
+    // With retries exhausted before the faults are spent, connect fails.
+    let _fp2 = Guard::arm("client.connect", "error(connection refused)").unwrap();
+    let strict = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    };
+    assert!(Client::connect_with(&addr.to_string(), strict).is_err());
+    drop(_fp2);
+
+    client.shutdown().unwrap();
+    drop(client);
+    stop.stop();
+    server.join().unwrap().unwrap();
+}
+
+/// A mid-stream transport fault (the server's read errors out, killing the
+/// connection) is absorbed by the retrying client: it reconnects, resends,
+/// and — because the submit carries a request key — the server dedups the
+/// replay onto the original job instead of running it twice.
+#[test]
+fn idempotent_submit_survives_a_killed_connection() {
+    let _serial = serial();
+    let registry = registry("g", 15);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig::default(),
+    ));
+    let (addr, stop, server) = fairsqg::service::spawn("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with(&addr.to_string(), policy).unwrap();
+    client.ping().unwrap();
+
+    // First submit reaches the engine, but the response write is dropped:
+    // the client sees a dead connection mid-request.
+    let _fp = Guard::arm("server.write", "1*error(wire cut)").unwrap();
+    let mut keyed = spec("g");
+    keyed.request_key = Some("chaos-replay".into());
+    let id = client.submit(&keyed).unwrap();
+    assert_eq!(
+        fairsqg::faults::hits("server.write"),
+        1,
+        "the fault did fire mid-submit"
+    );
+    let result = client.wait(id, Duration::from_secs(60)).unwrap();
+    assert!(result.get("result").is_some());
+
+    // Exactly one job ran: the replay was deduped, not re-executed.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("submitted").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        stats
+            .get("robustness")
+            .and_then(|r| r.get("dedup_hits"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    client.shutdown().unwrap();
+    drop(client);
+    stop.stop();
+    server.join().unwrap().unwrap();
+}
+
+/// An injected read fault on an established connection kills only that
+/// connection; the retrying client transparently reconnects.
+#[test]
+fn client_reconnects_after_server_read_fault() {
+    let _serial = serial();
+    let registry = registry("g", 16);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig::default(),
+    ));
+    let (addr, stop, server) = fairsqg::service::spawn("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with(&addr.to_string(), policy).unwrap();
+    client.ping().unwrap();
+
+    let _fp = Guard::arm("server.read", "1*error(read torn down)").unwrap();
+    client
+        .ping()
+        .expect("idempotent ping rides out the dead connection");
+
+    client.shutdown().unwrap();
+    drop(client);
+    stop.stop();
+    server.join().unwrap().unwrap();
+}
+
+/// An injected graph-load failure surfaces as a typed `load_failed`
+/// protocol error; the connection and the registry's existing graphs are
+/// untouched.
+#[test]
+fn graph_load_fault_is_typed_and_non_fatal() {
+    let _serial = serial();
+    let registry = registry("g", 17);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig::default(),
+    ));
+    let (addr, stop, server) = fairsqg::service::spawn("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = Client::connect_with(&addr.to_string(), RetryPolicy::none()).unwrap();
+
+    // A perfectly valid file, failed by injection: callers see the same
+    // typed error a real I/O fault would produce.
+    let dir = std::env::temp_dir().join(format!("fairsqg-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ok_file = dir.join("ok.tsv");
+    std::fs::write(&ok_file, "0\tdirector\tgender=1\n\n").unwrap();
+
+    let _fp = Guard::arm("graph.load", "1*error(disk detached)").unwrap();
+    match client.load("fresh", &ok_file.to_string_lossy()) {
+        Err(fairsqg::service::ClientError::Server { code, message }) => {
+            assert_eq!(code, "load_failed");
+            assert!(message.contains("disk detached"));
+        }
+        other => panic!("expected a load_failed server error, got {other:?}"),
+    }
+
+    // Same connection, fault spent: the load now succeeds and the graph
+    // serves jobs.
+    let epoch = client.load("fresh", &ok_file.to_string_lossy()).unwrap();
+    assert!(epoch >= 1);
+    let id = client.submit_idempotent(&spec("g")).unwrap();
+    assert!(client
+        .wait(id, Duration::from_secs(60))
+        .unwrap()
+        .get("result")
+        .is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    client.shutdown().unwrap();
+    drop(client);
+    stop.stop();
+    server.join().unwrap().unwrap();
+}
+
+/// A slow worker (injected stall) plus a short deadline degrades to a
+/// truncated partial archive — not a hang, not a failure.
+#[test]
+fn slow_worker_with_deadline_degrades_to_truncated() {
+    let _serial = serial();
+    let registry = registry("g", 18);
+    let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+    let _fp = Guard::arm("worker.run", "1*sleep(50)").unwrap();
+    let mut slow = spec("g");
+    slow.deadline_ms = Some(1);
+    let id = engine.submit(slow).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Done);
+    assert!(
+        engine.status(id).unwrap().truncated,
+        "a lapsed deadline yields a truncated partial, never a hang"
+    );
+    engine.shutdown();
+}

@@ -35,6 +35,8 @@ fn spec(graph: &str, deadline_ms: Option<u64>) -> JobSpec {
         eps: 0.05,
         lambda: 0.5,
         deadline_ms,
+        budget: fairsqg::algo::MatchBudget::UNLIMITED,
+        request_key: None,
     }
 }
 
@@ -52,6 +54,7 @@ fn wire_roundtrip_cache_deadline_cancel() {
             queue_capacity: 16,
             cache_entries: 32,
             default_deadline: None,
+            ..EngineConfig::default()
         },
     ));
     let (addr, _stop, server) =
@@ -149,6 +152,7 @@ fn engine_sustains_eight_concurrent_jobs() {
             queue_capacity: 16,
             cache_entries: 0,
             default_deadline: None,
+            ..EngineConfig::default()
         },
     );
     let ids: Vec<u64> = (0..8)
@@ -212,6 +216,7 @@ fn engine_overload_is_structured() {
             queue_capacity: 1,
             cache_entries: 0,
             default_deadline: None,
+            ..EngineConfig::default()
         },
     );
 
