@@ -285,6 +285,8 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
     stats.cache_hits = ev.cache_hit_count();
     stats.elapsed = start.elapsed();
     stats.budget_tripped = ev.budget_tripped();
+    stats.threads_used = 1;
+    ev.apply_hot_path_stats(&mut stats);
     truncated |= stats.budget_tripped.is_some();
     Generated {
         entries: archive.entries().to_vec(),

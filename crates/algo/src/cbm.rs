@@ -119,17 +119,26 @@ pub fn cbm(cfg: Configuration<'_>, opts: CbmOptions) -> Generated {
         })
         .collect();
 
+    let mut stats = GenStats {
+        spawned: feasible.len() as u64,
+        verified: anchor_ev.verified_count() + ev.verified_count(),
+        cache_hits: anchor_ev.cache_hit_count() + ev.cache_hit_count(),
+        elapsed: start.elapsed(),
+        budget_tripped: anchor_ev.budget_tripped().or(ev.budget_tripped()),
+        threads_used: 1,
+        ..GenStats::default()
+    };
+    // Matcher counters are thread-local and monotone, so the delta since
+    // the *first* evaluator's baseline already spans both levels; only the
+    // second level's measure cache still needs folding in.
+    anchor_ev.apply_hot_path_stats(&mut stats);
+    let sweep_measure = ev.measure().cache_stats();
+    stats.distance_cache_hits += sweep_measure.distance_hits;
+    stats.distance_cache_misses += sweep_measure.distance_misses;
     Generated {
         entries,
         eps: cfg.eps,
-        stats: GenStats {
-            spawned: feasible.len() as u64,
-            verified: anchor_ev.verified_count() + ev.verified_count(),
-            cache_hits: anchor_ev.cache_hit_count() + ev.cache_hit_count(),
-            elapsed: start.elapsed(),
-            budget_tripped: anchor_ev.budget_tripped().or(ev.budget_tripped()),
-            ..GenStats::default()
-        },
+        stats,
         anytime: Vec::new(),
         truncated,
     }

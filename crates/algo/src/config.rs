@@ -2,8 +2,8 @@
 
 use crate::cancel::CancelToken;
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
-use fairsqg_matcher::{BudgetExceeded, MatchBudget};
-use fairsqg_measures::DiversityConfig;
+use fairsqg_matcher::{BudgetExceeded, MatchBudget, MatcherStats};
+use fairsqg_measures::{DiversityConfig, MeasureCacheStats};
 use fairsqg_query::{QueryTemplate, RefinementDomains};
 
 /// Everything a generation algorithm needs: the graph, the template with its
@@ -42,6 +42,12 @@ pub struct Configuration<'a> {
     /// cap recorded in [`GenStats::budget_tripped`] — graceful degradation
     /// instead of OOM/livelock on adversarial templates.
     pub budget: MatchBudget,
+    /// Run on the un-optimized reference path: candidate sets by full
+    /// label-population scan (no value index, no bitsets) and no
+    /// relevance/distance memoization. Results are bit-identical to the
+    /// default path; only the cost differs. Used for A/B speedup
+    /// measurements in the bench harness.
+    pub reference_path: bool,
 }
 
 impl<'a> Configuration<'a> {
@@ -81,16 +87,27 @@ impl<'a> Configuration<'a> {
             output_restriction: None,
             cancel: None,
             budget: MatchBudget::UNLIMITED,
+            reference_path: false,
         }
     }
 
     /// Restricts the output population (see
     /// [`output_restriction`](Self::output_restriction)). The slice must be
-    /// sorted ascending.
+    /// sorted ascending and contain only nodes with the template's output
+    /// label — foreign-label nodes can never match the output anyway, and
+    /// the matcher's pool-restricted candidate path assumes a
+    /// label-homogeneous pool. The `FairSqg` façade filters user pools
+    /// accordingly before reaching this call.
     pub fn with_output_restriction(mut self, restriction: &'a [NodeId]) -> Self {
         debug_assert!(
             restriction.windows(2).all(|w| w[0] < w[1]),
             "must be sorted"
+        );
+        debug_assert!(
+            restriction
+                .iter()
+                .all(|&v| self.graph.label(v) == self.template.output_label()),
+            "output restriction contains a node whose label differs from the template output's"
         );
         self.output_restriction = Some(restriction);
         self
@@ -106,6 +123,13 @@ impl<'a> Configuration<'a> {
     /// Caps per-verification resources (see [`budget`](Self::budget)).
     pub fn with_budget(mut self, budget: MatchBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Switches to the un-indexed, un-cached reference path (see
+    /// [`reference_path`](Self::reference_path)).
+    pub fn with_reference_path(mut self) -> Self {
+        self.reference_path = true;
         self
     }
 
@@ -134,4 +158,34 @@ pub struct GenStats {
     /// The resource cap that stopped the run early, if any (the run's
     /// result is then flagged truncated).
     pub budget_tripped: Option<BudgetExceeded>,
+    /// Worker threads the run actually used (1 for the sequential
+    /// algorithms; the effective thread count for `par_enum_qgen`).
+    pub threads_used: u64,
+    /// Candidate sets served from the sorted value index.
+    pub index_candidates: u64,
+    /// Candidate sets computed by label-population scan (reference path
+    /// or hybrid fallback).
+    pub scan_candidates: u64,
+    /// Indexed candidate computations that fell back to the scan because
+    /// the most selective literal was non-selective.
+    pub scan_fallbacks: u64,
+    /// Candidate sets restricted to an `incVerify` pool instead of the
+    /// label population.
+    pub pool_restrictions: u64,
+    /// Pairwise distances served from the diversity measure's cache.
+    pub distance_cache_hits: u64,
+    /// Pairwise distances computed cold by the diversity measure.
+    pub distance_cache_misses: u64,
+}
+
+impl GenStats {
+    /// Folds matcher and measure hot-path counters into the stats block.
+    pub fn record_hot_path(&mut self, matcher: MatcherStats, measure: MeasureCacheStats) {
+        self.index_candidates += matcher.index_candidates;
+        self.scan_candidates += matcher.scan_candidates;
+        self.scan_fallbacks += matcher.scan_fallbacks;
+        self.pool_restrictions += matcher.pool_restrictions;
+        self.distance_cache_hits += measure.distance_hits;
+        self.distance_cache_misses += measure.distance_misses;
+    }
 }

@@ -77,17 +77,20 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
         }
     }
     truncated |= ev.budget_tripped().is_some();
+    let mut stats = GenStats {
+        spawned,
+        verified: ev.verified_count(),
+        cache_hits: ev.cache_hit_count(),
+        elapsed: start.elapsed(),
+        budget_tripped: ev.budget_tripped(),
+        threads_used: 1,
+        ..GenStats::default()
+    };
+    ev.apply_hot_path_stats(&mut stats);
     Generated {
         entries: archive.entries().to_vec(),
         eps: cfg.eps,
-        stats: GenStats {
-            spawned,
-            verified: ev.verified_count(),
-            cache_hits: ev.cache_hit_count(),
-            elapsed: start.elapsed(),
-            budget_tripped: ev.budget_tripped(),
-            ..GenStats::default()
-        },
+        stats,
         anytime,
         truncated,
     }
@@ -128,17 +131,20 @@ pub fn kungs(cfg: Configuration<'_>) -> Generated {
             }
         })
         .collect();
+    let mut stats = GenStats {
+        spawned: universe.len() as u64,
+        verified: ev.verified_count(),
+        cache_hits: ev.cache_hit_count(),
+        elapsed: start.elapsed(),
+        budget_tripped: ev.budget_tripped(),
+        threads_used: 1,
+        ..GenStats::default()
+    };
+    ev.apply_hot_path_stats(&mut stats);
     Generated {
         entries,
         eps: cfg.eps,
-        stats: GenStats {
-            spawned: universe.len() as u64,
-            verified: ev.verified_count(),
-            cache_hits: ev.cache_hit_count(),
-            elapsed: start.elapsed(),
-            budget_tripped: ev.budget_tripped(),
-            ..GenStats::default()
-        },
+        stats,
         anytime: Vec::new(),
         truncated,
     }

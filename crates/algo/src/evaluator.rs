@@ -1,8 +1,8 @@
 //! Instance verification: matching, measuring, caching, and `incVerify`.
 
-use crate::config::Configuration;
+use crate::config::{Configuration, GenStats};
 use fairsqg_graph::NodeId;
-use fairsqg_matcher::{try_match_output_set, BudgetExceeded, MatchOptions};
+use fairsqg_matcher::{try_match_output_set, BudgetExceeded, MatchOptions, MatcherStats};
 use fairsqg_measures::{coverage_score, is_feasible, DiversityMeasure, Objectives};
 use fairsqg_query::{ConcreteQuery, Instantiation};
 use std::collections::HashMap;
@@ -34,12 +34,19 @@ pub struct Evaluator<'a> {
     verified: u64,
     cache_hits: u64,
     budget_tripped: Option<BudgetExceeded>,
+    /// The thread's matcher counters at construction time; the delta
+    /// since then is what this evaluator's run contributed.
+    matcher_baseline: MatcherStats,
 }
 
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator for a configuration.
     pub fn new(cfg: Configuration<'a>) -> Self {
-        let measure = DiversityMeasure::new(cfg.graph, cfg.template.output_label(), cfg.diversity);
+        let mut diversity = cfg.diversity;
+        if cfg.reference_path {
+            diversity.cache_distances = false;
+        }
+        let measure = DiversityMeasure::new(cfg.graph, cfg.template.output_label(), diversity);
         Self {
             cfg,
             measure,
@@ -47,6 +54,7 @@ impl<'a> Evaluator<'a> {
             verified: 0,
             cache_hits: 0,
             budget_tripped: None,
+            matcher_baseline: fairsqg_matcher::matcher_stats(),
         }
     }
 
@@ -118,6 +126,7 @@ impl<'a> Evaluator<'a> {
             &query,
             MatchOptions {
                 restrict_output: restriction,
+                use_index: !self.cfg.reference_path,
             },
             &self.cfg.budget,
         ) {
@@ -160,17 +169,51 @@ impl<'a> Evaluator<'a> {
             return !hit.feasible;
         }
         let query = ConcreteQuery::materialize(self.cfg.template, self.cfg.domains, inst);
-        let cands = match self.cfg.output_restriction {
+        // Tightest known output pool: the best cached direct parent's
+        // match set bounds this instance's matches (Lemma 2) and is never
+        // looser than the configured restriction (the parent was verified
+        // under it).
+        let parent_pool = if self.cfg.reference_path {
+            None
+        } else {
+            self.best_cached_parent(inst).map(Rc::clone)
+        };
+        let pool = parent_pool
+            .as_ref()
+            .map(|r| r.matches.as_slice())
+            .or(self.cfg.output_restriction);
+        let cands = match pool {
             Some(pool) => fairsqg_matcher::candidates_from_pool(
                 self.cfg.graph,
                 &query,
                 self.cfg.template.output(),
                 pool,
             ),
+            None if self.cfg.reference_path => {
+                fairsqg_matcher::candidates_scan(self.cfg.graph, &query, self.cfg.template.output())
+            }
             None => fairsqg_matcher::candidates(self.cfg.graph, &query, self.cfg.template.output()),
         };
         let counts = self.cfg.groups.count_in_groups(&cands);
         !is_feasible(&counts, self.cfg.spec)
+    }
+
+    /// The cached direct lattice parent with the smallest match set.
+    fn best_cached_parent(&self, inst: &Instantiation) -> Option<&Rc<EvalResult>> {
+        let mut best: Option<&Rc<EvalResult>> = None;
+        for x in 0..inst.var_count() {
+            if let Some(parent) = inst.relax_step(x) {
+                if let Some(r) = self.cache.get(&parent) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| r.matches.len() < b.matches.len())
+                    {
+                        best = Some(r);
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// Verifies `inst` using the best cached lattice ancestor (the verified
@@ -180,24 +223,19 @@ impl<'a> Evaluator<'a> {
             self.cache_hits += 1;
             return Rc::clone(hit);
         }
-        // Look up direct lattice parents in the cache.
-        let mut best: Option<Rc<EvalResult>> = None;
-        for x in 0..inst.var_count() {
-            if let Some(parent) = inst.relax_step(x) {
-                if let Some(r) = self.cache.get(&parent) {
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| r.matches.len() < b.matches.len())
-                    {
-                        best = Some(Rc::clone(r));
-                    }
-                }
-            }
-        }
-        match best {
+        match self.best_cached_parent(inst).map(Rc::clone) {
             Some(parent) => self.verify_inc(inst, Some(&parent.matches)),
             None => self.verify_inc(inst, None),
         }
+    }
+
+    /// Folds this evaluator's hot-path counters (matcher candidate paths,
+    /// measure caches) into a stats block. Counters are thread-local, so
+    /// the matcher delta is exact as long as no other evaluator ran on
+    /// this thread since construction.
+    pub fn apply_hot_path_stats(&self, stats: &mut GenStats) {
+        let matcher = fairsqg_matcher::matcher_stats().delta_since(self.matcher_baseline);
+        stats.record_hot_path(matcher, self.measure.cache_stats());
     }
 }
 

@@ -51,7 +51,7 @@ pub use evaluator::{EvalResult, Evaluator};
 pub use fairsqg_matcher::{BudgetExceeded, BudgetKind, MatchBudget};
 pub use online::{online_qgen, EpsTrace, OnlineOptions, OnlineQGen};
 pub use output::{AnytimePoint, Generated};
-pub use parallel::par_enum_qgen;
+pub use parallel::{effective_threads, par_enum_qgen, par_enum_qgen_exact};
 pub use rfqgen::{rfqgen, RfQGenOptions};
 pub use spawn::{plain_refinements, spawn_refinements, spawn_relaxations, SpawnOptions};
 pub use stream::{RandomStream, ShuffledStream};

@@ -224,17 +224,20 @@ impl<'a> OnlineQGen<'a> {
     /// Finalizes the run into a [`Generated`] report.
     pub fn finish(self, started: Instant) -> Generated {
         let truncated = self.evaluator.budget_tripped().is_some();
+        let mut stats = GenStats {
+            spawned: self.t,
+            verified: self.evaluator.verified_count(),
+            cache_hits: self.evaluator.cache_hit_count(),
+            elapsed: started.elapsed(),
+            budget_tripped: self.evaluator.budget_tripped(),
+            threads_used: 1,
+            ..GenStats::default()
+        };
+        self.evaluator.apply_hot_path_stats(&mut stats);
         Generated {
             entries: self.archive.entries().to_vec(),
             eps: self.archive.eps(),
-            stats: GenStats {
-                spawned: self.t,
-                verified: self.evaluator.verified_count(),
-                cache_hits: self.evaluator.cache_hit_count(),
-                elapsed: started.elapsed(),
-                budget_tripped: self.evaluator.budget_tripped(),
-                ..GenStats::default()
-            },
+            stats,
             anytime: Vec::new(),
             truncated,
         }

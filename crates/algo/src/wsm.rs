@@ -78,17 +78,20 @@ pub fn wsm(cfg: Configuration<'_>, opts: WsmOptions) -> Generated {
         })
         .collect();
 
+    let mut stats = GenStats {
+        spawned: feasible.len() as u64,
+        verified: ev.verified_count(),
+        cache_hits: ev.cache_hit_count(),
+        elapsed: start.elapsed(),
+        budget_tripped: ev.budget_tripped(),
+        threads_used: 1,
+        ..GenStats::default()
+    };
+    ev.apply_hot_path_stats(&mut stats);
     Generated {
         entries,
         eps: cfg.eps,
-        stats: GenStats {
-            spawned: feasible.len() as u64,
-            verified: ev.verified_count(),
-            cache_hits: ev.cache_hit_count(),
-            elapsed: start.elapsed(),
-            budget_tripped: ev.budget_tripped(),
-            ..GenStats::default()
-        },
+        stats,
         anytime: Vec::new(),
         truncated,
     }

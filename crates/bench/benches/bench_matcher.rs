@@ -40,6 +40,7 @@ fn bench_verification(c: &mut Criterion) {
                 &mid_q,
                 MatchOptions {
                     restrict_output: Some(&root_matches),
+                    ..MatchOptions::default()
                 },
             )
         })

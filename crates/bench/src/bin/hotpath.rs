@@ -1,0 +1,53 @@
+//! `hotpath` — runs the PR-4 hot-path A/B benchmark and writes
+//! `BENCH_PR4.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! hotpath [output.json]          # default output: BENCH_PR4.json
+//! FAIRSQG_SCALE=small hotpath    # small|medium|large (default: small)
+//! ```
+//!
+//! Every timed pair doubles as an equivalence check: the run aborts if the
+//! optimized path's archive differs from the reference path's by a single
+//! bit, so the emitted speedups are for provably identical results.
+
+use fairsqg_bench::hotpath::run_hotpath;
+use fairsqg_bench::scales::ExpScale;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let scale_name = std::env::var("FAIRSQG_SCALE").unwrap_or_else(|_| "small".to_string());
+    let scale = match scale_name.as_str() {
+        "small" => ExpScale::SMALL,
+        "medium" => ExpScale::MEDIUM,
+        "large" => ExpScale::LARGE,
+        other => {
+            eprintln!("unknown FAIRSQG_SCALE '{other}' (small|medium|large)");
+            std::process::exit(2);
+        }
+    };
+    let report = run_hotpath(&scale, &scale_name);
+    let json = fairsqg_wire::to_string_pretty(&report);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    let summary = report.get("summary").expect("summary");
+    println!(
+        "hotpath ({scale_name}): min speedup {:.2}x, geomean {:.2}x, \
+         8-thread efficiency vs hardware {:.2} ({} hw threads) -> {out_path}",
+        summary.get("min_speedup").and_then(|v| v.as_f64()).unwrap(),
+        summary
+            .get("geomean_speedup")
+            .and_then(|v| v.as_f64())
+            .unwrap(),
+        summary
+            .get("min_eight_thread_efficiency_vs_hardware")
+            .and_then(|v| v.as_f64())
+            .unwrap(),
+        report
+            .get("hardware_threads")
+            .and_then(|v| v.as_i64())
+            .unwrap(),
+    );
+}

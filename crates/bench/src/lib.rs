@@ -22,6 +22,7 @@ pub mod export;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9;
+pub mod hotpath;
 pub mod pruning;
 pub mod render;
 pub mod scales;

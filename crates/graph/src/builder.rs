@@ -3,6 +3,7 @@
 use crate::domains::ActiveDomains;
 use crate::graph::Graph;
 use crate::ids::{AttrId, EdgeLabelId, LabelId, NodeId};
+use crate::index::AttrIndex;
 use crate::schema::Schema;
 use crate::value::AttrValue;
 
@@ -149,6 +150,18 @@ impl GraphBuilder {
                 .flat_map(|(&l, t)| t.iter().map(move |&(a, v)| (l, a, v))),
         );
 
+        // Sorted (value, node) postings per (label, attribute) pair.
+        let attr_index = AttrIndex::build(
+            self.node_labels
+                .iter()
+                .zip(self.tuples.iter())
+                .enumerate()
+                .flat_map(|(i, (&l, t))| {
+                    t.iter()
+                        .map(move |&(a, v)| (l, a, v, NodeId::from_index(i)))
+                }),
+        );
+
         Graph {
             schema: self.schema,
             node_labels: self.node_labels,
@@ -159,6 +172,7 @@ impl GraphBuilder {
             in_adj,
             label_index,
             domains,
+            attr_index,
         }
     }
 }

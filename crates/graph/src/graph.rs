@@ -3,6 +3,7 @@
 
 use crate::domains::ActiveDomains;
 use crate::ids::{AttrId, EdgeLabelId, LabelId, NodeId};
+use crate::index::AttrIndex;
 use crate::schema::Schema;
 use crate::value::AttrValue;
 
@@ -32,6 +33,9 @@ pub struct Graph {
     /// Nodes per label, sorted ascending.
     pub(crate) label_index: Vec<Vec<NodeId>>,
     pub(crate) domains: ActiveDomains,
+    /// Per-`(label, attribute)` sorted value postings for indexed range
+    /// literal evaluation.
+    pub(crate) attr_index: AttrIndex,
 }
 
 impl Graph {
@@ -127,6 +131,13 @@ impl Graph {
     #[inline]
     pub fn domains(&self) -> &ActiveDomains {
         &self.domains
+    }
+
+    /// The per-`(label, attribute)` sorted value index built at
+    /// construction time, backing indexed candidate computation.
+    #[inline]
+    pub fn attr_index(&self) -> &AttrIndex {
+        &self.attr_index
     }
 
     /// Iterator over all node ids.

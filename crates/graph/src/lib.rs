@@ -28,6 +28,7 @@ mod domains;
 mod graph;
 mod groups;
 mod ids;
+mod index;
 mod interner;
 mod io;
 mod schema;
@@ -40,6 +41,7 @@ pub use domains::ActiveDomains;
 pub use graph::Graph;
 pub use groups::{CoverageSpec, GroupSet};
 pub use ids::{AttrId, EdgeLabelId, GroupId, LabelId, NodeId, SymbolId};
+pub use index::{gallop_intersect, AttrIndex, NodeBitset, Postings};
 pub use interner::Interner;
 pub use io::{read_tsv, write_tsv, IoError};
 pub use schema::Schema;

@@ -10,17 +10,30 @@
 //! already-matched neighbor.
 
 use crate::budget::{BudgetExceeded, BudgetKind, MatchBudget};
-use crate::candidates::{candidates, candidates_from_pool};
-use fairsqg_graph::{EdgeLabelId, Graph, NodeId};
+use crate::candidates::{candidates, candidates_from_pool, candidates_scan};
+use fairsqg_graph::{EdgeLabelId, Graph, NodeBitset, NodeId};
 use fairsqg_query::{ConcreteQuery, QNodeId};
 
 /// Options controlling a match-set computation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct MatchOptions<'a> {
     /// Restrict output-node candidates to this **sorted** pool. Used by
     /// `incVerify`: a refined instance's match set is contained in its
     /// parent's (Lemma 2 (2)), so only the parent's matches are re-checked.
     pub restrict_output: Option<&'a [NodeId]>,
+    /// Compute candidate sets through the graph's sorted value index
+    /// (default). Disable to force the naive label-population scan — the
+    /// reference path used for A/B benchmarking.
+    pub use_index: bool,
+}
+
+impl Default for MatchOptions<'_> {
+    fn default() -> Self {
+        Self {
+            restrict_output: None,
+            use_index: true,
+        }
+    }
 }
 
 /// An adjacency constraint between two query nodes, oriented from the point
@@ -68,13 +81,18 @@ pub fn try_match_output_set(
     // Candidate sets per active query node.
     let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(active.len());
     for &u in &active {
+        let compute = if opts.use_index {
+            candidates
+        } else {
+            candidates_scan
+        };
         let mut c = if u == query.output {
             match opts.restrict_output {
                 Some(pool) => candidates_from_pool(graph, query, u, pool),
-                None => candidates(graph, query, u),
+                None => compute(graph, query, u),
             }
         } else {
-            candidates(graph, query, u)
+            compute(graph, query, u)
         };
         let (out_req, in_req) = degree_req(u);
         if out_req > 0 || in_req > 0 {
@@ -168,8 +186,24 @@ pub fn try_match_output_set(
         debug_assert!(pos == 0 || !constraints[pos].is_empty());
     }
 
-    // Candidate sets reordered to matching order.
+    // Candidate sets reordered to matching order, with an O(1) dense
+    // bitset membership test for large non-root sets (the innermost
+    // extension loop probes membership once per driven neighbor).
     let cand_by_pos: Vec<&[NodeId]> = order.iter().map(|&slot| cand[slot].as_slice()).collect();
+    let membership: Vec<Membership> = cand_by_pos
+        .iter()
+        .enumerate()
+        .map(|(pos, &c)| {
+            if pos > 0 && opts.use_index && c.len() >= BITSET_MIN_CANDIDATES {
+                Membership::Bits(NodeBitset::from_nodes(
+                    graph.node_count(),
+                    c.iter().copied(),
+                ))
+            } else {
+                Membership::Sorted(c)
+            }
+        })
+        .collect();
 
     let mut result = Vec::new();
     let mut assignment: Vec<NodeId> = vec![NodeId(0); order.len()];
@@ -178,7 +212,7 @@ pub fn try_match_output_set(
         assignment[0] = v;
         if extend(
             graph,
-            &cand_by_pos,
+            &membership,
             &constraints,
             &mut assignment,
             1,
@@ -199,20 +233,41 @@ pub fn try_match_output_set(
     Ok(result)
 }
 
+/// Candidate sets at or above this size get a dense bitset for `O(1)`
+/// membership probes; below it a binary search on the sorted slice wins
+/// (no per-call bitset construction cost).
+const BITSET_MIN_CANDIDATES: usize = 64;
+
+/// Membership test over one position's candidate set.
+enum Membership<'a> {
+    Sorted(&'a [NodeId]),
+    Bits(NodeBitset),
+}
+
+impl Membership<'_> {
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        match self {
+            Membership::Sorted(s) => s.binary_search(&v).is_ok(),
+            Membership::Bits(b) => b.contains(v),
+        }
+    }
+}
+
 /// Tries to extend the partial embedding at `pos`; returns `Ok(true)` on
 /// the first complete embedding, or [`BudgetExceeded`] once the step cap
 /// is reached.
 #[allow(clippy::too_many_arguments)]
 fn extend(
     graph: &Graph,
-    cand_by_pos: &[&[NodeId]],
+    membership: &[Membership],
     constraints: &[Vec<QConstraint>],
     assignment: &mut [NodeId],
     pos: usize,
     steps: &mut u64,
     budget: &MatchBudget,
 ) -> Result<bool, BudgetExceeded> {
-    if pos == cand_by_pos.len() {
+    if pos == membership.len() {
         return Ok(true);
     }
     let cons = &constraints[pos];
@@ -263,7 +318,7 @@ fn extend(
             continue;
         }
         // Candidate membership (labels + literals pre-filtered).
-        if cand_by_pos[pos].binary_search(&v).is_err() {
+        if !membership[pos].contains(v) {
             continue;
         }
         // Remaining adjacency constraints.
@@ -284,7 +339,7 @@ fn extend(
         assignment[pos] = v;
         if extend(
             graph,
-            cand_by_pos,
+            membership,
             constraints,
             assignment,
             pos + 1,

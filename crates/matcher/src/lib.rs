@@ -19,13 +19,15 @@ mod candidates;
 mod multi_output;
 mod node_matches;
 mod reference;
+mod stats;
 
 pub use backtrack::{match_output_set, try_match_output_set, MatchOptions};
 pub use budget::{BudgetExceeded, BudgetKind, MatchBudget};
-pub use candidates::{candidates, candidates_from_pool, satisfies_literals};
+pub use candidates::{candidates, candidates_from_pool, candidates_scan, satisfies_literals};
 pub use multi_output::match_output_tuples;
 pub use node_matches::{count_embeddings, match_node_set};
 pub use reference::match_output_set_bruteforce;
+pub use stats::{matcher_stats, take_stats, MatcherStats};
 
 #[cfg(test)]
 mod tests {
@@ -116,6 +118,7 @@ mod tests {
             &q,
             MatchOptions {
                 restrict_output: Some(&root_m),
+                ..MatchOptions::default()
             },
         );
         assert_eq!(full, restricted);
@@ -196,6 +199,7 @@ mod tests {
             &q,
             MatchOptions {
                 restrict_output: Some(&[]),
+                ..MatchOptions::default()
             },
         );
         assert!(m.is_empty());

@@ -1,0 +1,136 @@
+//! Property-based equivalence of the indexed candidate computation and
+//! the naive label-population scan, on random graphs and random literal
+//! conjunctions. The indexed path (binary-searched range slices, gallop
+//! intersection, scan fallback) must return exactly the scan's node set —
+//! it is a pure performance substitution.
+
+use fairsqg_graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
+use fairsqg_matcher::{candidates, candidates_from_pool, candidates_scan};
+use fairsqg_query::{BoundLiteral, ConcreteNode, ConcreteQuery, QNodeId};
+use proptest::prelude::*;
+
+/// One random attribute: `(attr, value, as_string)`.
+type RawAttr = (u8, i64, bool);
+
+/// Raw random graph: nodes as `(label, attrs)`. Values mix ints and
+/// interned strings to exercise the `AttrValue` total order
+/// (`Int < Str`) the postings are sorted by.
+#[derive(Debug, Clone)]
+struct RawGraph {
+    nodes: Vec<(u8, Vec<RawAttr>)>,
+}
+
+fn arb_raw() -> impl Strategy<Value = RawGraph> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            proptest::collection::vec((0u8..3, -20i64..20, any::<bool>()), 0..4),
+        ),
+        1..60,
+    )
+    .prop_map(|nodes| RawGraph { nodes })
+}
+
+fn build(raw: &RawGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let labels = ["l0", "l1", "l2"];
+    let attrs = ["a0", "a1", "a2"];
+    // Pre-intern every label/attribute so queries can name them even when
+    // the random graph never used one.
+    for l in labels {
+        b.schema_mut().node_label(l);
+    }
+    for a in attrs {
+        b.schema_mut().attr(a);
+    }
+    for (l, at) in &raw.nodes {
+        let named: Vec<(&str, AttrValue)> = at
+            .iter()
+            .map(|&(a, v, s)| {
+                let value = if s {
+                    AttrValue::Str(b.schema_mut().symbol(&format!("s{v}")))
+                } else {
+                    AttrValue::Int(v)
+                };
+                (attrs[a as usize], value)
+            })
+            .collect();
+        b.add_named_node(labels[*l as usize], &named);
+    }
+    b.finish()
+}
+
+/// A single-node concrete query carrying the literal conjunction. String
+/// constants fall back to ints when the symbol was never interned.
+fn query_for(graph: &Graph, label: u8, lits: &[(u8, u8, i64, bool)]) -> ConcreteQuery {
+    let s = graph.schema();
+    let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt];
+    let literals = lits
+        .iter()
+        .map(|&(a, op, c, as_str)| BoundLiteral {
+            attr: s.find_attr(&format!("a{a}")).unwrap(),
+            op: ops[op as usize % ops.len()],
+            value: match s.find_symbol(&format!("s{c}")) {
+                Some(sym) if as_str => AttrValue::Str(sym),
+                _ => AttrValue::Int(c),
+            },
+        })
+        .collect();
+    ConcreteQuery {
+        nodes: vec![ConcreteNode {
+            label: s.find_node_label(&format!("l{label}")).unwrap(),
+            literals,
+        }],
+        active: vec![true],
+        edges: Vec::new(),
+        output: QNodeId(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Indexed candidates equal the naive scan, node for node.
+    #[test]
+    fn indexed_candidates_equal_scan(
+        raw in arb_raw(),
+        label in 0u8..3,
+        lits in proptest::collection::vec(
+            (0u8..3, 0u8..5, -20i64..20, any::<bool>()), 0..4),
+    ) {
+        let g = build(&raw);
+        let q = query_for(&g, label, &lits);
+        let fast = candidates(&g, &q, QNodeId(0));
+        let slow = candidates_scan(&g, &q, QNodeId(0));
+        prop_assert_eq!(&fast, &slow);
+        // Both are sorted ascending (the matcher relies on it).
+        prop_assert!(fast.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Pool restriction equals the scan filtered to the pool, for any
+    /// label-homogeneous pool.
+    #[test]
+    fn pool_candidates_equal_filtered_scan(
+        raw in arb_raw(),
+        label in 0u8..3,
+        lits in proptest::collection::vec(
+            (0u8..3, 0u8..5, -20i64..20, any::<bool>()), 0..3),
+        keep in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let g = build(&raw);
+        let q = query_for(&g, label, &lits);
+        let node_label = q.nodes[0].label;
+        let pool: Vec<NodeId> = g
+            .nodes_with_label(node_label)
+            .iter()
+            .copied()
+            .filter(|v| keep[v.index() % keep.len()])
+            .collect();
+        let from_pool = candidates_from_pool(&g, &q, QNodeId(0), &pool);
+        let expected: Vec<NodeId> = candidates_scan(&g, &q, QNodeId(0))
+            .into_iter()
+            .filter(|v| pool.binary_search(v).is_ok())
+            .collect();
+        prop_assert_eq!(from_pool, expected);
+    }
+}

@@ -8,6 +8,11 @@
 use crate::sampling::sample_pairs;
 use fairsqg_graph::{AttrValue, Graph, LabelId, NodeId};
 use rand_pcg::Pcg64Mcg;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Relevance function `r(u_o, v)` choices.
 ///
@@ -55,6 +60,13 @@ pub struct DiversityConfig {
     pub pair_cap: usize,
     /// Seed for pair sampling (determinism).
     pub seed: u64,
+    /// Memoize per-node relevance and pairwise distances across `score`
+    /// calls (default). Lemma 2's monotone refinement means nested match
+    /// sets re-score the same pairs over and over; the cache turns those
+    /// repeats into lookups. Cached values are the exact `f64`s the
+    /// uncached path computes, so scores are bit-identical either way.
+    /// Disable for the un-cached reference path in A/B benchmarks.
+    pub cache_distances: bool,
 }
 
 impl Default for DiversityConfig {
@@ -65,11 +77,89 @@ impl Default for DiversityConfig {
             relevance: Relevance::InDegreeNormalized,
             pair_cap: 512,
             seed: 0x5eed,
+            cache_distances: true,
         }
     }
 }
 
+/// Hit/miss counters of a [`DiversityMeasure`]'s memoization caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeasureCacheStats {
+    /// Pairwise distances served from the cache.
+    pub distance_hits: u64,
+    /// Pairwise distances computed from the attribute tuples (including
+    /// non-cacheable pairs involving nodes outside the output population).
+    pub distance_misses: u64,
+}
+
+/// A memoized seeded pair sample: all samples for one match-set size,
+/// shared between the cache and `score` callers.
+type PairSample = Rc<Vec<(usize, usize)>>;
+
+/// Output populations up to this size get a dense triangular `f64` cache
+/// (lazily allocated, ≤ ~4 MiB); larger populations fall back to a hash
+/// map so memory stays proportional to the pairs actually scored.
+const DENSE_DISTANCE_MAX_POP: usize = 1024;
+
+/// Cross-thread relevance/distance memoization: a lock-free
+/// "compute once" table of `f64` bit patterns, shared by the measures of
+/// parallel workers so one worker's cold computation becomes every
+/// worker's hit. Races are benign — `distance`/`relevance` are
+/// deterministic, so concurrent writers of a slot store identical bits.
+/// `NaN` bits mark empty slots (both quantities are always finite).
+#[derive(Debug)]
+pub struct SharedDiversityCache {
+    /// `|V_uo|`.
+    population: usize,
+    /// Triangular pairwise-distance table over population ranks; empty
+    /// when the population exceeds the dense cap (workers then fall back
+    /// to their private caches).
+    distances: Vec<AtomicU64>,
+    /// Per-node relevance, indexed by node id.
+    relevances: Vec<AtomicU64>,
+}
+
+impl SharedDiversityCache {
+    /// Builds an empty shared cache for matches of `output_label`.
+    pub fn new(graph: &Graph, output_label: LabelId) -> Self {
+        let pop = graph.nodes_with_label(output_label);
+        let pairs = if pop.len() <= DENSE_DISTANCE_MAX_POP {
+            pop.len() * (pop.len() - 1) / 2
+        } else {
+            0
+        };
+        let nan = f64::NAN.to_bits();
+        Self {
+            population: pop.len(),
+            distances: (0..pairs).map(|_| AtomicU64::new(nan)).collect(),
+            relevances: (0..graph.node_count())
+                .map(|_| AtomicU64::new(nan))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn get(slot: &AtomicU64) -> Option<f64> {
+        let v = f64::from_bits(slot.load(Ordering::Relaxed));
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    #[inline]
+    fn set(slot: &AtomicU64, value: f64) {
+        slot.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// Precomputed diversity evaluator for one graph + output label.
+///
+/// When [`DiversityConfig::cache_distances`] is set (default), per-node
+/// relevance and pairwise distances are memoized behind interior
+/// mutability: `score` keeps its `&self` signature, and each thread owns
+/// its own measure (the cells are not `Sync`).
 #[derive(Debug, Clone)]
 pub struct DiversityMeasure<'g> {
     graph: &'g Graph,
@@ -78,6 +168,27 @@ pub struct DiversityMeasure<'g> {
     population: usize,
     /// Max in-degree over `V_uo` (for relevance normalization).
     max_in_degree: usize,
+    /// Rank of each node within the sorted output population
+    /// (`u32::MAX` = not in `V_uo`); keys the triangular distance cache.
+    node_rank: Vec<u32>,
+    /// Memoized `r(u_o, v)` per node id; `NaN` = not yet computed.
+    /// Lazily sized on first use.
+    relevance_cache: RefCell<Vec<f64>>,
+    /// Dense triangular distance cache over population ranks (`NaN` =
+    /// unset), used when `|V_uo| ≤ DENSE_DISTANCE_MAX_POP`. Lazily sized
+    /// on first use.
+    dense_distances: RefCell<Vec<f64>>,
+    use_dense: bool,
+    /// Fallback distance cache for large populations.
+    sparse_distances: RefCell<HashMap<(NodeId, NodeId), f64>>,
+    /// Memoized seeded pair samples keyed by match-set size (the sample
+    /// is a pure function of the seed and `n`; see [`Self::sampled_pairs`]).
+    pair_sample_cache: RefCell<HashMap<usize, PairSample>>,
+    /// Optional cross-thread memoization table consulted before the
+    /// private caches (see [`SharedDiversityCache`]).
+    shared: Option<Arc<SharedDiversityCache>>,
+    distance_hits: Cell<u64>,
+    distance_misses: Cell<u64>,
 }
 
 impl<'g> DiversityMeasure<'g> {
@@ -85,12 +196,56 @@ impl<'g> DiversityMeasure<'g> {
     pub fn new(graph: &'g Graph, output_label: LabelId, config: DiversityConfig) -> Self {
         let pop = graph.nodes_with_label(output_label);
         let max_in_degree = pop.iter().map(|&v| graph.in_degree(v)).max().unwrap_or(0);
+        let mut node_rank = Vec::new();
+        if config.cache_distances {
+            node_rank = vec![u32::MAX; graph.node_count()];
+            for (i, &v) in pop.iter().enumerate() {
+                node_rank[v.index()] = i as u32;
+            }
+        }
         Self {
             graph,
             config,
             population: pop.len(),
             max_in_degree,
+            node_rank,
+            relevance_cache: RefCell::new(Vec::new()),
+            dense_distances: RefCell::new(Vec::new()),
+            use_dense: pop.len() <= DENSE_DISTANCE_MAX_POP,
+            sparse_distances: RefCell::new(HashMap::new()),
+            pair_sample_cache: RefCell::new(HashMap::new()),
+            shared: None,
+            distance_hits: Cell::new(0),
+            distance_misses: Cell::new(0),
         }
+    }
+
+    /// Attaches a cross-thread memoization table built for the same graph
+    /// and output label. Values already published by other measures become
+    /// hits here; values this measure computes become hits everywhere
+    /// else. No effect when distance caching is disabled.
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedDiversityCache>) {
+        debug_assert_eq!(
+            cache.population, self.population,
+            "shared cache built for a different output population"
+        );
+        self.shared = Some(cache);
+    }
+
+    /// Hit/miss counters of the memoization caches so far.
+    pub fn cache_stats(&self) -> MeasureCacheStats {
+        MeasureCacheStats {
+            distance_hits: self.distance_hits.get(),
+            distance_misses: self.distance_misses.get(),
+        }
+    }
+
+    /// Index of the (rank-ordered) pair `ra < rb` in the dense triangular
+    /// cache.
+    #[inline]
+    fn tri_index(&self, ra: usize, rb: usize) -> usize {
+        debug_assert!(ra < rb && rb < self.population);
+        ra * (2 * self.population - ra - 1) / 2 + (rb - ra - 1)
     }
 
     /// `|V_uo|`.
@@ -105,8 +260,35 @@ impl<'g> DiversityMeasure<'g> {
         self.population as f64
     }
 
-    /// Relevance `r(u_o, v) ∈ [0, 1]`.
+    /// Relevance `r(u_o, v) ∈ [0, 1]` (memoized per node when caching is
+    /// enabled).
     pub fn relevance(&self, v: NodeId) -> f64 {
+        if !self.config.cache_distances {
+            return self.relevance_uncached(v);
+        }
+        if let Some(shared) = &self.shared {
+            let slot = &shared.relevances[v.index()];
+            if let Some(r) = SharedDiversityCache::get(slot) {
+                return r;
+            }
+            let r = self.relevance_uncached(v);
+            SharedDiversityCache::set(slot, r);
+            return r;
+        }
+        let mut cache = self.relevance_cache.borrow_mut();
+        if cache.is_empty() {
+            cache.resize(self.graph.node_count(), f64::NAN);
+        }
+        let cached = cache[v.index()];
+        if !cached.is_nan() {
+            return cached;
+        }
+        let r = self.relevance_uncached(v);
+        cache[v.index()] = r;
+        r
+    }
+
+    fn relevance_uncached(&self, v: NodeId) -> f64 {
         match self.config.relevance {
             Relevance::InDegreeNormalized => {
                 if self.max_in_degree == 0 {
@@ -123,7 +305,66 @@ impl<'g> DiversityMeasure<'g> {
     /// per-attribute distance over the union of the two tuples' attributes
     /// (integers: absolute difference over the attribute's global range;
     /// strings: 0/1; attribute present on one side only: 1).
+    ///
+    /// Memoized per unordered population pair when caching is enabled;
+    /// the cached value is the exact `f64` the computation produces.
     pub fn distance(&self, v: NodeId, w: NodeId) -> f64 {
+        if !self.config.cache_distances || v == w {
+            return self.distance_uncached(v, w);
+        }
+        let (a, b) = if v < w { (v, w) } else { (w, v) };
+        let (ra, rb) = (self.node_rank[a.index()], self.node_rank[b.index()]);
+        if ra == u32::MAX || rb == u32::MAX {
+            // A coordinate outside the output population (multi-output
+            // tuples may bind non-population nodes): not cacheable.
+            self.distance_misses.set(self.distance_misses.get() + 1);
+            return self.distance_uncached(a, b);
+        }
+        if let Some(shared) = &self.shared {
+            if !shared.distances.is_empty() {
+                let slot = &shared.distances[self.tri_index(ra as usize, rb as usize)];
+                if let Some(d) = SharedDiversityCache::get(slot) {
+                    self.distance_hits.set(self.distance_hits.get() + 1);
+                    return d;
+                }
+                let d = self.distance_uncached(a, b);
+                SharedDiversityCache::set(slot, d);
+                self.distance_misses.set(self.distance_misses.get() + 1);
+                return d;
+            }
+            // Population exceeds the dense cap: the shared table holds no
+            // pair slots, so fall through to the private caches.
+        }
+        if self.use_dense {
+            let idx = self.tri_index(ra as usize, rb as usize);
+            let cached = self.dense_distances.borrow().get(idx).copied();
+            if let Some(d) = cached {
+                if !d.is_nan() {
+                    self.distance_hits.set(self.distance_hits.get() + 1);
+                    return d;
+                }
+            }
+            let d = self.distance_uncached(a, b);
+            let mut dense = self.dense_distances.borrow_mut();
+            if dense.is_empty() {
+                dense.resize(self.population * (self.population - 1) / 2, f64::NAN);
+            }
+            dense[idx] = d;
+            self.distance_misses.set(self.distance_misses.get() + 1);
+            d
+        } else {
+            if let Some(&d) = self.sparse_distances.borrow().get(&(a, b)) {
+                self.distance_hits.set(self.distance_hits.get() + 1);
+                return d;
+            }
+            let d = self.distance_uncached(a, b);
+            self.sparse_distances.borrow_mut().insert((a, b), d);
+            self.distance_misses.set(self.distance_misses.get() + 1);
+            d
+        }
+    }
+
+    fn distance_uncached(&self, v: NodeId, w: NodeId) -> f64 {
         let tv = self.graph.tuple(v);
         let tw = self.graph.tuple(w);
         if tv.is_empty() && tw.is_empty() {
@@ -192,6 +433,24 @@ impl<'g> DiversityMeasure<'g> {
         }
     }
 
+    /// The seeded pair sample for a match set of size `n`. The sample is
+    /// a pure function of `(seed, n)` — rejection sampling from a freshly
+    /// seeded RNG — so when caching is on it is memoized per `n`: sibling
+    /// instances with equal-sized match sets reuse it instead of redoing
+    /// tens of thousands of RNG draws and hash-set inserts per score.
+    fn sampled_pairs(&self, n: usize) -> PairSample {
+        let sample_target = self.config.pair_cap * self.config.pair_cap / 2;
+        if !self.config.cache_distances {
+            let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
+            return Rc::new(sample_pairs(n, sample_target, &mut rng));
+        }
+        let mut cache = self.pair_sample_cache.borrow_mut();
+        Rc::clone(cache.entry(n).or_insert_with(|| {
+            let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
+            Rc::new(sample_pairs(n, sample_target, &mut rng))
+        }))
+    }
+
     /// Max-sum diversity (the paper's `δ`).
     pub fn score_max_sum(&self, matches: &[NodeId]) -> f64 {
         if matches.is_empty() {
@@ -206,9 +465,7 @@ impl<'g> DiversityMeasure<'g> {
             0.0
         } else if self.config.pair_cap > 0 && n > self.config.pair_cap {
             // Seeded sample of pairs; scale the mean back to the full count.
-            let sample_target = self.config.pair_cap * self.config.pair_cap / 2;
-            let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
-            let sampled = sample_pairs(n, sample_target, &mut rng);
+            let sampled = self.sampled_pairs(n);
             let mean: f64 = sampled
                 .iter()
                 .map(|&(i, j)| self.distance(matches[i], matches[j]))
@@ -477,6 +734,75 @@ mod tests {
     }
 
     #[test]
+    fn cached_scores_are_bit_identical_to_uncached_on_nested_sets() {
+        // Nested match sets mimic a refinement chain (Lemma 2): the cache
+        // must return exactly the same f64 as the cold computation.
+        let mut b = GraphBuilder::new();
+        for i in 0..40i64 {
+            b.add_named_node(
+                "movie",
+                &[
+                    ("year", AttrValue::Int(1980 + i)),
+                    ("votes", AttrValue::Int(i * i % 23)),
+                ],
+            );
+        }
+        let g = b.finish();
+        let movie = g.schema().find_node_label("movie").unwrap();
+        let cached = DiversityMeasure::new(
+            &g,
+            movie,
+            DiversityConfig {
+                lambda: 0.7,
+                pair_cap: 0,
+                ..DiversityConfig::default()
+            },
+        );
+        let uncached = DiversityMeasure::new(
+            &g,
+            movie,
+            DiversityConfig {
+                lambda: 0.7,
+                pair_cap: 0,
+                cache_distances: false,
+                ..DiversityConfig::default()
+            },
+        );
+        let all: Vec<NodeId> = g.nodes().collect();
+        for len in (1..=all.len()).rev() {
+            let set = &all[..len];
+            let a = cached.score(set);
+            let b = uncached.score(set);
+            assert_eq!(a.to_bits(), b.to_bits(), "score differs at len {len}");
+        }
+        let stats = cached.cache_stats();
+        // The chain re-scores every surviving pair: all but the first full
+        // scoring must hit.
+        assert_eq!(stats.distance_misses, (40 * 39) / 2);
+        assert!(stats.distance_hits > stats.distance_misses);
+        assert_eq!(uncached.cache_stats(), MeasureCacheStats::default());
+    }
+
+    #[test]
+    fn sparse_cache_agrees_beyond_dense_cap() {
+        // Force the sparse path by shrinking over the dense cap is not
+        // possible via config, so exercise it directly with a population
+        // larger than DENSE_DISTANCE_MAX_POP.
+        let mut b = GraphBuilder::new();
+        for i in 0..(DENSE_DISTANCE_MAX_POP as i64 + 8) {
+            b.add_named_node("p", &[("k", AttrValue::Int(i % 97))]);
+        }
+        let g = b.finish();
+        let p = g.schema().find_node_label("p").unwrap();
+        let m = DiversityMeasure::new(&g, p, DiversityConfig::default());
+        let d1 = m.distance(NodeId(3), NodeId(900));
+        let d2 = m.distance(NodeId(900), NodeId(3));
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(m.cache_stats().distance_hits, 1);
+        assert_eq!(m.cache_stats().distance_misses, 1);
+    }
+
+    #[test]
     fn uniform_relevance() {
         let g = graph();
         let movie = g.schema().find_node_label("movie").unwrap();
@@ -491,5 +817,50 @@ mod tests {
         );
         let s = m.score(&[NodeId(0), NodeId(1)]);
         assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cache_is_bit_identical_to_private() {
+        let g = graph();
+        let movie = g.schema().find_node_label("movie").unwrap();
+        let shared = Arc::new(SharedDiversityCache::new(&g, movie));
+        let mut with_shared = measure(&g, 0.5);
+        with_shared.attach_shared_cache(Arc::clone(&shared));
+        let private = measure(&g, 0.5);
+        let all = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(
+            with_shared.score(&all).to_bits(),
+            private.score(&all).to_bits()
+        );
+        for &v in &all {
+            for &w in &all {
+                assert_eq!(
+                    with_shared.distance(v, w).to_bits(),
+                    private.distance(v, w).to_bits()
+                );
+            }
+            assert_eq!(
+                with_shared.relevance(v).to_bits(),
+                private.relevance(v).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_publishes_across_measures() {
+        let g = graph();
+        let movie = g.schema().find_node_label("movie").unwrap();
+        let shared = Arc::new(SharedDiversityCache::new(&g, movie));
+        let mut first = measure(&g, 1.0);
+        first.attach_shared_cache(Arc::clone(&shared));
+        let d = first.distance(NodeId(0), NodeId(2));
+        assert_eq!(first.cache_stats().distance_misses, 1);
+        // A fresh measure on the same table sees the published value
+        // without ever computing it.
+        let mut second = measure(&g, 1.0);
+        second.attach_shared_cache(shared);
+        assert_eq!(second.distance(NodeId(0), NodeId(2)).to_bits(), d.to_bits());
+        assert_eq!(second.cache_stats().distance_hits, 1);
+        assert_eq!(second.cache_stats().distance_misses, 0);
     }
 }

@@ -26,7 +26,10 @@ mod pareto;
 mod sampling;
 
 pub use coverage::{coverage_score, is_feasible};
-pub use diversity::{DiversityConfig, DiversityMeasure, DiversityObjective, Relevance};
+pub use diversity::{
+    DiversityConfig, DiversityMeasure, DiversityObjective, MeasureCacheStats, Relevance,
+    SharedDiversityCache,
+};
 pub use fairness::{disparate_impact, ratio_rule_spec, satisfies_ratio_rule};
 pub use hypervolume::{hypervolume, hypervolume_normalized};
 pub use indicators::{eps_indicator, min_eps, r_indicator};

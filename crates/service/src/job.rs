@@ -8,8 +8,8 @@
 //! `fairsqg generate --format json` render identically.
 
 use fairsqg_algo::{
-    biqgen, cbm, enum_qgen, kungs, rfqgen, BiQGenOptions, CancelToken, CbmOptions, Configuration,
-    Generated, MatchBudget, RfQGenOptions,
+    biqgen, cbm, enum_qgen, kungs, par_enum_qgen, rfqgen, BiQGenOptions, CancelToken, CbmOptions,
+    Configuration, Generated, MatchBudget, RfQGenOptions,
 };
 use fairsqg_graph::{AttrValue, CoverageSpec, Graph, GroupSet};
 use fairsqg_measures::DiversityConfig;
@@ -33,10 +33,12 @@ pub enum AlgoKind {
     RfQGen,
     /// Bi-directional generation with sandwich pruning.
     BiQGen,
+    /// Work-stealing parallel enumeration (archive identical to `enum`).
+    ParEnum,
 }
 
 impl AlgoKind {
-    /// Parses the wire name (`enum|kungs|cbm|rfqgen|biqgen`).
+    /// Parses the wire name (`enum|kungs|cbm|rfqgen|biqgen|parenum`).
     pub fn parse(s: &str) -> Result<Self, String> {
         Ok(match s {
             "enum" => Self::EnumQGen,
@@ -44,6 +46,7 @@ impl AlgoKind {
             "cbm" => Self::Cbm,
             "rfqgen" => Self::RfQGen,
             "biqgen" => Self::BiQGen,
+            "parenum" => Self::ParEnum,
             other => return Err(format!("unknown algorithm '{other}'")),
         })
     }
@@ -56,6 +59,7 @@ impl AlgoKind {
             Self::Cbm => "cbm",
             Self::RfQGen => "rfqgen",
             Self::BiQGen => "biqgen",
+            Self::ParEnum => "parenum",
         }
     }
 }
@@ -74,6 +78,11 @@ pub struct JobSpec {
     pub cover: u32,
     /// Algorithm to run.
     pub algo: AlgoKind,
+    /// Worker threads for `parenum` (`0` = one per hardware thread;
+    /// requests above the hardware are clamped — the response's
+    /// `threads_used` reports the actual pool). Ignored by the
+    /// sequential algorithms.
+    pub threads: usize,
     /// ε-dominance tolerance.
     pub eps: f64,
     /// Diversity trade-off λ.
@@ -113,6 +122,7 @@ impl JobSpec {
             group_attr: field("group_attr")?,
             cover,
             algo: AlgoKind::parse(v.get("algo").and_then(Value::as_str).unwrap_or("biqgen"))?,
+            threads: v.get("threads").and_then(Value::as_u64).unwrap_or(0) as usize,
             eps,
             lambda,
             deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
@@ -139,6 +149,9 @@ impl JobSpec {
             ("eps", Value::from(self.eps)),
             ("lambda", Value::from(self.lambda)),
         ];
+        if self.threads != 0 {
+            pairs.push(("threads", Value::from(self.threads as i64)));
+        }
         if let Some(d) = self.deadline_ms {
             pairs.push(("deadline_ms", Value::from(d as i64)));
         }
@@ -158,10 +171,12 @@ impl JobSpec {
     }
 
     /// Cache fingerprint: graph epoch + template hash + every parameter
-    /// that affects the result. Deadlines and the idempotency key are
-    /// deliberately excluded — a completed (non-truncated) result is valid
-    /// whatever deadline produced it — but the resource caps are included
-    /// because a tripped budget changes the archive.
+    /// that affects the result. Deadlines, the idempotency key, and the
+    /// thread count are deliberately excluded — a completed
+    /// (non-truncated) result is valid whatever deadline produced it, and
+    /// `parenum`'s archive is identical at any thread count — but the
+    /// resource caps are included because a tripped budget changes the
+    /// archive.
     pub fn fingerprint(&self, graph_epoch: u64) -> String {
         let cap = |o: Option<u64>| o.map_or_else(|| "-".to_string(), |v| v.to_string());
         format!(
@@ -264,6 +279,7 @@ pub fn run_plan(plan: &Plan<'_>, spec: &JobSpec, cancel: &CancelToken) -> Genera
         AlgoKind::Cbm => cbm(cfg, CbmOptions::default()),
         AlgoKind::RfQGen => rfqgen(cfg, RfQGenOptions::default()),
         AlgoKind::BiQGen => biqgen(cfg, BiQGenOptions::default()),
+        AlgoKind::ParEnum => par_enum_qgen(cfg, spec.threads),
     }
 }
 
@@ -334,6 +350,31 @@ pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
                     "elapsed_ms",
                     Value::from(out.stats.elapsed.as_secs_f64() * 1e3),
                 ),
+                ("threads_used", Value::from(out.stats.threads_used as i64)),
+                (
+                    "index_candidates",
+                    Value::from(out.stats.index_candidates as i64),
+                ),
+                (
+                    "scan_candidates",
+                    Value::from(out.stats.scan_candidates as i64),
+                ),
+                (
+                    "scan_fallbacks",
+                    Value::from(out.stats.scan_fallbacks as i64),
+                ),
+                (
+                    "pool_restrictions",
+                    Value::from(out.stats.pool_restrictions as i64),
+                ),
+                (
+                    "distance_cache_hits",
+                    Value::from(out.stats.distance_cache_hits as i64),
+                ),
+                (
+                    "distance_cache_misses",
+                    Value::from(out.stats.distance_cache_misses as i64),
+                ),
                 (
                     "budget_tripped",
                     match out.stats.budget_tripped {
@@ -376,6 +417,7 @@ mod tests {
             group_attr: "gender".into(),
             cover: 5,
             algo: AlgoKind::BiQGen,
+            threads: 0,
             eps: 0.1,
             lambda: 0.5,
             deadline_ms: None,

@@ -30,6 +30,7 @@
 //!     group_attr: "gender".into(),
 //!     cover: 5,
 //!     algo: AlgoKind::BiQGen,
+//!     threads: 0,
 //!     eps: 0.1,
 //!     lambda: 0.5,
 //!     deadline_ms: None,

@@ -38,7 +38,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          fairsqg generate --graph <tsv> --template <dsl> --group-attr <attr> --cover <n>\n      \
-         [--algo enum|kungs|cbm|rfqgen|biqgen] [--eps <f>] [--lambda <f>] [--top <n>]\n      \
+         [--algo enum|kungs|cbm|rfqgen|biqgen|parenum] [--eps <f>] [--lambda <f>] [--top <n>]\n      \
+         [--threads <n>  (parenum; 0 = all hardware threads)]\n      \
          [--deadline-ms <n>] [--format human|json]\n      \
          [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
          fairsqg stats --graph <tsv>\n  \
@@ -175,6 +176,7 @@ fn job_spec_from_args(args: &Args, graph_name: &str) -> Result<JobSpec, String> 
             .to_string(),
         cover,
         algo: AlgoKind::parse(args.get("algo").unwrap_or("biqgen"))?,
+        threads: args.get_usize("threads", 0)?,
         eps: args.get_f64("eps", 0.1)?,
         lambda: args.get_f64("lambda", 0.5)?,
         deadline_ms,

@@ -181,6 +181,17 @@ impl<'g> FairSqg<'g> {
         cancel: Option<&CancelToken>,
     ) -> Generated {
         let domains = self.domains_for(template);
+        // The matcher requires restriction pools to be label-homogeneous
+        // with the template's output node; user pools (e.g. RPQ reachable
+        // sets) may contain anything, so drop foreign-label nodes here —
+        // they could never be output matches anyway.
+        let sanitized: Option<Vec<fairsqg_graph::NodeId>> =
+            self.output_restriction.as_ref().map(|pool| {
+                pool.iter()
+                    .copied()
+                    .filter(|&v| self.graph.label(v) == template.output_label())
+                    .collect()
+            });
         let mut cfg = Configuration::new(
             self.graph,
             template,
@@ -190,7 +201,7 @@ impl<'g> FairSqg<'g> {
             self.eps,
             self.diversity,
         );
-        if let Some(pool) = &self.output_restriction {
+        if let Some(pool) = &sanitized {
             cfg = cfg.with_output_restriction(pool);
         }
         if let Some(token) = cancel {

@@ -41,6 +41,7 @@ fn spec(graph: &str) -> JobSpec {
         group_attr: "gender".into(),
         cover: 5,
         algo: AlgoKind::EnumQGen,
+        threads: 0,
         eps: 0.05,
         lambda: 0.5,
         deadline_ms: None,
