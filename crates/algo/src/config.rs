@@ -3,8 +3,9 @@
 use crate::cancel::CancelToken;
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
 use fairsqg_matcher::{BudgetExceeded, MatchBudget, MatcherStats};
-use fairsqg_measures::{DiversityConfig, MeasureCacheStats};
+use fairsqg_measures::{DiversityConfig, MeasureCacheStats, SharedDiversityCache};
 use fairsqg_query::{QueryTemplate, RefinementDomains};
+use std::sync::Arc;
 
 /// Everything a generation algorithm needs: the graph, the template with its
 /// refinement domains, the groups with coverage constraints, the tolerance
@@ -48,6 +49,16 @@ pub struct Configuration<'a> {
     /// default path; only the cost differs. Used for A/B speedup
     /// measurements in the bench harness.
     pub reference_path: bool,
+    /// Optional cross-run shared relevance/distance/pair-sample
+    /// memoization table (see [`SharedDiversityCache`]). Must have been
+    /// built for this graph, the template's output label, and this
+    /// configuration's relevance/pair-sampling parameters — the service's
+    /// warm-state layer keys its pool accordingly. When set, evaluators
+    /// and parallel workers attach it so successive jobs on the same
+    /// graph start hot; cached values are exact, so results stay
+    /// bit-identical to a cold run. Ignored on the reference path and
+    /// when distance caching is disabled.
+    pub shared_diversity: Option<&'a Arc<SharedDiversityCache>>,
 }
 
 impl<'a> Configuration<'a> {
@@ -88,6 +99,7 @@ impl<'a> Configuration<'a> {
             cancel: None,
             budget: MatchBudget::UNLIMITED,
             reference_path: false,
+            shared_diversity: None,
         }
     }
 
@@ -130,6 +142,13 @@ impl<'a> Configuration<'a> {
     /// [`reference_path`](Self::reference_path)).
     pub fn with_reference_path(mut self) -> Self {
         self.reference_path = true;
+        self
+    }
+
+    /// Attaches a cross-run shared diversity memoization table (see
+    /// [`shared_diversity`](Self::shared_diversity)).
+    pub fn with_shared_diversity(mut self, shared: &'a Arc<SharedDiversityCache>) -> Self {
+        self.shared_diversity = Some(shared);
         self
     }
 

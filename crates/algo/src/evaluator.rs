@@ -2,11 +2,14 @@
 
 use crate::config::{Configuration, GenStats};
 use fairsqg_graph::NodeId;
-use fairsqg_matcher::{try_match_output_set, BudgetExceeded, MatchOptions, MatcherStats};
+use fairsqg_matcher::{
+    try_match_output_set_with, BudgetExceeded, MatchOptions, MatchScratch, MatcherStats,
+};
 use fairsqg_measures::{coverage_score, is_feasible, DiversityMeasure, Objectives};
 use fairsqg_query::{ConcreteQuery, Instantiation};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The verified state of one query instance.
 #[derive(Debug, Clone)]
@@ -37,6 +40,11 @@ pub struct Evaluator<'a> {
     /// The thread's matcher counters at construction time; the delta
     /// since then is what this evaluator's run contributed.
     matcher_baseline: MatcherStats,
+    /// Reusable matcher working memory: one evaluator issues thousands of
+    /// verify calls over the same template shape, so candidate vectors,
+    /// membership bitsets, and the assignment buffer are allocated once
+    /// here instead of per call.
+    scratch: MatchScratch,
 }
 
 impl<'a> Evaluator<'a> {
@@ -46,7 +54,12 @@ impl<'a> Evaluator<'a> {
         if cfg.reference_path {
             diversity.cache_distances = false;
         }
-        let measure = DiversityMeasure::new(cfg.graph, cfg.template.output_label(), diversity);
+        let mut measure = DiversityMeasure::new(cfg.graph, cfg.template.output_label(), diversity);
+        if let Some(shared) = cfg.shared_diversity {
+            if !cfg.reference_path && cfg.diversity.cache_distances {
+                measure.attach_shared_cache(Arc::clone(shared));
+            }
+        }
         Self {
             cfg,
             measure,
@@ -55,6 +68,7 @@ impl<'a> Evaluator<'a> {
             cache_hits: 0,
             budget_tripped: None,
             matcher_baseline: fairsqg_matcher::matcher_stats(),
+            scratch: MatchScratch::default(),
         }
     }
 
@@ -121,7 +135,7 @@ impl<'a> Evaluator<'a> {
         // output restriction (the root was verified under it), so the
         // tighter of the two suffices.
         let restriction = ancestor_matches.or(self.cfg.output_restriction);
-        let matches = match try_match_output_set(
+        let matches = match try_match_output_set_with(
             self.cfg.graph,
             &query,
             MatchOptions {
@@ -129,6 +143,7 @@ impl<'a> Evaluator<'a> {
                 use_index: !self.cfg.reference_path,
             },
             &self.cfg.budget,
+            &mut self.scratch,
         ) {
             Ok(matches) => matches,
             Err(tripped) => {

@@ -19,7 +19,7 @@ use crate::config::{Configuration, GenStats};
 use crate::evaluator::EvalResult;
 use crate::output::Generated;
 use fairsqg_matcher::{
-    take_stats, try_match_output_set, BudgetExceeded, MatchOptions, MatcherStats,
+    take_stats, try_match_output_set_with, BudgetExceeded, MatchOptions, MatchScratch, MatcherStats,
 };
 use fairsqg_measures::{
     coverage_score, is_feasible, DiversityMeasure, MeasureCacheStats, Objectives,
@@ -53,14 +53,16 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
-/// Verifies one instance without any cache (thread-friendly).
+/// Verifies one instance without any cache (thread-friendly). `scratch`
+/// is the worker's reusable matcher working memory.
 fn verify_standalone(
     cfg: &Configuration<'_>,
     measure: &DiversityMeasure<'_>,
     inst: &Instantiation,
+    scratch: &mut MatchScratch,
 ) -> Result<EvalResult, BudgetExceeded> {
     let query = ConcreteQuery::materialize(cfg.template, cfg.domains, inst);
-    let matches = try_match_output_set(
+    let matches = try_match_output_set_with(
         cfg.graph,
         &query,
         MatchOptions {
@@ -68,6 +70,7 @@ fn verify_standalone(
             use_index: !cfg.reference_path,
         },
         &cfg.budget,
+        scratch,
     )?;
     let counts = cfg.groups.count_in_groups(&matches);
     let delta = measure.score(&matches);
@@ -120,13 +123,20 @@ fn run_par_enum(cfg: Configuration<'_>, threads: usize) -> Generated {
     // One lock-free memoization table for the whole pool: workers publish
     // computed distances/relevances to each other instead of each paying
     // the full cold-cache cost (which would otherwise make oversubscribed
-    // runs redo the same work per worker).
-    let shared_cache = (!cfg.reference_path && cfg.diversity.cache_distances).then(|| {
-        Arc::new(SharedDiversityCache::new(
+    // runs redo the same work per worker). A caller-provided table (the
+    // service's per-(graph, epoch) warm state) takes precedence, so the
+    // pool both benefits from and feeds the cross-request cache.
+    let shared_cache = if cfg.reference_path || !cfg.diversity.cache_distances {
+        None
+    } else if let Some(shared) = cfg.shared_diversity {
+        Some(Arc::clone(shared))
+    } else {
+        Some(Arc::new(SharedDiversityCache::for_config(
             cfg.graph,
             cfg.template.output_label(),
-        ))
-    });
+            &cfg.diversity,
+        )))
+    };
 
     let shards: Vec<Shard> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -152,6 +162,7 @@ fn run_par_enum(cfg: Configuration<'_>, threads: usize) -> Generated {
                 }
                 let mut out = Vec::new();
                 let mut tripped = None;
+                let mut scratch = MatchScratch::default();
                 'claim: while !stop_ref.load(Ordering::Relaxed) {
                     let base = cursor_ref.fetch_add(CLAIM_BATCH, Ordering::Relaxed);
                     if base >= total {
@@ -164,7 +175,7 @@ fn run_par_enum(cfg: Configuration<'_>, threads: usize) -> Generated {
                         if cfg_ref.cancelled() || stop_ref.load(Ordering::Relaxed) {
                             break 'claim;
                         }
-                        match verify_standalone(cfg_ref, &measure, inst) {
+                        match verify_standalone(cfg_ref, &measure, inst, &mut scratch) {
                             Ok(result) => out.push((i, result)),
                             Err(e) => {
                                 // A tripped budget stops the pool; the

@@ -1,0 +1,40 @@
+//! `throughput` — runs the PR-5 service throughput benchmark and writes
+//! `BENCH_PR5.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput [output.json]              # default output: BENCH_PR5.json
+//! FAIRSQG_TP_PRESET=smoke throughput    # smoke|small|medium (default: small)
+//! ```
+//!
+//! The benchmark drives a real in-process server over TCP with 1/2/4/8/16
+//! closed-loop clients, warm-vs-cold. Before any timing it asserts that
+//! warm archives are bit-identical to cold ones and aborts otherwise, so
+//! the emitted speedups are for provably identical results.
+
+use fairsqg_bench::throughput::{preset, run_throughput};
+use fairsqg_wire::Value;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let preset_name = std::env::var("FAIRSQG_TP_PRESET").unwrap_or_else(|_| "small".to_string());
+    let Some(opts) = preset(&preset_name) else {
+        eprintln!("unknown FAIRSQG_TP_PRESET '{preset_name}' (smoke|small|medium)");
+        std::process::exit(2);
+    };
+    let report = run_throughput(&opts);
+    let json = fairsqg_wire::to_string_pretty(&report);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    let speedup = report
+        .get("summary")
+        .and_then(|s| s.get("warm_speedup_at_8_clients"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "throughput ({preset_name}): archives bit-identical; \
+         warm speedup at 8 clients {speedup:.2}x -> {out_path}"
+    );
+}

@@ -142,12 +142,14 @@ fn thread_sweep(cfg: Configuration<'_>, seq: &Generated, hw: usize) -> (Vec<Valu
         if threads == 8 {
             eff8 = normalized;
         }
+        let used = effective_threads(threads);
         rows.push(Value::object([
             ("threads", Value::from(threads as i64)),
-            (
-                "threads_used",
-                Value::from(effective_threads(threads) as i64),
-            ),
+            ("threads_used", Value::from(used as i64)),
+            // A clamped row measured a smaller pool than requested (the
+            // scheduler never oversubscribes the hardware); its efficiency
+            // figures describe the clamped pool, not the requested one.
+            ("clamped", Value::from(used < threads)),
             ("ms", Value::from(secs * 1e3)),
             ("efficiency_raw", Value::from(raw)),
             ("efficiency_vs_hardware", Value::from(normalized)),

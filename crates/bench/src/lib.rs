@@ -27,6 +27,7 @@ pub mod pruning;
 pub mod render;
 pub mod scales;
 pub mod table2;
+pub mod throughput;
 
 use scales::ExpScale;
 

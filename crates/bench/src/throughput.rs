@@ -1,0 +1,373 @@
+//! Service throughput benchmark: warm state + coalescing vs a cold engine,
+//! driven over the real TCP wire surface.
+//!
+//! Each phase starts a fresh in-process server (fresh registry, fresh warm
+//! pool) and hammers it with N closed-loop clients, each submitting a
+//! stream of jobs over its own TCP connection and waiting for every
+//! result. The **cold** configuration disables warm state and coalescing;
+//! the **warm** configuration enables both. The result cache is off in
+//! *both* modes, so the measured speedup is attributable to the warm
+//! evaluation state (shared diversity tables, plan pool) and to request
+//! coalescing — not to verbatim result replay.
+//!
+//! Before any timing, an equivalence gate asserts that a warm run's
+//! archive is bit-identical to a cold run's for the same spec (entry
+//! order, bindings, and the JSON-rendered objective values must match
+//! exactly). The speedups in `BENCH_PR5.json` are for provably identical
+//! results.
+
+use fairsqg_datagen::{social_graph, SocialConfig};
+use fairsqg_service::{
+    spawn, AlgoKind, Client, Engine, EngineConfig, GraphRegistry, JobSpec, JobState,
+};
+use fairsqg_wire::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The benchmark's fixed query template: the paper's motivating
+/// director-recommendation query with one refinable range literal.
+const TEMPLATE: &str = "node u0 : director\nnode u1 : user\nedge u1 -recommend-> u0\n\
+                        where u1.yearsOfExp >= ?\noutput u0\n";
+
+/// λ values shared across clients: submissions landing on the same hot
+/// value concurrently have identical fingerprints and can coalesce.
+const HOT_LAMBDAS: [f64; 2] = [0.5, 0.7];
+
+/// One benchmark preset.
+#[derive(Debug, Clone)]
+pub struct ThroughputOptions {
+    /// Preset name, recorded in the report.
+    pub preset: String,
+    /// Director population of the generated social graph.
+    pub directors: usize,
+    /// Engine worker threads (same in both modes).
+    pub workers: usize,
+    /// Jobs each client submits (closed loop: submit, wait, repeat).
+    pub jobs_per_client: usize,
+    /// Concurrent-client counts swept.
+    pub client_sweep: Vec<usize>,
+}
+
+/// Resolves a preset by name (`smoke`, `small`, `medium`).
+pub fn preset(name: &str) -> Option<ThroughputOptions> {
+    let (directors, workers, jobs_per_client, client_sweep) = match name {
+        // CI smoke: completion + the equivalence gate only.
+        "smoke" => (40, 2, 3, vec![2]),
+        "small" => (400, 4, 8, vec![1, 2, 4, 8, 16]),
+        "medium" => (700, 4, 12, vec![1, 2, 4, 8, 16]),
+        _ => return None,
+    };
+    Some(ThroughputOptions {
+        preset: name.to_string(),
+        directors,
+        workers,
+        jobs_per_client,
+        client_sweep,
+    })
+}
+
+fn bench_graph(opts: &ThroughputOptions) -> fairsqg_graph::Graph {
+    social_graph(SocialConfig {
+        directors: opts.directors,
+        majority_share: 0.6,
+        seed: 0xBE5C,
+    })
+}
+
+fn engine_config(warm: bool, workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: 1024,
+        // Result caching off in both modes: identical resubmissions must
+        // actually run (cold) or coalesce/warm-share (warm), so the sweep
+        // measures the warm layer and not verbatim replay.
+        cache_entries: 0,
+        warm_state: warm,
+        coalesce: warm,
+        ..EngineConfig::default()
+    }
+}
+
+fn spec(lambda: f64) -> JobSpec {
+    JobSpec {
+        graph: "bench".into(),
+        template: TEMPLATE.into(),
+        group_attr: "gender".into(),
+        cover: 4,
+        algo: AlgoKind::BiQGen,
+        threads: 1,
+        eps: 0.05,
+        lambda,
+        deadline_ms: None,
+        budget: fairsqg_algo::MatchBudget::UNLIMITED,
+        request_key: None,
+    }
+}
+
+/// The λ of client `c`'s `j`-th job. Most jobs get a client-unique λ (a
+/// distinct fingerprint, so nothing could be served by a result cache even
+/// if one were on); every third job lands on a shared hot λ so concurrent
+/// clients produce coalescable duplicates.
+fn lambda_for(c: usize, j: usize) -> f64 {
+    if (j + 1).is_multiple_of(3) {
+        HOT_LAMBDAS[j % HOT_LAMBDAS.len()]
+    } else {
+        0.30 + ((c * 7919 + j * 131) % 97) as f64 * 0.004
+    }
+}
+
+/// Serializes the parts of a rendered result that describe the archive
+/// itself (entries with their objective bits, ε, truncation) — the stats
+/// block is excluded because cache-hit counts legitimately differ between
+/// warm and cold runs.
+fn archive_string(result: &Value) -> String {
+    let entries = result.get("entries").expect("result has entries");
+    let eps = result.get("eps").expect("result has eps");
+    let truncated = result.get("truncated").expect("result has truncated");
+    format!(
+        "eps={};truncated={};entries={}",
+        fairsqg_wire::to_string_pretty(eps),
+        fairsqg_wire::to_string_pretty(truncated),
+        fairsqg_wire::to_string_pretty(entries),
+    )
+}
+
+fn wait_engine(engine: &Engine, id: u64) -> Arc<Value> {
+    loop {
+        match engine.status(id).expect("job exists").state {
+            JobState::Done => return engine.result(id).expect("done job has result"),
+            JobState::Failed | JobState::Cancelled => panic!("bench job did not complete"),
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// The equivalence gate: for several λ values, a cold engine's archive
+/// must equal (to the rendered bit) a warm engine's archive for the same
+/// spec — including the warm engine's *second* run, which is served from
+/// already-populated warm tables. Panics on any mismatch.
+fn assert_warm_equals_cold(opts: &ThroughputOptions) -> usize {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("bench", bench_graph(opts));
+    let cold = Engine::start(Arc::clone(&registry), engine_config(false, 1));
+    let warm = Engine::start(Arc::clone(&registry), engine_config(true, 1));
+    let lambdas = [0.3, HOT_LAMBDAS[0], 0.85];
+    for lambda in lambdas {
+        let s = spec(lambda);
+        let cold_id = cold.submit(s.clone()).expect("cold submit");
+        let cold_archive = archive_string(&wait_engine(&cold, cold_id));
+        for round in 0..2 {
+            let warm_id = warm.submit(s.clone()).expect("warm submit");
+            let warm_archive = archive_string(&wait_engine(&warm, warm_id));
+            assert_eq!(
+                cold_archive, warm_archive,
+                "warm archive (round {round}) differs from cold at λ={lambda}"
+            );
+        }
+    }
+    lambdas.len()
+}
+
+struct Phase {
+    jobs_per_sec: f64,
+    wall_secs: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    stats: Value,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Runs one timed phase: a fresh server in the given mode, `clients`
+/// closed-loop TCP clients, every job waited to completion.
+fn run_phase(opts: &ThroughputOptions, warm: bool, clients: usize) -> Phase {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("bench", bench_graph(opts));
+    let engine = Arc::new(Engine::start(registry, engine_config(warm, opts.workers)));
+    let (addr, stop, server) = spawn("127.0.0.1:0", Arc::clone(&engine)).expect("bind server");
+    let addr = addr.to_string();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let jobs = opts.jobs_per_client;
+            std::thread::spawn(move || {
+                // Batched open loop: submit the whole stream, then wait
+                // each job out. Keeps the workers saturated (this measures
+                // server throughput, not client poll cadence) and puts
+                // identical hot-λ submissions in flight together.
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut pending = Vec::with_capacity(jobs);
+                for j in 0..jobs {
+                    let s = spec(lambda_for(c, j));
+                    let id = client.submit(&s).expect("submit");
+                    pending.push((id, Instant::now()));
+                }
+                let mut latencies_ms = Vec::with_capacity(jobs);
+                for (id, submitted) in pending {
+                    client
+                        .wait(id, Duration::from_secs(600))
+                        .expect("job completes");
+                    latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies_ms.extend(h.join().expect("client thread"));
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let stats = Client::connect(&addr)
+        .expect("stats connect")
+        .stats()
+        .expect("stats");
+    stop.stop();
+    let _ = server.join();
+    engine.shutdown();
+
+    latencies_ms.sort_by(f64::total_cmp);
+    let total_jobs = (clients * opts.jobs_per_client) as f64;
+    Phase {
+        jobs_per_sec: if wall_secs > 0.0 {
+            total_jobs / wall_secs
+        } else {
+            0.0
+        },
+        wall_secs,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        stats,
+    }
+}
+
+fn stat_u64(stats: &Value, block: &str, field: &str) -> u64 {
+    stats
+        .get(block)
+        .and_then(|b| b.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn phase_value(p: &Phase, warm: bool) -> Value {
+    let mut fields = vec![
+        ("jobs_per_sec", Value::from(p.jobs_per_sec)),
+        ("wall_secs", Value::from(p.wall_secs)),
+        ("p50_ms", Value::from(p.p50_ms)),
+        ("p95_ms", Value::from(p.p95_ms)),
+        ("p99_ms", Value::from(p.p99_ms)),
+    ];
+    if warm {
+        let div_hits = stat_u64(&p.stats, "warm_state", "diversity_hits");
+        let div_misses = stat_u64(&p.stats, "warm_state", "diversity_misses");
+        let plan_hits = stat_u64(&p.stats, "warm_state", "plan_hits");
+        let plan_misses = stat_u64(&p.stats, "warm_state", "plan_misses");
+        let attached = stat_u64(&p.stats, "coalescing", "attached");
+        let submitted = p
+            .stats
+            .get("submitted")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        fields.push((
+            "warm_diversity_hit_rate",
+            Value::from(rate(div_hits, div_misses)),
+        ));
+        fields.push((
+            "warm_plan_hit_rate",
+            Value::from(rate(plan_hits, plan_misses)),
+        ));
+        fields.push(("coalesced_attached", Value::from(attached)));
+        fields.push((
+            "coalesced_served",
+            Value::from(stat_u64(&p.stats, "coalescing", "served")),
+        ));
+        fields.push((
+            "coalesce_rate",
+            Value::from(rate(attached, submitted.saturating_sub(attached))),
+        ));
+        fields.push((
+            "warm_evictions",
+            Value::from(stat_u64(&p.stats, "warm_state", "evictions")),
+        ));
+    }
+    Value::object(fields)
+}
+
+/// Runs the full benchmark and returns the `BENCH_PR5.json` report.
+pub fn run_throughput(opts: &ThroughputOptions) -> Value {
+    let equivalence_specs = assert_warm_equals_cold(opts);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut sweep = Vec::new();
+    let mut speedup_at_8 = None;
+    let mut max_clients_speedup = (0usize, 0.0f64);
+    for &clients in &opts.client_sweep {
+        let cold = run_phase(opts, false, clients);
+        let warm = run_phase(opts, true, clients);
+        let speedup = if cold.jobs_per_sec > 0.0 {
+            warm.jobs_per_sec / cold.jobs_per_sec
+        } else {
+            0.0
+        };
+        if clients == 8 {
+            speedup_at_8 = Some(speedup);
+        }
+        if clients >= max_clients_speedup.0 {
+            max_clients_speedup = (clients, speedup);
+        }
+        sweep.push(Value::object([
+            ("clients", Value::from(clients as i64)),
+            ("cold", phase_value(&cold, false)),
+            ("warm", phase_value(&warm, true)),
+            ("warm_speedup", Value::from(speedup)),
+        ]));
+    }
+    Value::object([
+        ("bench", Value::from("throughput-pr5")),
+        ("preset", Value::from(opts.preset.as_str())),
+        ("hardware_threads", Value::from(hw as i64)),
+        ("workers", Value::from(opts.workers as i64)),
+        ("directors", Value::from(opts.directors as i64)),
+        ("jobs_per_client", Value::from(opts.jobs_per_client as i64)),
+        (
+            "equivalence",
+            Value::object([
+                ("archives_bit_identical", Value::from(true)),
+                ("specs_checked", Value::from(equivalence_specs as i64)),
+            ]),
+        ),
+        ("sweep", Value::Array(sweep)),
+        (
+            "summary",
+            Value::object([
+                (
+                    "warm_speedup_at_8_clients",
+                    Value::from(speedup_at_8.unwrap_or(max_clients_speedup.1)),
+                ),
+                (
+                    "max_swept_clients",
+                    Value::from(max_clients_speedup.0 as i64),
+                ),
+            ]),
+        ),
+    ])
+}

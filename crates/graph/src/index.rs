@@ -104,6 +104,15 @@ impl NodeBitset {
         }
     }
 
+    /// Clears every bit and re-sizes the set to hold node ids `< n`,
+    /// keeping the existing word allocation when it is large enough.
+    /// Lets hot loops reuse one bitset across calls instead of
+    /// re-allocating per call.
+    pub fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+    }
+
     /// Builds a bitset holding every id in `nodes` (ids must be `< n`).
     pub fn from_nodes(n: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
         let mut s = Self::new(n);

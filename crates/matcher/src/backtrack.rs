@@ -10,7 +10,7 @@
 //! already-matched neighbor.
 
 use crate::budget::{BudgetExceeded, BudgetKind, MatchBudget};
-use crate::candidates::{candidates, candidates_from_pool, candidates_scan};
+use crate::candidates::{candidates_from_pool_into, candidates_into, candidates_scan_into};
 use fairsqg_graph::{EdgeLabelId, Graph, NodeBitset, NodeId};
 use fairsqg_query::{ConcreteQuery, QNodeId};
 
@@ -48,6 +48,30 @@ struct QConstraint {
     outgoing: bool,
 }
 
+/// Reusable working memory for [`try_match_output_set_with`].
+///
+/// One verify call allocates candidate vectors, a matching order, a dense
+/// membership bitset per large candidate set, and an assignment buffer —
+/// then throws them all away. Under Lemma 2 refinement an evaluator issues
+/// thousands of verify calls over the same template shape, so owning the
+/// buffers in the caller turns that churn into `clear()`s. A fresh
+/// `MatchScratch::default()` is always valid; results never depend on
+/// what a previous call left behind (every buffer is cleared or fully
+/// overwritten before use).
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Candidate-set buffer pool, one per active query node.
+    cand: Vec<Vec<NodeId>>,
+    /// Dense membership bitsets for large non-root candidate sets.
+    bitsets: Vec<NodeBitset>,
+    /// Matching order (indexes into the active-node list).
+    order: Vec<usize>,
+    /// Which active slots are already ordered.
+    in_order: Vec<bool>,
+    /// Partial embedding, indexed by order position.
+    assignment: Vec<NodeId>,
+}
+
 /// Computes the match set `q(u_o, G)` of the output node, sorted ascending.
 pub fn match_output_set(graph: &Graph, query: &ConcreteQuery, opts: MatchOptions) -> Vec<NodeId> {
     match try_match_output_set(graph, query, opts, &MatchBudget::UNLIMITED) {
@@ -66,6 +90,26 @@ pub fn try_match_output_set(
     opts: MatchOptions,
     budget: &MatchBudget,
 ) -> Result<Vec<NodeId>, BudgetExceeded> {
+    try_match_output_set_with(graph, query, opts, budget, &mut MatchScratch::default())
+}
+
+/// Like [`try_match_output_set`], but works in caller-owned
+/// [`MatchScratch`] buffers so repeated verify calls reuse allocations
+/// instead of re-allocating per call. Results are identical.
+pub fn try_match_output_set_with(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    opts: MatchOptions,
+    budget: &MatchBudget,
+    scratch: &mut MatchScratch,
+) -> Result<Vec<NodeId>, BudgetExceeded> {
+    let MatchScratch {
+        cand: cand_pool,
+        bitsets,
+        order,
+        in_order,
+        assignment,
+    } = scratch;
     let active: Vec<QNodeId> = query.active_nodes().collect();
     debug_assert!(active.contains(&query.output));
 
@@ -78,22 +122,27 @@ pub fn try_match_output_set(
         (out, inc)
     };
 
-    // Candidate sets per active query node.
-    let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(active.len());
-    for &u in &active {
+    // Candidate sets per active query node, computed into the scratch
+    // buffer pool (one reusable allocation per active slot).
+    if cand_pool.len() < active.len() {
+        cand_pool.resize_with(active.len(), Vec::new);
+    }
+    let cand = &mut cand_pool[..active.len()];
+    for (slot, &u) in active.iter().enumerate() {
+        let c = &mut cand[slot];
         let compute = if opts.use_index {
-            candidates
+            candidates_into
         } else {
-            candidates_scan
+            candidates_scan_into
         };
-        let mut c = if u == query.output {
+        if u == query.output {
             match opts.restrict_output {
-                Some(pool) => candidates_from_pool(graph, query, u, pool),
-                None => compute(graph, query, u),
+                Some(pool) => candidates_from_pool_into(graph, query, u, pool, c),
+                None => compute(graph, query, u, c),
             }
         } else {
-            compute(graph, query, u)
-        };
+            compute(graph, query, u, c)
+        }
         let (out_req, in_req) = degree_req(u);
         if out_req > 0 || in_req > 0 {
             c.retain(|&v| graph.out_degree(v) >= out_req && graph.in_degree(v) >= in_req);
@@ -109,12 +158,11 @@ pub fn try_match_output_set(
                 });
             }
         }
-        cand.push(c);
     }
 
     // Single-node query: the candidate set is the match set.
     if active.len() == 1 {
-        let matches = cand.into_iter().next().unwrap();
+        let matches = cand[0].clone();
         if let Some(max) = budget.max_matches {
             if matches.len() as u64 > max {
                 return Err(BudgetExceeded {
@@ -133,8 +181,10 @@ pub fn try_match_output_set(
     let slot_of = |u: QNodeId| -> usize { active.iter().position(|&a| a == u).unwrap() };
 
     let out_slot = slot_of(query.output);
-    let mut order: Vec<usize> = vec![out_slot];
-    let mut in_order = vec![false; active.len()];
+    order.clear();
+    order.push(out_slot);
+    in_order.clear();
+    in_order.resize(active.len(), false);
     in_order[out_slot] = true;
     while order.len() < active.len() {
         // Pick the unmatched active node adjacent to the ordered prefix
@@ -188,25 +238,38 @@ pub fn try_match_output_set(
 
     // Candidate sets reordered to matching order, with an O(1) dense
     // bitset membership test for large non-root sets (the innermost
-    // extension loop probes membership once per driven neighbor).
+    // extension loop probes membership once per driven neighbor). The
+    // bitsets live in the scratch pool: `reset` keeps their word
+    // allocations across calls.
+    let mut bits_of: Vec<Option<usize>> = vec![None; order.len()];
+    let mut bits_used = 0usize;
+    for (pos, &slot) in order.iter().enumerate() {
+        if pos > 0 && opts.use_index && cand[slot].len() >= BITSET_MIN_CANDIDATES {
+            if bits_used == bitsets.len() {
+                bitsets.push(NodeBitset::new(0));
+            }
+            let b = &mut bitsets[bits_used];
+            b.reset(graph.node_count());
+            for &v in &cand[slot] {
+                b.insert(v);
+            }
+            bits_of[pos] = Some(bits_used);
+            bits_used += 1;
+        }
+    }
     let cand_by_pos: Vec<&[NodeId]> = order.iter().map(|&slot| cand[slot].as_slice()).collect();
     let membership: Vec<Membership> = cand_by_pos
         .iter()
         .enumerate()
-        .map(|(pos, &c)| {
-            if pos > 0 && opts.use_index && c.len() >= BITSET_MIN_CANDIDATES {
-                Membership::Bits(NodeBitset::from_nodes(
-                    graph.node_count(),
-                    c.iter().copied(),
-                ))
-            } else {
-                Membership::Sorted(c)
-            }
+        .map(|(pos, &c)| match bits_of[pos] {
+            Some(i) => Membership::Bits(&bitsets[i]),
+            None => Membership::Sorted(c),
         })
         .collect();
 
     let mut result = Vec::new();
-    let mut assignment: Vec<NodeId> = vec![NodeId(0); order.len()];
+    assignment.clear();
+    assignment.resize(order.len(), NodeId(0));
     let mut steps: u64 = 0;
     for &v in cand_by_pos[0] {
         assignment[0] = v;
@@ -214,7 +277,7 @@ pub fn try_match_output_set(
             graph,
             &membership,
             &constraints,
-            &mut assignment,
+            assignment,
             1,
             &mut steps,
             budget,
@@ -241,7 +304,7 @@ const BITSET_MIN_CANDIDATES: usize = 64;
 /// Membership test over one position's candidate set.
 enum Membership<'a> {
     Sorted(&'a [NodeId]),
-    Bits(NodeBitset),
+    Bits(&'a NodeBitset),
 }
 
 impl Membership<'_> {

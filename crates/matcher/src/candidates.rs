@@ -47,11 +47,27 @@ const GALLOP_MAX_RATIO: usize = 16;
 /// This is the indexed hot path; it returns exactly what
 /// [`candidates_scan`] returns (property-tested equivalence).
 pub fn candidates(graph: &Graph, query: &ConcreteQuery, u: QNodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    candidates_into(graph, query, u, &mut out);
+    out
+}
+
+/// [`candidates`] writing into a caller-owned buffer (cleared first) so
+/// hot loops can reuse one allocation per query-node slot across verify
+/// calls. Identical results and stats accounting.
+pub(crate) fn candidates_into(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    u: QNodeId,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
     let node = &query.nodes[u.index()];
     let population = graph.nodes_with_label(node.label);
     if node.literals.is_empty() {
         stats::count_index_candidates();
-        return population.to_vec();
+        out.extend_from_slice(population);
+        return;
     }
 
     // One value-index range slice per literal; a missing (label, attr)
@@ -61,59 +77,73 @@ pub fn candidates(graph: &Graph, query: &ConcreteQuery, u: QNodeId) -> Vec<NodeI
     for l in &node.literals {
         let Some(p) = graph.attr_index().postings(node.label, l.attr) else {
             stats::count_index_candidates();
-            return Vec::new();
+            return;
         };
         ranges.push((p.range(l.op, l.value), l));
     }
     ranges.sort_by_key(|(slice, _)| slice.len());
     if ranges[0].0.is_empty() {
         stats::count_index_candidates();
-        return Vec::new();
+        return;
     }
 
     // Hybrid fallback: a near-population slice makes the sort below more
     // expensive than the linear scan it replaces.
     if ranges[0].0.len() * SCAN_FALLBACK_DEN >= population.len() * SCAN_FALLBACK_NUM {
         stats::count_scan_fallback();
-        return candidates_scan(graph, query, u);
+        candidates_scan_into(graph, query, u, out);
+        return;
     }
     stats::count_index_candidates();
 
     // Seed from the most selective slice. Slices are sorted by (value,
     // node), so the extracted node ids must be re-sorted.
-    let mut base: Vec<NodeId> = ranges[0].0.iter().map(|&(_, v)| v).collect();
-    base.sort_unstable();
+    out.extend(ranges[0].0.iter().map(|&(_, v)| v));
+    out.sort_unstable();
     for &(slice, lit) in &ranges[1..] {
-        if base.is_empty() {
+        if out.is_empty() {
             break;
         }
-        if slice.len() <= base.len().saturating_mul(GALLOP_MAX_RATIO) {
+        if slice.len() <= out.len().saturating_mul(GALLOP_MAX_RATIO) {
             let mut other: Vec<NodeId> = slice.iter().map(|&(_, v)| v).collect();
             other.sort_unstable();
-            base = gallop_intersect(&base, &other);
+            *out = gallop_intersect(out, &other);
         } else {
-            base.retain(|&v| {
+            out.retain(|&v| {
                 graph
                     .attr(v, lit.attr)
                     .is_some_and(|val| lit.op.eval(val, lit.value))
             });
         }
     }
-    base
 }
 
 /// Reference path: computes the candidate set by scanning the full label
 /// population and evaluating every literal per node. Sorted ascending
 /// (inherited from the label index).
 pub fn candidates_scan(graph: &Graph, query: &ConcreteQuery, u: QNodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    candidates_scan_into(graph, query, u, &mut out);
+    out
+}
+
+/// [`candidates_scan`] writing into a caller-owned buffer (cleared first).
+pub(crate) fn candidates_scan_into(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    u: QNodeId,
+    out: &mut Vec<NodeId>,
+) {
     stats::count_scan_candidates();
     let node = &query.nodes[u.index()];
-    graph
-        .nodes_with_label(node.label)
-        .iter()
-        .copied()
-        .filter(|&v| satisfies_literals(graph, v, &node.literals))
-        .collect()
+    out.clear();
+    out.extend(
+        graph
+            .nodes_with_label(node.label)
+            .iter()
+            .copied()
+            .filter(|&v| satisfies_literals(graph, v, &node.literals)),
+    );
 }
 
 /// Like [`candidates`] but restricted to a pre-sorted pool (used by
@@ -131,16 +161,32 @@ pub fn candidates_from_pool(
     u: QNodeId,
     pool: &[NodeId],
 ) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    candidates_from_pool_into(graph, query, u, pool, &mut out);
+    out
+}
+
+/// [`candidates_from_pool`] writing into a caller-owned buffer (cleared
+/// first).
+pub(crate) fn candidates_from_pool_into(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    u: QNodeId,
+    pool: &[NodeId],
+    out: &mut Vec<NodeId>,
+) {
     stats::count_pool_restriction();
     let node = &query.nodes[u.index()];
     debug_assert!(
         pool.iter().all(|&v| graph.label(v) == node.label),
         "incVerify pool contains a node whose label differs from the query node's"
     );
-    pool.iter()
-        .copied()
-        .filter(|&v| satisfies_literals(graph, v, &node.literals))
-        .collect()
+    out.clear();
+    out.extend(
+        pool.iter()
+            .copied()
+            .filter(|&v| satisfies_literals(graph, v, &node.literals)),
+    );
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ mod node_matches;
 mod reference;
 mod stats;
 
-pub use backtrack::{match_output_set, try_match_output_set, MatchOptions};
+pub use backtrack::{
+    match_output_set, try_match_output_set, try_match_output_set_with, MatchOptions, MatchScratch,
+};
 pub use budget::{BudgetExceeded, BudgetKind, MatchBudget};
 pub use candidates::{candidates, candidates_from_pool, candidates_scan, satisfies_literals};
 pub use multi_output::match_output_tuples;

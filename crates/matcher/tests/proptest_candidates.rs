@@ -5,7 +5,7 @@
 //! it is a pure performance substitution.
 
 use fairsqg_graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
-use fairsqg_matcher::{candidates, candidates_from_pool, candidates_scan};
+use fairsqg_matcher::{candidates, candidates_from_pool, candidates_scan, satisfies_literals};
 use fairsqg_query::{BoundLiteral, ConcreteNode, ConcreteQuery, QNodeId};
 use proptest::prelude::*;
 
@@ -132,5 +132,36 @@ proptest! {
             .filter(|v| pool.binary_search(v).is_ok())
             .collect();
         prop_assert_eq!(from_pool, expected);
+    }
+
+    /// Pool restriction equals the naive scan *over the pool itself*:
+    /// walk the pool in order and keep exactly the nodes satisfying every
+    /// literal. This oracle is independent of `candidates_scan`, so it
+    /// also pins down that `candidates_from_pool` preserves pool order
+    /// and never pulls in nodes from outside the pool.
+    #[test]
+    fn pool_candidates_equal_scan_over_pool(
+        raw in arb_raw(),
+        label in 0u8..3,
+        lits in proptest::collection::vec(
+            (0u8..3, 0u8..5, -20i64..20, any::<bool>()), 0..4),
+        keep in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let g = build(&raw);
+        let q = query_for(&g, label, &lits);
+        let node_label = q.nodes[0].label;
+        let pool: Vec<NodeId> = g
+            .nodes_with_label(node_label)
+            .iter()
+            .copied()
+            .filter(|v| keep[v.index() % keep.len()])
+            .collect();
+        let from_pool = candidates_from_pool(&g, &q, QNodeId(0), &pool);
+        let reference: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|&v| satisfies_literals(&g, v, &q.nodes[0].literals))
+            .collect();
+        prop_assert_eq!(from_pool, reference);
     }
 }

@@ -10,9 +10,8 @@ use fairsqg_graph::{AttrValue, Graph, LabelId, NodeId};
 use rand_pcg::Pcg64Mcg;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Relevance function `r(u_o, v)` choices.
 ///
@@ -93,8 +92,10 @@ pub struct MeasureCacheStats {
 }
 
 /// A memoized seeded pair sample: all samples for one match-set size,
-/// shared between the cache and `score` callers.
-type PairSample = Rc<Vec<(usize, usize)>>;
+/// shared between the cache and `score` callers. `Arc` (not `Rc`) so the
+/// cross-thread [`SharedDiversityCache`] can hand the same sample to every
+/// worker and every successive service job.
+type PairSample = Arc<Vec<(usize, usize)>>;
 
 /// Output populations up to this size get a dense triangular `f64` cache
 /// (lazily allocated, ≤ ~4 MiB); larger populations fall back to a hash
@@ -117,11 +118,32 @@ pub struct SharedDiversityCache {
     distances: Vec<AtomicU64>,
     /// Per-node relevance, indexed by node id.
     relevances: Vec<AtomicU64>,
+    /// The relevance function the cached values were computed under.
+    /// Cached relevances are only valid for measures configured with the
+    /// same function; [`DiversityMeasure::attach_shared_cache`] asserts it.
+    relevance: Relevance,
+    /// Pair-sampling parameters the memoized samples were drawn under
+    /// (`(pair_cap, seed)`); guarded like `relevance`.
+    pair_cap: usize,
+    seed: u64,
+    /// Cross-thread seeded pair-sample memo keyed by match-set size. The
+    /// sample is a pure function of `(seed, n)`, so sharing it is a pure
+    /// cost optimization — every consumer would compute identical pairs.
+    pair_samples: Mutex<HashMap<usize, PairSample>>,
 }
 
 impl SharedDiversityCache {
-    /// Builds an empty shared cache for matches of `output_label`.
+    /// Builds an empty shared cache for matches of `output_label`, assuming
+    /// the default relevance function and pair-sampling parameters.
     pub fn new(graph: &Graph, output_label: LabelId) -> Self {
+        Self::for_config(graph, output_label, &DiversityConfig::default())
+    }
+
+    /// Builds an empty shared cache for matches of `output_label` whose
+    /// cached values follow `config`'s relevance function and pair-sampling
+    /// parameters. `lambda`, the objective, and `cache_distances` do not
+    /// affect cached quantities, so caches are shareable across them.
+    pub fn for_config(graph: &Graph, output_label: LabelId, config: &DiversityConfig) -> Self {
         let pop = graph.nodes_with_label(output_label);
         let pairs = if pop.len() <= DENSE_DISTANCE_MAX_POP {
             pop.len() * (pop.len() - 1) / 2
@@ -135,7 +157,45 @@ impl SharedDiversityCache {
             relevances: (0..graph.node_count())
                 .map(|_| AtomicU64::new(nan))
                 .collect(),
+            relevance: config.relevance,
+            pair_cap: config.pair_cap,
+            seed: config.seed,
+            pair_samples: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// `|V_uo|` the cache was built for.
+    #[inline]
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Approximate resident size in bytes: the atomic tables plus the
+    /// memoized pair samples. Used by the service's warm-state pool to
+    /// enforce its cross-graph byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        let samples: usize = self
+            .pair_samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .map(|s| s.len() * std::mem::size_of::<(usize, usize)>())
+            .sum();
+        (self.distances.len() + self.relevances.len()) * std::mem::size_of::<AtomicU64>() + samples
+    }
+
+    /// The memoized pair sample for match-set size `n`, computing and
+    /// publishing it on first request.
+    fn pair_sample(&self, n: usize) -> PairSample {
+        let mut samples = self
+            .pair_samples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(samples.entry(n).or_insert_with(|| {
+            let sample_target = self.pair_cap * self.pair_cap / 2;
+            let mut rng = Pcg64Mcg::new(self.seed as u128 | 1);
+            Arc::new(sample_pairs(n, sample_target, &mut rng))
+        }))
     }
 
     #[inline]
@@ -228,6 +288,15 @@ impl<'g> DiversityMeasure<'g> {
         debug_assert_eq!(
             cache.population, self.population,
             "shared cache built for a different output population"
+        );
+        debug_assert_eq!(
+            cache.relevance, self.config.relevance,
+            "shared cache built under a different relevance function"
+        );
+        debug_assert_eq!(
+            (cache.pair_cap, cache.seed),
+            (self.config.pair_cap, self.config.seed),
+            "shared cache built under different pair-sampling parameters"
         );
         self.shared = Some(cache);
     }
@@ -442,12 +511,19 @@ impl<'g> DiversityMeasure<'g> {
         let sample_target = self.config.pair_cap * self.config.pair_cap / 2;
         if !self.config.cache_distances {
             let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
-            return Rc::new(sample_pairs(n, sample_target, &mut rng));
+            return Arc::new(sample_pairs(n, sample_target, &mut rng));
         }
         let mut cache = self.pair_sample_cache.borrow_mut();
-        Rc::clone(cache.entry(n).or_insert_with(|| {
-            let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
-            Rc::new(sample_pairs(n, sample_target, &mut rng))
+        Arc::clone(cache.entry(n).or_insert_with(|| {
+            // Consult (and feed) the cross-thread memo first so sibling
+            // workers and successive jobs on the same graph share one
+            // sample per size instead of redrawing it.
+            if let Some(shared) = &self.shared {
+                shared.pair_sample(n)
+            } else {
+                let mut rng = Pcg64Mcg::new(self.config.seed as u128 | 1);
+                Arc::new(sample_pairs(n, sample_target, &mut rng))
+            }
         }))
     }
 

@@ -19,8 +19,10 @@
 //! key returns the original job id instead of running the work twice.
 
 use crate::cache::{CacheStats, LruCache};
-use crate::job::{generated_to_value, plan_spec, run_plan, JobSpec};
-use crate::registry::GraphRegistry;
+use crate::job::{
+    diversity_for_spec, generated_to_value, plan_spec, plan_spec_cached, run_plan_shared, JobSpec,
+};
+use crate::registry::{GraphEntry, GraphRegistry, DEFAULT_WARM_BUDGET_BYTES};
 use crate::sync;
 use fairsqg_algo::{CancelToken, MatchBudget};
 use fairsqg_faults::Fault;
@@ -47,6 +49,16 @@ pub struct EngineConfig {
     pub budget: MatchBudget,
     /// Remembered `request_key` → job id mappings (FIFO-evicted).
     pub dedup_entries: usize,
+    /// Keep per-`(graph, epoch)` warm evaluation state (diversity tables,
+    /// plan pool) alive across jobs. Warm results are bit-identical to
+    /// cold ones; disabling this only costs throughput.
+    pub warm_state: bool,
+    /// Byte budget for the registry's warm pool (LRU-evicted across
+    /// graphs). Applied at engine start when `warm_state` is on.
+    pub warm_budget_bytes: usize,
+    /// Attach submissions whose fingerprint matches an in-flight job as
+    /// followers of that job instead of running the work again.
+    pub coalesce: bool,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +70,9 @@ impl Default for EngineConfig {
             default_deadline: None,
             budget: MatchBudget::UNLIMITED,
             dedup_entries: 4096,
+            warm_state: true,
+            warm_budget_bytes: DEFAULT_WARM_BUDGET_BYTES,
+            coalesce: true,
         }
     }
 }
@@ -115,6 +130,15 @@ struct JobRecord {
     from_cache: bool,
     truncated: bool,
     submitted_at: Instant,
+    /// The graph pinned at admission; a reload between admission and
+    /// execution must not change what a job runs against (its fingerprint
+    /// was computed for this epoch). Cleared on completion.
+    entry: Option<GraphEntry>,
+    /// The cache/coalescing fingerprint computed at admission.
+    fingerprint: Option<String>,
+    /// Jobs coalesced onto this one: they are served from this job's
+    /// result when it completes cleanly, or promoted/requeued otherwise.
+    followers: Vec<u64>,
 }
 
 /// Point-in-time view of one job, as reported by `status`.
@@ -184,6 +208,12 @@ struct Counters {
     worker_respawns: AtomicU64,
     budget_trips: AtomicU64,
     dedup_hits: AtomicU64,
+    // Coalescing: submissions attached to an in-flight leader, followers
+    // served from a leader's result, and followers promoted + requeued
+    // because the leader's outcome was unusable.
+    coalesced_attached: AtomicU64,
+    coalesced_served: AtomicU64,
+    coalesced_requeued: AtomicU64,
 }
 
 struct QueueState {
@@ -233,6 +263,9 @@ struct Shared {
     queue: Mutex<QueueState>,
     work_ready: Condvar,
     jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Fingerprint → leader job id for every admitted-but-unsettled job.
+    /// Lock order everywhere: `inflight` → `queue` → `jobs`.
+    inflight: Mutex<HashMap<String, u64>>,
     cache: Mutex<LruCache<Arc<Value>>>,
     dedup: Mutex<DedupMap>,
     counters: Counters,
@@ -253,6 +286,9 @@ pub struct Engine {
 impl Engine {
     /// Starts the worker pool over `registry`.
     pub fn start(registry: Arc<GraphRegistry>, config: EngineConfig) -> Self {
+        if config.warm_state {
+            registry.set_warm_budget(config.warm_budget_bytes);
+        }
         let pool = config.workers.max(1) as u64;
         let shared = Arc::new(Shared {
             cache: Mutex::new(LruCache::new(config.cache_entries)),
@@ -265,6 +301,7 @@ impl Engine {
             }),
             work_ready: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             next_id: AtomicU64::new(1),
@@ -345,6 +382,9 @@ impl Engine {
                     from_cache: true,
                     truncated,
                     submitted_at: Instant::now(),
+                    entry: None,
+                    fingerprint: None,
+                    followers: Vec::new(),
                 },
             );
             if let Some(k) = request_key {
@@ -355,6 +395,70 @@ impl Engine {
                 .completed
                 .fetch_add(1, Ordering::Relaxed);
             return Ok(id);
+        }
+
+        let deadline = spec
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.shared.config.default_deadline);
+        let cancel = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let request_key = spec.request_key.clone();
+
+        // Coalesce: an identical in-flight job (same fingerprint, still
+        // queued or running) becomes this submission's leader — the new
+        // job attaches as a follower and is served from the leader's
+        // result instead of occupying a queue slot. The inflight guard is
+        // held across admission so a settling leader cannot slip away
+        // between the lookup and the attach. Lock order:
+        // inflight → queue → jobs.
+        let mut inflight = self
+            .shared
+            .config
+            .coalesce
+            .then(|| sync::lock(&self.shared.inflight));
+        if let Some(map) = inflight.as_deref_mut() {
+            if let Some(&leader) = map.get(&key) {
+                let mut jobs = sync::lock(&self.shared.jobs);
+                let attachable = jobs
+                    .get(&leader)
+                    .is_some_and(|r| matches!(r.state, JobState::Queued | JobState::Running));
+                if attachable {
+                    let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+                    jobs.insert(
+                        id,
+                        JobRecord {
+                            spec,
+                            state: JobState::Queued,
+                            cancel,
+                            result: None,
+                            error: None,
+                            from_cache: false,
+                            truncated: false,
+                            submitted_at: Instant::now(),
+                            entry: Some(entry),
+                            fingerprint: Some(key),
+                            followers: Vec::new(),
+                        },
+                    );
+                    if let Some(r) = jobs.get_mut(&leader) {
+                        r.followers.push(id);
+                    }
+                    drop(jobs);
+                    if let Some(k) = request_key {
+                        sync::lock(&self.shared.dedup).insert(k, id);
+                    }
+                    self.shared
+                        .counters
+                        .coalesced_attached
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(id);
+                }
+                // The mapped job already settled; fall through and lead.
+                map.remove(&key);
+            }
         }
 
         let mut q = sync::lock(&self.shared.queue);
@@ -371,15 +475,6 @@ impl Engine {
             });
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let deadline = spec
-            .deadline_ms
-            .map(Duration::from_millis)
-            .or(self.shared.config.default_deadline);
-        let cancel = match deadline {
-            Some(d) => CancelToken::with_deadline(d),
-            None => CancelToken::new(),
-        };
-        let request_key = spec.request_key.clone();
         sync::lock(&self.shared.jobs).insert(
             id,
             JobRecord {
@@ -391,13 +486,20 @@ impl Engine {
                 from_cache: false,
                 truncated: false,
                 submitted_at: Instant::now(),
+                entry: Some(entry),
+                fingerprint: Some(key.clone()),
+                followers: Vec::new(),
             },
         );
+        if let Some(map) = inflight.as_deref_mut() {
+            map.insert(key, id);
+        }
         if let Some(k) = request_key {
             sync::lock(&self.shared.dedup).insert(k, id);
         }
         q.queue.push_back(id);
         drop(q);
+        drop(inflight);
         self.shared.work_ready.notify_one();
         Ok(id)
     }
@@ -452,7 +554,36 @@ impl Engine {
     /// Engine statistics in wire form (the `stats` response body).
     pub fn stats_value(&self) -> Value {
         let c = &self.shared.counters;
-        let cache = self.cache_stats();
+        // A zero-capacity cache is off, not "a cache with no entries" —
+        // report it as such instead of an all-zero block.
+        let result_cache = if self.shared.config.cache_entries == 0 {
+            Value::object([("disabled", Value::from(true))])
+        } else {
+            let cache = self.cache_stats();
+            Value::object([
+                ("hits", Value::from(cache.hits)),
+                ("misses", Value::from(cache.misses)),
+                ("evictions", Value::from(cache.evictions)),
+                ("entries", Value::from(cache.entries)),
+                ("hit_rate", Value::from(cache.hit_rate())),
+            ])
+        };
+        let warm = if self.shared.config.warm_state {
+            let ws = self.shared.registry.warm_stats();
+            Value::object([
+                ("enabled", Value::from(true)),
+                ("graphs", Value::from(ws.graphs)),
+                ("approx_bytes", Value::from(ws.approx_bytes)),
+                ("budget_bytes", Value::from(ws.budget_bytes)),
+                ("evictions", Value::from(ws.evictions)),
+                ("diversity_hits", Value::from(ws.diversity_hits)),
+                ("diversity_misses", Value::from(ws.diversity_misses)),
+                ("plan_hits", Value::from(ws.plan_hits)),
+                ("plan_misses", Value::from(ws.plan_misses)),
+            ])
+        } else {
+            Value::object([("enabled", Value::from(false))])
+        };
         let lat = sync::lock(&self.shared.latencies);
         let eval_verified = c.eval_verified.load(Ordering::Relaxed);
         let eval_hits = c.eval_cache_hits.load(Ordering::Relaxed);
@@ -509,16 +640,26 @@ impl Engine {
                     ),
                 ]),
             ),
+            ("result_cache", result_cache),
             (
-                "result_cache",
+                "coalescing",
                 Value::object([
-                    ("hits", Value::from(cache.hits)),
-                    ("misses", Value::from(cache.misses)),
-                    ("evictions", Value::from(cache.evictions)),
-                    ("entries", Value::from(cache.entries)),
-                    ("hit_rate", Value::from(cache.hit_rate())),
+                    ("enabled", Value::from(self.shared.config.coalesce)),
+                    (
+                        "attached",
+                        Value::from(c.coalesced_attached.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "served",
+                        Value::from(c.coalesced_served.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "requeued",
+                        Value::from(c.coalesced_requeued.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
+            ("warm_state", warm),
             (
                 "evaluator_cache",
                 Value::object([
@@ -621,9 +762,16 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Terminal outcome of a leader job, consumed by [`settle_job`].
+enum Settled {
+    Done { result: Arc<Value>, truncated: bool },
+    Failed(String),
+    Cancelled,
+}
+
 fn run_job(shared: &Shared, id: u64) {
     // Snapshot what the job needs; the jobs lock is NOT held while running.
-    let (spec, cancel, submitted_at) = {
+    let (spec, cancel, submitted_at, pinned) = {
         let mut jobs = sync::lock(&shared.jobs);
         let Some(r) = jobs.get_mut(&id) else { return };
         // Explicit cancellation skips the job entirely; a lapsed deadline
@@ -631,21 +779,36 @@ fn run_job(shared: &Shared, id: u64) {
         // empty archive flagged truncated, which is what deadline-bound
         // callers are promised.
         if r.cancel.cancel_requested() {
-            r.state = JobState::Cancelled;
-            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            drop(jobs);
+            settle_job(shared, id, Settled::Cancelled);
             return;
         }
         r.state = JobState::Running;
-        (r.spec.clone(), r.cancel.clone(), r.submitted_at)
+        (
+            r.spec.clone(),
+            r.cancel.clone(),
+            r.submitted_at,
+            r.entry.clone(),
+        )
     };
     let picked_up = Instant::now();
     sync::lock(&shared.latencies)
         .queue_wait
         .record(picked_up - submitted_at);
 
-    let Some(entry) = shared.registry.get(&spec.graph) else {
-        finish_failed(shared, id, format!("graph '{}' disappeared", spec.graph));
-        return;
+    // The graph was pinned at admission (reloads must not change what an
+    // admitted job runs against); the registry fallback only covers
+    // records that predate pinning.
+    let entry = match pinned.or_else(|| shared.registry.get(&spec.graph)) {
+        Some(e) => e,
+        None => {
+            settle_job(
+                shared,
+                id,
+                Settled::Failed(format!("graph '{}' disappeared", spec.graph)),
+            );
+            return;
+        }
     };
 
     // A panic inside planning/generation must not lose the job: it is
@@ -658,10 +821,27 @@ fn run_job(shared: &Shared, id: u64) {
                 Fault::ReturnEarly => "job aborted (injected)".to_string(),
             });
         }
+        // Warm state is keyed by the *pinned* epoch: a job admitted just
+        // before a reload warms (or reuses) its own epoch's tables, never
+        // the new graph's.
+        let warm = shared
+            .config
+            .warm_state
+            .then(|| shared.registry.warm_state(&spec.graph, entry.epoch));
         let plan_started = Instant::now();
-        let plan = plan_spec(&entry.graph, &spec)?;
+        let plan = match &warm {
+            Some(w) => plan_spec_cached(&entry.graph, &spec, w)?,
+            None => plan_spec(&entry.graph, &spec)?,
+        };
         let planned = Instant::now();
-        let out = run_plan(&plan, &spec, &cancel);
+        let shared_div = warm.as_ref().map(|w| {
+            w.diversity_cache(
+                &entry.graph,
+                plan.template.output_label(),
+                &diversity_for_spec(&spec),
+            )
+        });
+        let out = run_plan_shared(&plan, &spec, &cancel, shared_div.as_ref());
         let generated = Instant::now();
         let rendered = generated_to_value(&plan, &out);
         let render_done = Instant::now();
@@ -701,18 +881,10 @@ fn run_job(shared: &Shared, id: u64) {
                         None => cache.put(&key, Arc::clone(&result)),
                     }
                 }));
-            } else {
-                shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
             }
-            let mut jobs = sync::lock(&shared.jobs);
-            if let Some(r) = jobs.get_mut(&id) {
-                r.state = JobState::Done;
-                r.result = Some(result);
-                r.truncated = truncated;
-            }
-            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            settle_job(shared, id, Settled::Done { result, truncated });
         }
-        Ok(Err(message)) => finish_failed(shared, id, message),
+        Ok(Err(message)) => settle_job(shared, id, Settled::Failed(message)),
         Err(panic) => {
             shared.counters.job_panics.fetch_add(1, Ordering::Relaxed);
             let message = panic
@@ -720,7 +892,7 @@ fn run_job(shared: &Shared, id: u64) {
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "job panicked".to_string());
-            finish_failed(shared, id, format!("panic: {message}"));
+            settle_job(shared, id, Settled::Failed(format!("panic: {message}")));
             // The thread's state can't be trusted after an arbitrary
             // panic; re-raise so WorkerGuard replaces this worker.
             resume_unwind(panic);
@@ -728,11 +900,125 @@ fn run_job(shared: &Shared, id: u64) {
     }
 }
 
-fn finish_failed(shared: &Shared, id: u64, message: String) {
-    let mut jobs = sync::lock(&shared.jobs);
-    if let Some(r) = jobs.get_mut(&id) {
-        r.state = JobState::Failed;
-        r.error = Some(message);
+/// Terminal bookkeeping for a job: records the outcome, then deals with
+/// any coalesced followers. A clean (non-truncated) result is distributed
+/// to every live follower; an unusable outcome — failed, cancelled, or
+/// truncated (a partial archive reflects the *leader's* deadline, not the
+/// followers') — promotes the first live follower to a fresh leader that
+/// inherits the rest, and requeues it. Lock order: inflight → queue →
+/// jobs; the requeue push takes the queue lock only after the others are
+/// released.
+fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
+    let served = match &outcome {
+        Settled::Done {
+            result,
+            truncated: false,
+        } => Some(Arc::clone(result)),
+        _ => None,
+    };
+    let mut promoted: Option<u64> = None;
+    {
+        let mut inflight = sync::lock(&shared.inflight);
+        let mut jobs = sync::lock(&shared.jobs);
+        let (fingerprint, followers) = match jobs.get_mut(&id) {
+            Some(r) => {
+                let fp = r.fingerprint.clone();
+                let fw = std::mem::take(&mut r.followers);
+                r.entry = None;
+                match &outcome {
+                    Settled::Done { result, truncated } => {
+                        r.state = JobState::Done;
+                        r.result = Some(Arc::clone(result));
+                        r.truncated = *truncated;
+                        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        if *truncated {
+                            shared.counters.truncated.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Settled::Failed(message) => {
+                        r.state = JobState::Failed;
+                        r.error = Some(message.clone());
+                        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Settled::Cancelled => {
+                        r.state = JobState::Cancelled;
+                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                (fp, fw)
+            }
+            None => (None, Vec::new()),
+        };
+        let mut rest = followers.into_iter();
+        if let Some(result) = &served {
+            for f in rest.by_ref() {
+                if let Some(fr) = jobs.get_mut(&f) {
+                    fr.entry = None;
+                    if fr.cancel.cancel_requested() {
+                        fr.state = JobState::Cancelled;
+                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        fr.state = JobState::Done;
+                        fr.result = Some(Arc::clone(result));
+                        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .coalesced_served
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        } else {
+            for f in rest.by_ref() {
+                let live = jobs.get_mut(&f).is_some_and(|fr| {
+                    if fr.cancel.cancel_requested() {
+                        fr.state = JobState::Cancelled;
+                        fr.entry = None;
+                        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if live {
+                    promoted = Some(f);
+                    break;
+                }
+            }
+            if let Some(nl) = promoted {
+                let remaining: Vec<u64> = rest.collect();
+                if let Some(fr) = jobs.get_mut(&nl) {
+                    fr.followers = remaining;
+                }
+                if let Some(fp) = &fingerprint {
+                    inflight.insert(fp.clone(), nl);
+                }
+                shared
+                    .counters
+                    .coalesced_requeued
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if promoted.is_none() {
+            if let Some(fp) = &fingerprint {
+                if inflight.get(fp) == Some(&id) {
+                    inflight.remove(fp);
+                }
+            }
+        }
     }
-    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+    if let Some(nl) = promoted {
+        let mut q = sync::lock(&shared.queue);
+        if q.shutdown {
+            // Workers are draining out; don't strand the promoted job in a
+            // queue nobody may read again — settle it (and, recursively,
+            // anything attached to it) as failed.
+            drop(q);
+            settle_job(shared, nl, Settled::Failed("engine shutting down".into()));
+        } else {
+            q.queue.push_back(nl);
+            drop(q);
+            shared.work_ready.notify_one();
+        }
+    }
 }

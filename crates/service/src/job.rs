@@ -7,18 +7,20 @@
 //! workers and the CLI's JSON output, so the served results and
 //! `fairsqg generate --format json` render identically.
 
+use crate::warm::{WarmPlan, WarmState};
 use fairsqg_algo::{
     biqgen, cbm, enum_qgen, kungs, par_enum_qgen, rfqgen, BiQGenOptions, CancelToken, CbmOptions,
     Configuration, Generated, MatchBudget, RfQGenOptions,
 };
 use fairsqg_graph::{AttrValue, CoverageSpec, Graph, GroupSet};
-use fairsqg_measures::DiversityConfig;
+use fairsqg_measures::{DiversityConfig, SharedDiversityCache};
 use fairsqg_query::{
     parse_template, render_concrete_query, render_instance, ConcreteQuery, DomainConfig,
-    QueryTemplate, RefinementDomains,
+    RefinementDomains,
 };
 use fairsqg_wire::Value;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Which generation algorithm a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,16 +208,36 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// A fully planned job: parsed template, induced groups, built domains.
+/// The skeleton lives in an `Arc<WarmPlan>` so the service's warm-state
+/// layer can share it across jobs; `Deref` keeps field access
+/// (`plan.template`, `plan.domains`, …) working as before.
 pub struct Plan<'g> {
-    /// The parsed template.
-    pub template: QueryTemplate,
-    /// Refinement domains built over `graph`.
-    pub domains: RefinementDomains,
-    /// Induced groups (one per distinct `group_attr` value).
-    pub groups: GroupSet,
-    /// Equal-opportunity coverage constraints.
-    pub spec: CoverageSpec,
+    warm: Arc<WarmPlan>,
     graph: &'g Graph,
+}
+
+impl std::ops::Deref for Plan<'_> {
+    type Target = WarmPlan;
+
+    fn deref(&self) -> &WarmPlan {
+        &self.warm
+    }
+}
+
+impl Plan<'_> {
+    /// The shared planning skeleton (for publishing into a warm pool).
+    pub fn warm_plan(&self) -> &Arc<WarmPlan> {
+        &self.warm
+    }
+}
+
+/// The warm-pool key of a spec's planning inputs: everything
+/// [`plan_spec`] reads. Generation parameters (eps, λ, budget, …) don't
+/// influence planning, so jobs differing only in them share one plan.
+pub fn plan_key(spec: &JobSpec) -> u64 {
+    let mut key = fnv1a(spec.template.as_bytes());
+    key ^= fnv1a(spec.group_attr.as_bytes()).rotate_left(17);
+    key ^ (spec.cover as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// Parses and plans `spec` against `graph` (no verification happens yet).
@@ -248,31 +270,74 @@ pub fn plan_spec<'g>(graph: &'g Graph, spec: &JobSpec) -> Result<Plan<'g>, Strin
     let coverage = CoverageSpec::equal_opportunity(groups.len(), spec.cover);
     let domains = RefinementDomains::build(&template, graph, DomainConfig::default());
     Ok(Plan {
-        template,
-        domains,
-        groups,
-        spec: coverage,
+        warm: Arc::new(WarmPlan {
+            template,
+            domains,
+            groups,
+            spec: coverage,
+        }),
         graph,
     })
 }
 
-/// Runs a planned job, observing `cancel` between verifications.
-pub fn run_plan(plan: &Plan<'_>, spec: &JobSpec, cancel: &CancelToken) -> Generated {
-    let diversity = DiversityConfig {
+/// Like [`plan_spec`], but consults (and feeds) `warm`'s plan pool:
+/// repeated templates on the same graph epoch skip parsing and domain
+/// construction entirely. Planning *errors* are not memoized — they are
+/// cheap to re-derive and a pooled error could outlive its cause.
+pub fn plan_spec_cached<'g>(
+    graph: &'g Graph,
+    spec: &JobSpec,
+    warm: &WarmState,
+) -> Result<Plan<'g>, String> {
+    let key = plan_key(spec);
+    if let Some(shared) = warm.plan(key) {
+        return Ok(Plan {
+            warm: shared,
+            graph,
+        });
+    }
+    let plan = plan_spec(graph, spec)?;
+    warm.store_plan(key, Arc::clone(&plan.warm));
+    Ok(plan)
+}
+
+/// The diversity configuration a spec runs under (single source of truth
+/// for both the execution path and the warm-cache key).
+pub fn diversity_for_spec(spec: &JobSpec) -> DiversityConfig {
+    DiversityConfig {
         lambda: spec.lambda,
         ..DiversityConfig::default()
-    };
-    let cfg = Configuration::new(
+    }
+}
+
+/// Runs a planned job, observing `cancel` between verifications.
+pub fn run_plan(plan: &Plan<'_>, spec: &JobSpec, cancel: &CancelToken) -> Generated {
+    run_plan_shared(plan, spec, cancel, None)
+}
+
+/// Like [`run_plan`], with an optional cross-request shared diversity
+/// cache (the warm-state layer's per-`(graph, epoch)` table). Cached
+/// values are exact, so the archive is bit-identical with or without it.
+pub fn run_plan_shared(
+    plan: &Plan<'_>,
+    spec: &JobSpec,
+    cancel: &CancelToken,
+    shared: Option<&Arc<SharedDiversityCache>>,
+) -> Generated {
+    let mut cfg = Configuration::new(
         plan.graph,
         &plan.template,
         &plan.domains,
         &plan.groups,
         &plan.spec,
         spec.eps,
-        diversity,
+        diversity_for_spec(spec),
     )
     .with_cancel(cancel)
     .with_budget(spec.budget);
+    if let Some(shared) = shared {
+        cfg = cfg.with_shared_diversity(shared);
+    }
     match spec.algo {
         AlgoKind::EnumQGen => enum_qgen(cfg, false),
         AlgoKind::Kungs => kungs(cfg),
@@ -446,6 +511,51 @@ mod tests {
         let mut s3 = s.clone();
         s3.deadline_ms = Some(9);
         assert_eq!(a, s3.fingerprint(1), "deadline must not affect the key");
+    }
+
+    #[test]
+    fn fingerprint_invariant_to_threads() {
+        // `parenum` archives are bit-identical at any thread count, so a
+        // result computed at threads=4 is a valid cache hit for
+        // threads=16 — the fingerprint must not key on it (asserted in
+        // PR 4's design notes, pinned here).
+        let s = spec();
+        let a = s.fingerprint(1);
+        for threads in [1usize, 4, 16, 0] {
+            let mut st = s.clone();
+            st.threads = threads;
+            st.algo = AlgoKind::ParEnum;
+            let mut base = s.clone();
+            base.algo = AlgoKind::ParEnum;
+            assert_eq!(
+                base.fingerprint(1),
+                st.fingerprint(1),
+                "threads={threads} must not affect the key"
+            );
+        }
+        // And the idempotency key stays excluded too.
+        let mut sk = s.clone();
+        sk.request_key = Some("idem".into());
+        assert_eq!(a, sk.fingerprint(1));
+    }
+
+    #[test]
+    fn cached_plan_is_shared_and_equivalent() {
+        let g = graph();
+        let s = spec();
+        let warm = crate::warm::WarmState::new(1, std::sync::Arc::new(Default::default()));
+        let cold = plan_spec_cached(&g, &s, &warm).unwrap();
+        let hot = plan_spec_cached(&g, &s, &warm).unwrap();
+        assert!(std::sync::Arc::ptr_eq(cold.warm_plan(), hot.warm_plan()));
+        // A different template keys separately.
+        let mut s2 = s.clone();
+        s2.template = TEMPLATE.replace(">=", "<=");
+        assert_ne!(plan_key(&s), plan_key(&s2));
+        // Warm-planned jobs run identically to cold-planned ones.
+        let direct = plan_spec(&g, &s).unwrap();
+        let a = run_plan(&hot, &s, &CancelToken::new());
+        let b = run_plan(&direct, &s, &CancelToken::new());
+        assert_eq!(a.entries.len(), b.entries.len());
     }
 
     #[test]

@@ -54,10 +54,15 @@ pub mod proto;
 mod registry;
 mod server;
 pub mod sync;
+pub mod warm;
 
 pub use cache::{CacheStats, LruCache};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use engine::{Engine, EngineConfig, JobState, JobStatus, SubmitError};
-pub use job::{generated_to_value, plan_spec, run_plan, AlgoKind, JobSpec, Plan};
-pub use registry::{GraphEntry, GraphRegistry, LoadError};
+pub use job::{
+    diversity_for_spec, generated_to_value, plan_key, plan_spec, plan_spec_cached, run_plan,
+    run_plan_shared, AlgoKind, JobSpec, Plan,
+};
+pub use registry::{GraphEntry, GraphRegistry, LoadError, WarmPoolStats};
 pub use server::{spawn, spawn_with, Server, ServerOptions, StopHandle};
+pub use warm::{WarmCounters, WarmPlan, WarmState};

@@ -7,11 +7,16 @@
 //! result cache keys on `(name, epoch, …)`, so cached results for a stale
 //! graph simply stop being reachable instead of needing eager eviction.
 
+use crate::warm::{WarmCounters, WarmState};
 use fairsqg_graph::{Graph, IoError};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::BufReader;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default warm-state byte budget across all graphs: 256 MiB.
+pub(crate) const DEFAULT_WARM_BUDGET_BYTES: usize = 256 * 1024 * 1024;
 
 /// Why a graph failed to load — kept structured (not a pre-rendered
 /// string) so the wire layer can report the exact position to clients.
@@ -60,10 +65,86 @@ pub struct GraphEntry {
     pub epoch: u64,
 }
 
+/// One graph's warm state plus its LRU bookkeeping.
+struct WarmSlot {
+    state: Arc<WarmState>,
+    last_used: u64,
+}
+
+/// The cross-graph warm-state pool: byte-budgeted, LRU-evicted.
+struct WarmPool {
+    budget_bytes: usize,
+    /// Monotonic use counter (LRU clock).
+    tick: u64,
+    entries: HashMap<String, WarmSlot>,
+    evictions: u64,
+}
+
+impl Default for WarmPool {
+    fn default() -> Self {
+        Self {
+            budget_bytes: DEFAULT_WARM_BUDGET_BYTES,
+            tick: 0,
+            entries: HashMap::new(),
+            evictions: 0,
+        }
+    }
+}
+
+impl WarmPool {
+    /// Evicts least-recently-used entries (never `keep`) until the pool
+    /// fits its byte budget or nothing else is evictable.
+    fn enforce_budget(&mut self, keep: Option<&str>) {
+        loop {
+            let total: usize = self.entries.values().map(|s| s.state.approx_bytes()).sum();
+            if total <= self.budget_bytes {
+                return;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(name, _)| keep != Some(name.as_str()))
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.entries.remove(&name);
+                    self.evictions += 1;
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// A snapshot of the warm pool's occupancy and hit counters, surfaced in
+/// the service `stats` block and the throughput benchmark report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmPoolStats {
+    /// Graphs with live warm state.
+    pub graphs: usize,
+    /// Approximate resident bytes across all warm states.
+    pub approx_bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+    /// Warm states dropped by LRU budget enforcement.
+    pub evictions: u64,
+    /// Diversity-cache requests served warm.
+    pub diversity_hits: u64,
+    /// Diversity-cache requests built cold.
+    pub diversity_misses: u64,
+    /// Plan requests served warm.
+    pub plan_hits: u64,
+    /// Plan requests planned cold.
+    pub plan_misses: u64,
+}
+
 /// Thread-safe registry of named graphs.
 #[derive(Default)]
 pub struct GraphRegistry {
     inner: RwLock<HashMap<String, GraphEntry>>,
+    warm: Mutex<WarmPool>,
+    warm_counters: Arc<WarmCounters>,
 }
 
 impl GraphRegistry {
@@ -73,6 +154,8 @@ impl GraphRegistry {
     }
 
     /// Registers (or reloads) `graph` under `name`; returns the new epoch.
+    /// Any warm state for the previous epoch is dropped eagerly — a
+    /// reloaded graph must never serve stale tables.
     pub fn insert(&self, name: &str, graph: Graph) -> u64 {
         let mut map = crate::sync::write(&self.inner);
         let epoch = map.get(name).map_or(1, |e| e.epoch + 1);
@@ -83,7 +166,72 @@ impl GraphRegistry {
                 epoch,
             },
         );
+        drop(map);
+        crate::sync::lock(&self.warm).entries.remove(name);
         epoch
+    }
+
+    /// Sets the warm pool's byte budget and enforces it immediately.
+    pub fn set_warm_budget(&self, bytes: usize) {
+        let mut pool = crate::sync::lock(&self.warm);
+        pool.budget_bytes = bytes;
+        pool.enforce_budget(None);
+    }
+
+    /// The warm state for `(name, epoch)`, creating it on first request.
+    /// A pooled state for a *different* epoch (the graph was reloaded
+    /// after the caller pinned its entry) is left to the pool's normal
+    /// replacement: the caller gets a private fresh state, so a job
+    /// running on a stale pinned graph can never poison — or be poisoned
+    /// by — the current epoch's tables.
+    pub fn warm_state(&self, name: &str, epoch: u64) -> Arc<WarmState> {
+        let mut pool = crate::sync::lock(&self.warm);
+        pool.tick += 1;
+        let tick = pool.tick;
+        if let Some(slot) = pool.entries.get_mut(name) {
+            if slot.state.epoch() == epoch {
+                slot.last_used = tick;
+                return Arc::clone(&slot.state);
+            }
+        }
+        let state = Arc::new(WarmState::new(epoch, Arc::clone(&self.warm_counters)));
+        let current_epoch = crate::sync::read(&self.inner).get(name).map(|e| e.epoch);
+        if current_epoch == Some(epoch) {
+            pool.entries.insert(
+                name.to_string(),
+                WarmSlot {
+                    state: Arc::clone(&state),
+                    last_used: tick,
+                },
+            );
+            pool.enforce_budget(Some(name));
+        }
+        state
+    }
+
+    /// The pooled warm state for `name` at its *current* epoch, if one is
+    /// resident. Test/diagnostic accessor — does not create state or
+    /// touch the LRU clock.
+    pub fn warm_snapshot(&self, name: &str) -> Option<Arc<WarmState>> {
+        crate::sync::lock(&self.warm)
+            .entries
+            .get(name)
+            .map(|s| Arc::clone(&s.state))
+    }
+
+    /// Occupancy and hit counters of the warm pool.
+    pub fn warm_stats(&self) -> WarmPoolStats {
+        let pool = crate::sync::lock(&self.warm);
+        WarmPoolStats {
+            graphs: pool.entries.len(),
+            approx_bytes: pool.entries.values().map(|s| s.state.approx_bytes()).sum(),
+            budget_bytes: pool.budget_bytes,
+            evictions: pool.evictions,
+            diversity_hits: self.warm_counters.diversity_hits.load(Ordering::Relaxed),
+            diversity_misses: self.warm_counters.diversity_misses.load(Ordering::Relaxed),
+            plan_hits: self.warm_counters.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.warm_counters.plan_misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Loads a TSV graph file (see `fairsqg_graph::read_tsv`) under `name`.
@@ -162,5 +310,101 @@ mod tests {
         reg.insert("g", tiny());
         // The old Arc is still alive and usable (in-flight job semantics).
         assert!(held.node_count() > 0);
+    }
+
+    #[test]
+    fn warm_state_is_stable_per_epoch() {
+        let reg = GraphRegistry::new();
+        let epoch = reg.insert("g", tiny());
+        let a = reg.warm_state("g", epoch);
+        let b = reg.warm_state("g", epoch);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.epoch(), epoch);
+        assert_eq!(reg.warm_stats().graphs, 1);
+    }
+
+    #[test]
+    fn reload_drops_warm_state() {
+        let reg = GraphRegistry::new();
+        let e1 = reg.insert("g", tiny());
+        let old = reg.warm_state("g", e1);
+        assert!(reg.warm_snapshot("g").is_some());
+        let e2 = reg.insert("g", tiny());
+        // Eager invalidation: the pool is empty until someone asks again.
+        assert!(reg.warm_snapshot("g").is_none());
+        let fresh = reg.warm_state("g", e2);
+        assert!(!Arc::ptr_eq(&old, &fresh));
+        assert_eq!(fresh.epoch(), e2);
+    }
+
+    #[test]
+    fn stale_epoch_gets_private_state() {
+        let reg = GraphRegistry::new();
+        let e1 = reg.insert("g", tiny());
+        let e2 = reg.insert("g", tiny());
+        // A job pinned to e1 (admitted before the reload) gets a private
+        // fresh state that is NOT pooled under the name.
+        let stale = reg.warm_state("g", e1);
+        assert_eq!(stale.epoch(), e1);
+        assert!(reg.warm_snapshot("g").is_none());
+        // The current epoch pools normally.
+        let current = reg.warm_state("g", e2);
+        assert!(Arc::ptr_eq(&current, &reg.warm_snapshot("g").unwrap()));
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_graph() {
+        let g = tiny();
+        let label = g.schema().find_node_label("director").unwrap();
+        let reg = GraphRegistry::new();
+        let ea = reg.insert("a", tiny());
+        let eb = reg.insert("b", tiny());
+        let wa = reg.warm_state("a", ea);
+        wa.diversity_cache(
+            &reg.get("a").unwrap().graph,
+            label,
+            &fairsqg_measures::DiversityConfig::default(),
+        );
+        let wb = reg.warm_state("b", eb);
+        wb.diversity_cache(
+            &reg.get("b").unwrap().graph,
+            label,
+            &fairsqg_measures::DiversityConfig::default(),
+        );
+        assert_eq!(reg.warm_stats().graphs, 2);
+        // Touch "a" so "b" is the LRU victim, then squeeze the budget.
+        let _ = reg.warm_state("a", ea);
+        reg.set_warm_budget(0);
+        let stats = reg.warm_stats();
+        assert_eq!(stats.graphs, 0, "budget 0 evicts everything");
+        assert!(stats.evictions >= 2);
+    }
+
+    #[test]
+    fn requested_graph_survives_budget_enforcement() {
+        let reg = GraphRegistry::new();
+        let ea = reg.insert("a", tiny());
+        let eb = reg.insert("b", tiny());
+        reg.set_warm_budget(0);
+        let wa = reg.warm_state("a", ea);
+        let label = reg
+            .get("a")
+            .unwrap()
+            .graph
+            .schema()
+            .find_node_label("director")
+            .unwrap();
+        // Make "a" non-empty so the next enforcement pass is over budget.
+        wa.diversity_cache(
+            &reg.get("a").unwrap().graph,
+            label,
+            &fairsqg_measures::DiversityConfig::default(),
+        );
+        let wb = reg.warm_state("b", eb);
+        // "b" was just requested: it must still be pooled even under a
+        // zero budget; "a" is the only legal victim.
+        assert!(Arc::ptr_eq(&wb, &reg.warm_snapshot("b").unwrap()));
+        assert!(reg.warm_snapshot("a").is_none());
+        assert!(reg.warm_stats().evictions >= 1);
     }
 }

@@ -45,6 +45,7 @@ fn usage() -> ExitCode {
          fairsqg stats --graph <tsv>\n  \
          fairsqg serve --addr <host:port> --load <name>=<tsv> [--load ...]\n      \
          [--workers <n>] [--queue <n>] [--cache <n>] [--default-deadline-ms <n>]\n      \
+         [--warm on|off] [--warm-budget-mb <n>] [--coalesce on|off]\n      \
          [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
          fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|shutdown|submit\n      \
          [--id <n>] [--graph <name> --template <dsl> --group-attr <attr> --cover <n>\n      \
@@ -102,6 +103,17 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+
+    /// An `on|off` switch (the CLI's flags are strictly `--name value`
+    /// pairs, so boolean knobs take an explicit value).
+    fn get_switch(&self, name: &str, default: bool) -> Result<bool, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some("on") => Ok(true),
+            Some("off") => Ok(false),
+            Some(v) => Err(format!("--{name} expects on|off, got '{v}'")),
         }
     }
 
@@ -281,6 +293,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             })
             .transpose()?,
         budget: args.budget()?,
+        warm_state: args.get_switch("warm", true)?,
+        warm_budget_bytes: match args.get_opt_u64("warm-budget-mb")? {
+            Some(mb) => (mb as usize).saturating_mul(1024 * 1024),
+            None => EngineConfig::default().warm_budget_bytes,
+        },
+        coalesce: args.get_switch("coalesce", true)?,
         ..EngineConfig::default()
     };
     let engine = Arc::new(Engine::start(registry, config));
