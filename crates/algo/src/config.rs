@@ -191,6 +191,9 @@ pub struct GenStats {
     /// Candidate sets restricted to an `incVerify` pool instead of the
     /// label population.
     pub pool_restrictions: u64,
+    /// Postings shards skipped wholesale by partition metadata during
+    /// indexed range evaluation.
+    pub shard_skips: u64,
     /// Pairwise distances served from the diversity measure's cache.
     pub distance_cache_hits: u64,
     /// Pairwise distances computed cold by the diversity measure.
@@ -204,6 +207,7 @@ impl GenStats {
         self.scan_candidates += matcher.scan_candidates;
         self.scan_fallbacks += matcher.scan_fallbacks;
         self.pool_restrictions += matcher.pool_restrictions;
+        self.shard_skips += matcher.shard_skips;
         self.distance_cache_hits += measure.distance_hits;
         self.distance_cache_misses += measure.distance_misses;
     }

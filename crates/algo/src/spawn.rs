@@ -93,10 +93,10 @@ pub fn spawn_refinements(
                         .iter()
                         .filter(|&&w| cfg.graph.label(w) == src_label)
                         .any(|&w| {
-                            cfg.graph.out_neighbors(w).iter().any(|&(t, l)| {
-                                l == e.label
-                                    && cfg.graph.label(t) == dst_label
-                                    && hood_set.contains(&t)
+                            cfg.graph.out_neighbors(w).iter().any(|a| {
+                                a.label() == e.label
+                                    && cfg.graph.label(a.to()) == dst_label
+                                    && hood_set.contains(&a.to())
                             })
                         });
                     if exists {

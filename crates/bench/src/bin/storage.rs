@@ -1,0 +1,44 @@
+//! `storage` — runs the PR-6 storage benchmark and writes
+//! `BENCH_STORE.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! storage [output.json]                # default output: BENCH_STORE.json
+//! FAIRSQG_STORE_PRESET=smoke storage   # smoke|small|large (default: small)
+//! ```
+//!
+//! Sweeps TSV emit / TSV parse / streaming convert / mmap open across the
+//! DBP, LKI, and Cite presets, then gates the mmap load path on serving
+//! generation with archives bit-identical to the TSV path (the run aborts
+//! on a single differing bit). `large` is the million-node preset.
+
+use fairsqg_bench::storage::{preset, run_storage};
+use fairsqg_wire::Value;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_STORE.json".to_string());
+    let preset_name = std::env::var("FAIRSQG_STORE_PRESET").unwrap_or_else(|_| "small".to_string());
+    let Some(opts) = preset(&preset_name) else {
+        eprintln!("unknown FAIRSQG_STORE_PRESET '{preset_name}' (smoke|small|large)");
+        std::process::exit(2);
+    };
+    let report = run_storage(&opts);
+    let json = fairsqg_wire::to_string_pretty(&report);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    let summary = report.get("summary").expect("summary");
+    println!(
+        "storage ({preset_name}): archives bit-identical; \
+         min mmap-open speedup vs parse {:.1}x, max mmap heap fraction {:.3} -> {out_path}",
+        summary
+            .get("min_open_speedup_vs_parse")
+            .and_then(Value::as_f64)
+            .unwrap(),
+        summary
+            .get("max_mmap_heap_fraction")
+            .and_then(Value::as_f64)
+            .unwrap(),
+    );
+}

@@ -26,6 +26,7 @@ pub mod hotpath;
 pub mod pruning;
 pub mod render;
 pub mod scales;
+pub mod storage;
 pub mod table2;
 pub mod throughput;
 

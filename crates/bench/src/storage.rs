@@ -1,0 +1,365 @@
+//! Storage benchmark: TSV parse vs `.fsg` mmap across the three presets,
+//! plus a service-level gate that the mmap path serves generation with
+//! **bit-identical archives** to the TSV path.
+//!
+//! For each dataset the sweep streams the TSV text to disk, then times
+//! the four pipeline stages — TSV emit, TSV parse (`read_tsv`), streaming
+//! conversion (`convert_tsv_path`), and container open (`open_path`) —
+//! and records the storage footprint of both load paths (heap bytes vs
+//! file-mapped bytes, from [`fairsqg_graph::Graph::storage`]). The
+//! generation section registers the *same* LKI graph through both paths,
+//! runs an identical job stream against each, asserts the rendered
+//! archives are equal to the byte, and times a registry **reload** both
+//! ways (re-parse vs mmap swap).
+//!
+//! Everything runs single-process with no TCP: this measures storage, not
+//! the wire.
+
+use fairsqg_datagen::{stream_tsv_to_path, DatasetKind};
+use fairsqg_service::{AlgoKind, Engine, EngineConfig, GraphRegistry, JobSpec, JobState, LoadKind};
+use fairsqg_store::{convert_tsv_path, open_path};
+use fairsqg_wire::Value;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The generation gate's query: the paper's motivating recommendation
+/// template with one refinable range literal (same as the throughput
+/// bench, so numbers are comparable across reports).
+const TEMPLATE: &str = "node u0 : director\nnode u1 : user\nedge u1 -recommend-> u0\n\
+                        where u1.yearsOfExp >= ?\noutput u0\n";
+
+/// One benchmark preset.
+#[derive(Debug, Clone)]
+pub struct StorageOptions {
+    /// Preset name, recorded in the report.
+    pub preset: String,
+    /// Output-label population per dataset (movies / directors / papers).
+    pub scale: usize,
+    /// Jobs per load path in the generation section.
+    pub jobs: usize,
+    /// Verification caps for the generation jobs (identical on both
+    /// paths, so truncation — if any — is identical too).
+    pub budget: fairsqg_algo::MatchBudget,
+}
+
+/// Resolves a preset by name (`smoke`, `small`, `large`).
+pub fn preset(name: &str) -> Option<StorageOptions> {
+    let (scale, jobs, budget) = match name {
+        // CI smoke: exercises every stage and the archive gate only.
+        "smoke" => (2_000, 4, fairsqg_algo::MatchBudget::UNLIMITED),
+        "small" => (20_000, 8, fairsqg_algo::MatchBudget::UNLIMITED),
+        // The million-node run the storage layer exists for. Generation
+        // is capped so the gate bounds its own wall clock; both paths get
+        // the same caps and therefore the same (possibly truncated)
+        // archive.
+        "large" => (
+            1_000_000,
+            2,
+            fairsqg_algo::MatchBudget {
+                max_candidates: Some(2_000_000),
+                max_steps: Some(50_000_000),
+                max_matches: Some(500_000),
+            },
+        ),
+        _ => return None,
+    };
+    Some(StorageOptions {
+        preset: name.to_string(),
+        scale,
+        jobs,
+        budget,
+    })
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+struct DatasetRow {
+    kind: DatasetKind,
+    nodes: u64,
+    edges: u64,
+    tsv_bytes: u64,
+    fsg_bytes: u64,
+    emit_ms: f64,
+    parse_ms: f64,
+    convert_ms: f64,
+    open_ms: f64,
+    parse_heap: usize,
+    open_heap: usize,
+    open_mapped: usize,
+}
+
+/// Streams, parses, converts, and opens one dataset, timing each stage.
+fn bench_dataset(kind: DatasetKind, scale: usize, seed: u64, dir: &Path) -> DatasetRow {
+    let tsv = dir.join(format!("{}.tsv", kind.name()));
+    let fsg = dir.join(format!("{}.fsg", kind.name()));
+
+    let t = Instant::now();
+    let stats = stream_tsv_to_path(kind, scale, seed, &tsv).expect("stream tsv");
+    let emit_ms = ms(t.elapsed());
+    let tsv_bytes = std::fs::metadata(&tsv).map(|m| m.len()).unwrap_or(0);
+
+    let t = Instant::now();
+    let parsed = {
+        let file = std::fs::File::open(&tsv).expect("open tsv");
+        fairsqg_graph::read_tsv(BufReader::new(file)).expect("parse tsv")
+    };
+    let parse_ms = ms(t.elapsed());
+    let parse_heap = parsed.storage().heap_bytes;
+
+    let t = Instant::now();
+    let cstats = convert_tsv_path(&tsv, &fsg).expect("convert");
+    let convert_ms = ms(t.elapsed());
+
+    let t = Instant::now();
+    let loaded = open_path(&fsg).expect("open container");
+    let open_ms = ms(t.elapsed());
+    assert!(loaded.mapped, "container must load via mmap");
+    let f = loaded.graph.storage();
+
+    assert_eq!(loaded.graph.node_count(), parsed.node_count());
+    assert_eq!(loaded.graph.edge_count(), parsed.edge_count());
+    assert_eq!(cstats.nodes, stats.nodes);
+
+    DatasetRow {
+        kind,
+        nodes: stats.nodes,
+        edges: parsed.edge_count() as u64,
+        tsv_bytes,
+        fsg_bytes: cstats.bytes,
+        emit_ms,
+        parse_ms,
+        convert_ms,
+        open_ms,
+        parse_heap,
+        open_heap: f.heap_bytes,
+        open_mapped: f.mapped_bytes,
+    }
+}
+
+fn dataset_value(r: &DatasetRow, scale: usize) -> Value {
+    Value::object([
+        ("dataset", Value::from(r.kind.name())),
+        ("scale", Value::from(scale as i64)),
+        ("nodes", Value::from(r.nodes)),
+        ("edges", Value::from(r.edges)),
+        ("tsv_bytes", Value::from(r.tsv_bytes)),
+        ("fsg_bytes", Value::from(r.fsg_bytes)),
+        ("emit_ms", Value::from(r.emit_ms)),
+        ("tsv_parse_ms", Value::from(r.parse_ms)),
+        ("convert_ms", Value::from(r.convert_ms)),
+        ("mmap_open_ms", Value::from(r.open_ms)),
+        (
+            "open_speedup_vs_parse",
+            Value::from(if r.open_ms > 0.0 {
+                r.parse_ms / r.open_ms
+            } else {
+                0.0
+            }),
+        ),
+        ("parse_heap_bytes", Value::from(r.parse_heap as u64)),
+        ("mmap_heap_bytes", Value::from(r.open_heap as u64)),
+        ("mmap_mapped_bytes", Value::from(r.open_mapped as u64)),
+        (
+            "heap_reduction",
+            Value::from(if r.parse_heap > 0 {
+                1.0 - r.open_heap as f64 / r.parse_heap as f64
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+fn spec(lambda: f64, budget: fairsqg_algo::MatchBudget) -> JobSpec {
+    JobSpec {
+        graph: "bench".into(),
+        template: TEMPLATE.into(),
+        group_attr: "gender".into(),
+        cover: 4,
+        algo: AlgoKind::BiQGen,
+        threads: 1,
+        eps: 0.05,
+        lambda,
+        deadline_ms: None,
+        budget,
+        request_key: None,
+    }
+}
+
+fn wait_engine(engine: &Engine, id: u64) -> Arc<Value> {
+    loop {
+        match engine.status(id).expect("job exists").state {
+            JobState::Done => return engine.result(id).expect("done job has result"),
+            JobState::Failed | JobState::Cancelled => panic!("bench job did not complete"),
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// The archive-describing parts of a rendered result (entries, ε,
+/// truncation) — the stats block legitimately differs between runs.
+fn archive_string(result: &Value) -> String {
+    format!(
+        "eps={};truncated={};entries={}",
+        fairsqg_wire::to_string_pretty(result.get("eps").expect("eps")),
+        fairsqg_wire::to_string_pretty(result.get("truncated").expect("truncated")),
+        fairsqg_wire::to_string_pretty(result.get("entries").expect("entries")),
+    )
+}
+
+struct GenPhase {
+    jobs_per_sec: f64,
+    archives: Vec<String>,
+    reload_ms: f64,
+    reload_kind: LoadKind,
+}
+
+/// Loads the LKI graph into a fresh registry through `path`, runs the job
+/// stream, and times a registry reload of the same file.
+fn run_gen_phase(opts: &StorageOptions, path: &Path) -> GenPhase {
+    let registry = Arc::new(GraphRegistry::new());
+    let path_str = path.to_str().expect("utf-8 path");
+    registry.load_path("bench", path_str).expect("load");
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            cache_entries: 0,
+            warm_state: false,
+            coalesce: false,
+            ..EngineConfig::default()
+        },
+    );
+    let started = Instant::now();
+    let mut archives = Vec::with_capacity(opts.jobs);
+    for j in 0..opts.jobs {
+        let lambda = 0.30 + (j as f64) * 0.07;
+        let id = engine.submit(spec(lambda, opts.budget)).expect("submit");
+        archives.push(archive_string(&wait_engine(&engine, id)));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    engine.shutdown();
+
+    let t = Instant::now();
+    let (_, reload_kind) = registry.load_path("bench", path_str).expect("reload");
+    let reload_ms = ms(t.elapsed());
+
+    GenPhase {
+        jobs_per_sec: if wall > 0.0 {
+            opts.jobs as f64 / wall
+        } else {
+            0.0
+        },
+        archives,
+        reload_ms,
+        reload_kind,
+    }
+}
+
+/// Runs the full benchmark and returns the `BENCH_STORE.json` report.
+pub fn run_storage(opts: &StorageOptions) -> Value {
+    let dir = std::env::temp_dir().join(format!("fairsqg-store-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    let rows: Vec<DatasetRow> = [DatasetKind::Dbp, DatasetKind::Lki, DatasetKind::Cite]
+        .into_iter()
+        .map(|kind| bench_dataset(kind, opts.scale, 0xBE5C, &dir))
+        .collect();
+
+    // Generation gate on LKI (the dataset with the motivating query).
+    let tsv: PathBuf = dir.join("LKI.tsv");
+    let fsg: PathBuf = dir.join("LKI.fsg");
+    let parse_phase = run_gen_phase(opts, &tsv);
+    let mmap_phase = run_gen_phase(opts, &fsg);
+    assert_eq!(parse_phase.reload_kind, LoadKind::Parse);
+    assert_eq!(mmap_phase.reload_kind, LoadKind::MmapSwap);
+    assert_eq!(
+        parse_phase.archives, mmap_phase.archives,
+        "mmap-served archives must be bit-identical to TSV-served ones"
+    );
+
+    let min_open_speedup = rows
+        .iter()
+        .map(|r| r.parse_ms / r.open_ms.max(1e-9))
+        .fold(f64::INFINITY, f64::min);
+    let max_heap_fraction = rows
+        .iter()
+        .map(|r| r.open_heap as f64 / (r.parse_heap as f64).max(1.0))
+        .fold(0.0f64, f64::max);
+
+    let report = Value::object([
+        ("bench", Value::from("storage-pr6")),
+        ("preset", Value::from(opts.preset.as_str())),
+        (
+            "hardware_threads",
+            Value::from(
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as i64,
+            ),
+        ),
+        (
+            "datasets",
+            Value::Array(rows.iter().map(|r| dataset_value(r, opts.scale)).collect()),
+        ),
+        (
+            "generation",
+            Value::object([
+                ("dataset", Value::from("LKI")),
+                ("jobs_per_path", Value::from(opts.jobs as i64)),
+                ("archives_bit_identical", Value::from(true)),
+                ("tsv_jobs_per_sec", Value::from(parse_phase.jobs_per_sec)),
+                ("mmap_jobs_per_sec", Value::from(mmap_phase.jobs_per_sec)),
+                ("tsv_reload_ms", Value::from(parse_phase.reload_ms)),
+                ("mmap_reload_ms", Value::from(mmap_phase.reload_ms)),
+                (
+                    "reload_speedup",
+                    Value::from(parse_phase.reload_ms / mmap_phase.reload_ms.max(1e-9)),
+                ),
+            ]),
+        ),
+        (
+            "summary",
+            Value::object([
+                ("min_open_speedup_vs_parse", Value::from(min_open_speedup)),
+                ("max_mmap_heap_fraction", Value::from(max_heap_fraction)),
+            ]),
+        ),
+    ]);
+
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_preset_runs_and_gates() {
+        let opts = preset("smoke").unwrap();
+        let report = run_storage(&opts);
+        let gen = report.get("generation").unwrap();
+        assert_eq!(
+            gen.get("archives_bit_identical").and_then(Value::as_bool),
+            Some(true)
+        );
+        let datasets = match report.get("datasets").unwrap() {
+            Value::Array(a) => a,
+            _ => panic!("datasets not an array"),
+        };
+        assert_eq!(datasets.len(), 3);
+        for d in datasets {
+            assert!(d.get("mmap_open_ms").and_then(Value::as_f64).unwrap() > 0.0);
+            let heap = d.get("mmap_heap_bytes").and_then(Value::as_u64).unwrap();
+            let parse_heap = d.get("parse_heap_bytes").and_then(Value::as_u64).unwrap();
+            assert!(
+                heap < parse_heap,
+                "mmap load must keep less heap than a parse ({heap} vs {parse_heap})"
+            );
+        }
+        assert!(preset("nope").is_none());
+    }
+}

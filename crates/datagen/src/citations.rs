@@ -173,8 +173,9 @@ mod tests {
         let year = g.schema().find_attr("year").unwrap();
         let cites = g.schema().find_edge_label("cites").unwrap();
         for v in g.nodes() {
-            for &(w, l) in g.out_neighbors(v) {
-                if l == cites {
+            for a in g.out_neighbors(v) {
+                if a.label() == cites {
+                    let w = a.to();
                     let (vy, wy) = (g.attr(v, year).unwrap(), g.attr(w, year).unwrap());
                     assert!(wy <= vy, "citation into the future");
                 }
@@ -196,7 +197,7 @@ mod tests {
             let actual = g
                 .in_neighbors(p)
                 .iter()
-                .filter(|&&(_, l)| l == cites)
+                .filter(|a| a.label() == cites)
                 .count() as i64;
             // Duplicate (src,dst) citations collapse in the edge set, so the
             // declared count can slightly exceed the distinct in-degree.

@@ -20,6 +20,7 @@ mod citations;
 mod movies;
 mod presets;
 mod social;
+mod stream;
 mod templates;
 mod util;
 
@@ -27,5 +28,6 @@ pub use citations::{citations_graph, topic_groups, CitationsConfig, TOPICS};
 pub use movies::{genre_groups, movies_graph, MoviesConfig, COUNTRIES, GENRES};
 pub use presets::{workload, CoverageMode, DatasetKind, Workload, WorkloadParams};
 pub use social::{gender_groups, social_graph, SocialConfig, MAJORS};
+pub use stream::{stream_tsv, stream_tsv_to_path, StreamStats};
 pub use templates::{generate_template, generate_template_with_retry, TemplateSpec, Topology};
-pub use util::{log_uniform, zipf};
+pub use util::{log_uniform, zipf, zipf_approx};

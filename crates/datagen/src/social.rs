@@ -203,11 +203,11 @@ mod tests {
         let mut junior = (0u32, 0u32);
         for &u in g.nodes_with_label(user) {
             let is_senior = g.attr(u, exp).unwrap().as_int().unwrap() >= 15;
-            for &(d, l) in g.out_neighbors(u) {
-                if l != recommend {
+            for a in g.out_neighbors(u) {
+                if a.label() != recommend {
                     continue;
                 }
-                if let Some(val) = g.attr(d, gender) {
+                if let Some(val) = g.attr(a.to(), gender) {
                     let slot = if is_senior { &mut senior } else { &mut junior };
                     slot.1 += 1;
                     if val == AttrValue::Int(1) {

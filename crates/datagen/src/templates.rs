@@ -102,11 +102,11 @@ pub fn generate_template(
         }
         let pick = rng.gen_range(0..deg_out + deg_in);
         let (src_node, dst_node, label) = if pick < deg_out {
-            let (t, l) = graph.out_neighbors(w)[pick];
-            (w, t, l)
+            let a = graph.out_neighbors(w)[pick];
+            (w, a.to(), a.label())
         } else {
-            let (s, l) = graph.in_neighbors(w)[pick - deg_out];
-            (s, w, l)
+            let a = graph.in_neighbors(w)[pick - deg_out];
+            (a.to(), w, a.label())
         };
         if src_node == dst_node {
             continue;
@@ -153,11 +153,11 @@ pub fn generate_template(
     let mut candidates: Vec<(usize, AttrId)> = Vec::new();
     for (i, &v) in chosen.iter().enumerate() {
         let label: LabelId = graph.label(v);
-        for &(attr, value) in graph.tuple(v) {
-            if matches!(value, AttrValue::Int(_))
-                && graph.domains().for_label(label, attr).len() >= 3
+        for e in graph.tuple(v) {
+            if matches!(e.value(), AttrValue::Int(_))
+                && graph.domains().for_label(label, e.attr()).len() >= 3
             {
-                candidates.push((i, attr));
+                candidates.push((i, e.attr()));
             }
         }
     }

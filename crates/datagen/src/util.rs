@@ -28,6 +28,26 @@ pub fn zipf<R: Rng>(rng: &mut R, n: usize, s: f64) -> usize {
     n - 1
 }
 
+/// O(1) approximation of [`zipf`] for large `n` (the streaming emitters
+/// sample among millions of nodes per edge, where the exact per-call CDF
+/// is unaffordable). Uses the continuous inverse-CDF of the bounded
+/// power law `w(i) ∝ (i+1)^-s`: head-skewed like `zipf`, but the exact
+/// per-index probabilities differ slightly.
+pub fn zipf_approx<R: Rng>(rng: &mut R, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    let u = rng.gen_range(0.0..1.0f64);
+    let nf = n as f64;
+    let x = if (s - 1.0).abs() < 1e-9 {
+        // s = 1: CDF(x) = ln(1+x) / ln(1+n).
+        (1.0 + nf).powf(u) - 1.0
+    } else {
+        let p = 1.0 - s;
+        // CDF(x) = ((1+x)^p - 1) / ((1+n)^p - 1).
+        (u * ((1.0 + nf).powf(p) - 1.0) + 1.0).powf(1.0 / p) - 1.0
+    };
+    (x as usize).min(n - 1)
+}
+
 /// Samples an integer in `[lo, hi]` with a log-uniform distribution
 /// (org sizes, citation counts).
 pub fn log_uniform<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> u64 {
@@ -53,6 +73,26 @@ mod tests {
             "head should dominate tail: {counts:?}"
         );
         assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_approx_is_skewed_and_in_bounds() {
+        let mut r = rng(3);
+        for s in [0.6, 1.0, 1.4] {
+            let mut head = 0usize;
+            for _ in 0..4000 {
+                let i = zipf_approx(&mut r, 1_000_000, s);
+                assert!(i < 1_000_000);
+                if i < 1000 {
+                    head += 1;
+                }
+            }
+            // The first 0.1% of indices must receive far more than 0.1%
+            // of the mass.
+            assert!(head > 200, "s={s}: head mass too small ({head}/4000)");
+        }
+        // Degenerate n=1 never panics.
+        assert_eq!(zipf_approx(&mut r, 1, 1.0), 0);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Mutable construction of [`Graph`]s.
 
+use crate::cols::{Adj, AttrEntry};
 use crate::domains::ActiveDomains;
 use crate::graph::Graph;
 use crate::ids::{AttrId, EdgeLabelId, LabelId, NodeId};
 use crate::index::AttrIndex;
+use crate::partition::{PartitionTable, DEFAULT_SHARD_TARGET};
 use crate::schema::Schema;
+use crate::seg::Segment;
 use crate::value::AttrValue;
 
 /// Incremental graph builder.
@@ -93,8 +96,8 @@ impl GraphBuilder {
         self.add_edge(src, dst, label);
     }
 
-    /// Finalizes the graph: builds CSR adjacency, the label index, and the
-    /// active domains.
+    /// Finalizes the graph: builds CSR adjacency, the label index, the
+    /// active domains, the value postings, and their shard partitions.
     pub fn finish(self) -> Graph {
         let n = self.node_labels.len();
         let mut edges = self.edges;
@@ -109,7 +112,7 @@ impl GraphBuilder {
         for i in 0..n {
             out_offsets[i + 1] += out_offsets[i];
         }
-        let out_adj: Vec<(NodeId, EdgeLabelId)> = edges.iter().map(|&(_, d, l)| (d, l)).collect();
+        let out_adj: Vec<Adj> = edges.iter().map(|&(_, d, l)| Adj::new(d, l)).collect();
 
         // CSR in adjacency (stable counting sort by target).
         let mut in_offsets = vec![0u32; n + 1];
@@ -120,10 +123,10 @@ impl GraphBuilder {
             in_offsets[i + 1] += in_offsets[i];
         }
         let mut cursor = in_offsets.clone();
-        let mut in_adj = vec![(NodeId(0), EdgeLabelId(0)); edges.len()];
+        let mut in_adj = vec![Adj::new(NodeId(0), EdgeLabelId(0)); edges.len()];
         for &(s, d, l) in &edges {
             let pos = cursor[d.index()] as usize;
-            in_adj[pos] = (s, l);
+            in_adj[pos] = Adj::new(s, l);
             cursor[d.index()] += 1;
         }
         // Each in-neighbor run must be sorted by (source, label) for binary
@@ -136,10 +139,34 @@ impl GraphBuilder {
             in_adj[lo..hi].windows(2).all(|w| w[0] <= w[1])
         }));
 
-        // Label index.
-        let mut label_index: Vec<Vec<NodeId>> = vec![Vec::new(); self.schema.node_label_count()];
+        // Flattened per-node attribute runs.
+        let mut attr_offsets = Vec::with_capacity(n + 1);
+        attr_offsets.push(0u32);
+        let total_attrs: usize = self.tuples.iter().map(|t| t.len()).sum();
+        let mut attr_entries = Vec::with_capacity(total_attrs);
+        for t in &self.tuples {
+            for &(a, v) in t.iter() {
+                attr_entries.push(AttrEntry::new(a, v));
+            }
+            attr_offsets.push(attr_entries.len() as u32);
+        }
+
+        // Label index as offset + node-run arrays (counting sort; node ids
+        // ascend within each run because nodes are visited in id order).
+        let label_count = self.schema.node_label_count();
+        let mut label_offsets = vec![0u32; label_count + 1];
+        for &l in &self.node_labels {
+            label_offsets[l.index() + 1] += 1;
+        }
+        for i in 0..label_count {
+            label_offsets[i + 1] += label_offsets[i];
+        }
+        let mut cursor = label_offsets.clone();
+        let mut label_nodes = vec![NodeId(0); n];
         for (i, &l) in self.node_labels.iter().enumerate() {
-            label_index[l.index()].push(NodeId::from_index(i));
+            let pos = cursor[l.index()] as usize;
+            label_nodes[pos] = NodeId::from_index(i);
+            cursor[l.index()] += 1;
         }
 
         // Active domains.
@@ -162,17 +189,28 @@ impl GraphBuilder {
                 }),
         );
 
+        // Shard partitions over the postings.
+        let partitions = PartitionTable::build(
+            attr_index
+                .iter_sorted()
+                .map(|(l, a, p)| (l, a, p.entries())),
+            DEFAULT_SHARD_TARGET,
+        );
+
         Graph {
             schema: self.schema,
-            node_labels: self.node_labels,
-            tuples: self.tuples,
-            out_offsets,
-            out_adj,
-            in_offsets,
-            in_adj,
-            label_index,
+            node_labels: Segment::from_vec(self.node_labels),
+            attr_offsets: Segment::from_vec(attr_offsets),
+            attr_entries: Segment::from_vec(attr_entries),
+            out_offsets: Segment::from_vec(out_offsets),
+            out_adj: Segment::from_vec(out_adj),
+            in_offsets: Segment::from_vec(in_offsets),
+            in_adj: Segment::from_vec(in_adj),
+            label_offsets: Segment::from_vec(label_offsets),
+            label_nodes: Segment::from_vec(label_nodes),
             domains,
             attr_index,
+            partitions,
         }
     }
 }
@@ -258,10 +296,10 @@ mod tests {
         assert_eq!(
             g.in_neighbors(nodes[4])
                 .iter()
-                .map(|&(s, _)| s)
+                .map(|a| a.to())
                 .collect::<Vec<_>>(),
             vec![nodes[0], nodes[1], nodes[3]]
         );
-        assert_eq!(g.out_neighbors(nodes[4]), &[(nodes[0], e)]);
+        assert_eq!(g.out_neighbors(nodes[4]), &[Adj::new(nodes[0], e)]);
     }
 }

@@ -18,7 +18,10 @@ pub struct ActiveDomains {
 
 impl ActiveDomains {
     /// Builds active domains from raw `(label, attr, value)` observations.
-    pub(crate) fn build(observations: impl Iterator<Item = (LabelId, AttrId, AttrValue)>) -> Self {
+    /// Deterministic in the observation *set* (insertion order is
+    /// irrelevant), so the builder and the streaming TSV converter produce
+    /// identical domains.
+    pub fn build(observations: impl Iterator<Item = (LabelId, AttrId, AttrValue)>) -> Self {
         let mut global: HashMap<AttrId, Vec<AttrValue>> = HashMap::new();
         let mut per_label: HashMap<(LabelId, AttrId), Vec<AttrValue>> = HashMap::new();
         for (l, a, v) in observations {
@@ -67,6 +70,45 @@ impl ActiveDomains {
     /// Number of attributes with a non-empty global domain.
     pub fn attr_count(&self) -> usize {
         self.global.len()
+    }
+
+    /// Reassembles domains from already-built parts (store loads). Each
+    /// value list must be sorted and deduplicated.
+    pub fn from_parts(
+        global: HashMap<AttrId, Vec<AttrValue>>,
+        per_label: HashMap<(LabelId, AttrId), Vec<AttrValue>>,
+    ) -> Self {
+        debug_assert!(global
+            .values()
+            .chain(per_label.values())
+            .all(|v| v.windows(2).all(|w| w[0] < w[1])));
+        Self { global, per_label }
+    }
+
+    /// Global domains in attribute-id order — deterministic iteration for
+    /// serialization.
+    pub fn iter_global_sorted(&self) -> impl Iterator<Item = (AttrId, &[AttrValue])> {
+        let mut keys: Vec<&AttrId> = self.global.keys().collect();
+        keys.sort();
+        keys.into_iter().map(|&a| (a, self.global[&a].as_slice()))
+    }
+
+    /// Per-label domains in `(label, attr)` order — deterministic
+    /// iteration for serialization.
+    pub fn iter_per_label_sorted(&self) -> impl Iterator<Item = (LabelId, AttrId, &[AttrValue])> {
+        let mut keys: Vec<&(LabelId, AttrId)> = self.per_label.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|&(l, a)| (l, a, self.per_label[&(l, a)].as_slice()))
+    }
+
+    /// Approximate heap bytes held by the domain tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.global
+            .values()
+            .chain(self.per_label.values())
+            .map(|v| v.len() * std::mem::size_of::<AttrValue>() + 48)
+            .sum()
     }
 }
 

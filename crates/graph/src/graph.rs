@@ -1,44 +1,151 @@
 //! The attributed directed graph `G = (V, E, L, T)` (Section II of the
 //! paper) with CSR adjacency, a label index, and active domains.
 
+use crate::cols::{Adj, AttrEntry};
 use crate::domains::ActiveDomains;
 use crate::ids::{AttrId, EdgeLabelId, LabelId, NodeId};
 use crate::index::AttrIndex;
+use crate::partition::PartitionTable;
 use crate::schema::Schema;
+use crate::seg::Segment;
 use crate::value::AttrValue;
 
 /// An immutable attributed directed graph.
 ///
-/// Built through [`GraphBuilder`](crate::GraphBuilder); once finished the
-/// graph exposes:
+/// Built through [`GraphBuilder`](crate::GraphBuilder) or reassembled from
+/// an `.fsg` container via [`Graph::from_parts`]; once finished the graph
+/// exposes:
 ///
 /// * CSR out/in adjacency with edge labels (`O(log deg)` edge lookups),
 /// * a node-label index (`V(u_o)` in the paper: all nodes with a label),
 /// * per-`(label, attribute)` **active domains** — the sorted distinct values
 ///   an attribute takes over nodes of a label, which parameterize the
 ///   refinement domains of range variables,
+/// * per-`(label, attribute)` sorted value postings with shard partition
+///   metadata for indexed range-literal evaluation,
 /// * `d`-hop neighborhood extraction used by template refinement (Spawn).
+///
+/// Every large array is a [`Segment`]: owned heap for built graphs,
+/// zero-copy views into a shared (typically memory-mapped) buffer for
+/// stored graphs. The accessor surface is identical either way.
 #[derive(Debug, Clone)]
 pub struct Graph {
     pub(crate) schema: Schema,
-    pub(crate) node_labels: Vec<LabelId>,
-    /// Per-node attribute tuple `T(v)`, sorted by attribute id.
-    pub(crate) tuples: Vec<Box<[(AttrId, AttrValue)]>>,
-    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) node_labels: Segment<LabelId>,
+    /// Prefix offsets into `attr_entries`, length `n + 1`.
+    pub(crate) attr_offsets: Segment<u32>,
+    /// Per-node attribute runs `T(v)`, each sorted by attribute id.
+    pub(crate) attr_entries: Segment<AttrEntry>,
+    pub(crate) out_offsets: Segment<u32>,
     /// Out-neighbors, per source sorted by `(target, edge label)`.
-    pub(crate) out_adj: Vec<(NodeId, EdgeLabelId)>,
-    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) out_adj: Segment<Adj>,
+    pub(crate) in_offsets: Segment<u32>,
     /// In-neighbors, per target sorted by `(source, edge label)`.
-    pub(crate) in_adj: Vec<(NodeId, EdgeLabelId)>,
-    /// Nodes per label, sorted ascending.
-    pub(crate) label_index: Vec<Vec<NodeId>>,
+    pub(crate) in_adj: Segment<Adj>,
+    /// Prefix offsets into `label_nodes`, length `label_count + 1`.
+    pub(crate) label_offsets: Segment<u32>,
+    /// Nodes grouped by label, each run sorted ascending.
+    pub(crate) label_nodes: Segment<NodeId>,
     pub(crate) domains: ActiveDomains,
     /// Per-`(label, attribute)` sorted value postings for indexed range
     /// literal evaluation.
     pub(crate) attr_index: AttrIndex,
+    /// Shard partition metadata over the postings.
+    pub(crate) partitions: PartitionTable,
+}
+
+/// The raw columnar parts of a [`Graph`], the exchange format between the
+/// in-memory builder and storage adapters (`fairsqg-store`).
+///
+/// Invariants are the builder's: offsets are monotone prefix sums ending
+/// at the entry count, adjacency runs are `(endpoint, label)`-sorted and
+/// deduplicated, attribute runs are attribute-id-sorted with unique ids,
+/// label runs ascending, postings `(value, node)`-sorted. Callers
+/// assembling parts from untrusted bytes must validate before calling
+/// [`Graph::from_parts`] — the graph trusts them.
+pub struct GraphParts {
+    /// Labels, attributes and symbols.
+    pub schema: Schema,
+    /// Per-node labels.
+    pub node_labels: Segment<LabelId>,
+    /// Prefix offsets into `attr_entries`, length `node_count + 1`.
+    pub attr_offsets: Segment<u32>,
+    /// Flattened per-node attribute runs.
+    pub attr_entries: Segment<AttrEntry>,
+    /// Prefix offsets into `out_adj`, length `node_count + 1`.
+    pub out_offsets: Segment<u32>,
+    /// Out-adjacency runs.
+    pub out_adj: Segment<Adj>,
+    /// Prefix offsets into `in_adj`, length `node_count + 1`.
+    pub in_offsets: Segment<u32>,
+    /// In-adjacency runs.
+    pub in_adj: Segment<Adj>,
+    /// Prefix offsets into `label_nodes`, length `label_count + 1`.
+    pub label_offsets: Segment<u32>,
+    /// Nodes grouped by label.
+    pub label_nodes: Segment<NodeId>,
+    /// Active domains.
+    pub domains: ActiveDomains,
+    /// Value postings per `(label, attribute)`.
+    pub attr_index: AttrIndex,
+    /// Shard partition metadata.
+    pub partitions: PartitionTable,
+}
+
+/// Borrowed views of a graph's raw columnar arrays, in exactly the layout
+/// the `.fsg` container serializes. Used by `fairsqg-store`'s writer; the
+/// slices obey the [`GraphParts`] invariants.
+pub struct GraphColumns<'a> {
+    /// Per-node labels.
+    pub node_labels: &'a [LabelId],
+    /// Prefix offsets into `attr_entries`, length `node_count + 1`.
+    pub attr_offsets: &'a [u32],
+    /// Flattened per-node attribute runs.
+    pub attr_entries: &'a [AttrEntry],
+    /// Prefix offsets into `out_adj`, length `node_count + 1`.
+    pub out_offsets: &'a [u32],
+    /// Out-adjacency runs.
+    pub out_adj: &'a [Adj],
+    /// Prefix offsets into `in_adj`, length `node_count + 1`.
+    pub in_offsets: &'a [u32],
+    /// In-adjacency runs.
+    pub in_adj: &'a [Adj],
+    /// Prefix offsets into `label_nodes`, length `label_count + 1`.
+    pub label_offsets: &'a [u32],
+    /// Nodes grouped by label.
+    pub label_nodes: &'a [NodeId],
+}
+
+/// Byte accounting of a graph's storage, split by backing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Bytes owned on the heap (large arrays plus index/domain tables).
+    pub heap_bytes: usize,
+    /// Bytes served zero-copy out of a shared mapping.
+    pub mapped_bytes: usize,
 }
 
 impl Graph {
+    /// Reassembles a graph from columnar parts (see [`GraphParts`] for the
+    /// invariants the caller must guarantee).
+    pub fn from_parts(parts: GraphParts) -> Self {
+        Self {
+            schema: parts.schema,
+            node_labels: parts.node_labels,
+            attr_offsets: parts.attr_offsets,
+            attr_entries: parts.attr_entries,
+            out_offsets: parts.out_offsets,
+            out_adj: parts.out_adj,
+            in_offsets: parts.in_offsets,
+            in_adj: parts.in_adj,
+            label_offsets: parts.label_offsets,
+            label_nodes: parts.label_nodes,
+            domains: parts.domains,
+            attr_index: parts.attr_index,
+            partitions: parts.partitions,
+        }
+    }
+
     /// The graph's schema (labels, attributes, symbols).
     #[inline]
     pub fn schema(&self) -> &Schema {
@@ -65,32 +172,34 @@ impl Graph {
 
     /// The attribute tuple `T(v)`, sorted by attribute id.
     #[inline]
-    pub fn tuple(&self, v: NodeId) -> &[(AttrId, AttrValue)] {
-        &self.tuples[v.index()]
+    pub fn tuple(&self, v: NodeId) -> &[AttrEntry] {
+        let lo = self.attr_offsets[v.index()] as usize;
+        let hi = self.attr_offsets[v.index() + 1] as usize;
+        &self.attr_entries[lo..hi]
     }
 
     /// The value of attribute `a` on node `v`, if present.
     #[inline]
     pub fn attr(&self, v: NodeId, a: AttrId) -> Option<AttrValue> {
         let t = self.tuple(v);
-        t.binary_search_by_key(&a, |&(id, _)| id)
+        t.binary_search_by_key(&a, |e| e.attr())
             .ok()
-            .map(|i| t[i].1)
+            .map(|i| t[i].value())
     }
 
-    /// Out-neighbors of `v` as `(target, edge label)` pairs sorted by
+    /// Out-neighbors of `v` as [`Adj`] entries sorted by
     /// `(target, label)`.
     #[inline]
-    pub fn out_neighbors(&self, v: NodeId) -> &[(NodeId, EdgeLabelId)] {
+    pub fn out_neighbors(&self, v: NodeId) -> &[Adj] {
         let lo = self.out_offsets[v.index()] as usize;
         let hi = self.out_offsets[v.index() + 1] as usize;
         &self.out_adj[lo..hi]
     }
 
-    /// In-neighbors of `v` as `(source, edge label)` pairs sorted by
+    /// In-neighbors of `v` as [`Adj`] entries sorted by
     /// `(source, label)`.
     #[inline]
-    pub fn in_neighbors(&self, v: NodeId) -> &[(NodeId, EdgeLabelId)] {
+    pub fn in_neighbors(&self, v: NodeId) -> &[Adj] {
         let lo = self.in_offsets[v.index()] as usize;
         let hi = self.in_offsets[v.index() + 1] as usize;
         &self.in_adj[lo..hi]
@@ -110,15 +219,20 @@ impl Graph {
 
     /// Whether the labeled edge `src --label--> dst` exists.
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: EdgeLabelId) -> bool {
-        self.out_neighbors(src).binary_search(&(dst, label)).is_ok()
+        self.out_neighbors(src)
+            .binary_search_by_key(&(dst, label), |a| a.key())
+            .is_ok()
     }
 
     /// All nodes carrying `label` (the paper's `V(u_o)`), sorted ascending.
     pub fn nodes_with_label(&self, label: LabelId) -> &[NodeId] {
-        self.label_index
-            .get(label.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let i = label.index();
+        if i + 1 >= self.label_offsets.len() {
+            return &[];
+        }
+        let lo = self.label_offsets[i] as usize;
+        let hi = self.label_offsets[i + 1] as usize;
+        &self.label_nodes[lo..hi]
     }
 
     /// Number of nodes with `label`, i.e. `|V(u_o)|`.
@@ -138,6 +252,65 @@ impl Graph {
     #[inline]
     pub fn attr_index(&self) -> &AttrIndex {
         &self.attr_index
+    }
+
+    /// The shard partition metadata over the value postings.
+    #[inline]
+    pub fn partitions(&self) -> &PartitionTable {
+        &self.partitions
+    }
+
+    /// Borrowed views of the raw columnar arrays (serialization).
+    pub fn columns(&self) -> GraphColumns<'_> {
+        GraphColumns {
+            node_labels: &self.node_labels,
+            attr_offsets: &self.attr_offsets,
+            attr_entries: &self.attr_entries,
+            out_offsets: &self.out_offsets,
+            out_adj: &self.out_adj,
+            in_offsets: &self.in_offsets,
+            in_adj: &self.in_adj,
+            label_offsets: &self.label_offsets,
+            label_nodes: &self.label_nodes,
+        }
+    }
+
+    /// Whether the graph's large arrays are served out of a shared
+    /// mapping (an `.fsg` load) rather than owned heap.
+    pub fn is_mapped(&self) -> bool {
+        self.out_adj.is_mapped() || self.node_labels.is_mapped()
+    }
+
+    /// Byte accounting of the graph's storage (large arrays plus the
+    /// index, domain and partition tables; the schema's interned strings
+    /// are excluded — they are small and always owned).
+    pub fn storage(&self) -> StorageFootprint {
+        let heap_bytes = self.node_labels.heap_bytes()
+            + self.attr_offsets.heap_bytes()
+            + self.attr_entries.heap_bytes()
+            + self.out_offsets.heap_bytes()
+            + self.out_adj.heap_bytes()
+            + self.in_offsets.heap_bytes()
+            + self.in_adj.heap_bytes()
+            + self.label_offsets.heap_bytes()
+            + self.label_nodes.heap_bytes()
+            + self.domains.heap_bytes()
+            + self.attr_index.heap_bytes()
+            + self.partitions.heap_bytes();
+        let mapped_bytes = self.node_labels.mapped_bytes()
+            + self.attr_offsets.mapped_bytes()
+            + self.attr_entries.mapped_bytes()
+            + self.out_offsets.mapped_bytes()
+            + self.out_adj.mapped_bytes()
+            + self.in_offsets.mapped_bytes()
+            + self.in_adj.mapped_bytes()
+            + self.label_offsets.mapped_bytes()
+            + self.label_nodes.mapped_bytes()
+            + self.attr_index.mapped_bytes();
+        StorageFootprint {
+            heap_bytes,
+            mapped_bytes,
+        }
     }
 
     /// Iterator over all node ids.
@@ -168,7 +341,8 @@ impl Graph {
             }
             let mut next = Vec::new();
             for &v in &frontier {
-                for &(w, _) in self.out_neighbors(v).iter().chain(self.in_neighbors(v)) {
+                for a in self.out_neighbors(v).iter().chain(self.in_neighbors(v)) {
+                    let w = a.to();
                     if !visited[w.index()] {
                         visited[w.index()] = true;
                         next.push(w);
@@ -187,8 +361,7 @@ impl Graph {
         if self.node_count() == 0 {
             return 0.0;
         }
-        let total: usize = self.tuples.iter().map(|t| t.len()).sum();
-        total as f64 / self.node_count() as f64
+        self.attr_entries.len() as f64 / self.node_count() as f64
     }
 }
 
@@ -263,5 +436,15 @@ mod tests {
         let g = small_graph();
         // Two nodes carry one attribute, one carries none.
         assert!((g.avg_attrs_per_node() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn built_graphs_are_owned_and_accounted() {
+        let g = small_graph();
+        assert!(!g.is_mapped());
+        let f = g.storage();
+        assert!(f.heap_bytes > 0);
+        assert_eq!(f.mapped_bytes, 0);
+        assert!(g.partitions().pair_count() >= 1);
     }
 }

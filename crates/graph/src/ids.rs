@@ -9,6 +9,10 @@ use std::fmt;
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $repr:ty) => {
         $(#[$doc])*
+        // `repr(transparent)` pins the layout to the raw integer so ids can
+        // live inside the layout-stable columnar records of `crate::cols`
+        // (and hence inside memory-mapped storage sections).
+        #[repr(transparent)]
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub $repr);
 

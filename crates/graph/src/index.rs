@@ -15,7 +15,10 @@
 //! during backtracking, and [`gallop_intersect`] intersects two sorted id
 //! lists in `O(m log(n/m))`.
 
+use crate::cols::PostEntry;
 use crate::ids::{AttrId, LabelId, NodeId};
+use crate::partition::Shard;
+use crate::seg::Segment;
 use crate::value::{AttrValue, CmpOp};
 use std::collections::HashMap;
 
@@ -23,32 +26,84 @@ use std::collections::HashMap;
 ///
 /// Entries are sorted by `(value, node id)`; only nodes that carry the
 /// attribute appear (a range literal over a missing attribute fails, per
-/// the matching semantics).
-#[derive(Debug, Clone, Default)]
+/// the matching semantics). Entries live in a [`Segment`], so a graph
+/// loaded from an `.fsg` container serves range slices straight out of
+/// the mapped file.
+#[derive(Debug, Clone)]
 pub struct Postings {
-    entries: Vec<(AttrValue, NodeId)>,
+    entries: Segment<PostEntry>,
+}
+
+impl Default for Postings {
+    fn default() -> Self {
+        Self {
+            entries: Segment::empty(),
+        }
+    }
 }
 
 impl Postings {
+    /// Wraps an already-sorted entries segment (store loads and builder).
+    pub fn from_entries(entries: Segment<PostEntry>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0] <= w[1]));
+        Self { entries }
+    }
+
     /// All postings, sorted by `(value, node id)`.
     #[inline]
-    pub fn entries(&self) -> &[(AttrValue, NodeId)] {
+    pub fn entries(&self) -> &[PostEntry] {
         &self.entries
     }
 
     /// The contiguous slice of postings whose value satisfies `value op c`
     /// — two binary searches (`partition_point`) on the value-sorted
     /// entries.
-    pub fn range(&self, op: CmpOp, c: AttrValue) -> &[(AttrValue, NodeId)] {
-        let below = || self.entries.partition_point(|&(v, _)| v < c);
-        let at_or_below = || self.entries.partition_point(|&(v, _)| v <= c);
-        match op {
-            CmpOp::Lt => &self.entries[..below()],
-            CmpOp::Le => &self.entries[..at_or_below()],
-            CmpOp::Eq => &self.entries[below()..at_or_below()],
-            CmpOp::Ge => &self.entries[below()..],
-            CmpOp::Gt => &self.entries[at_or_below()..],
-        }
+    pub fn range(&self, op: CmpOp, c: AttrValue) -> &[PostEntry] {
+        self.range_sharded(op, c, None).0
+    }
+
+    /// Like [`Postings::range`], but when a shard table for this pair is
+    /// available the boundary search is narrowed to the single shard that
+    /// contains it; every shard whose `[min, max]` envelope lies entirely
+    /// on one side of `c` is skipped without touching its entries.
+    /// Returns the slice and the number of shards skipped (0 without a
+    /// table). Results are identical to the unsharded path.
+    pub fn range_sharded(
+        &self,
+        op: CmpOp,
+        c: AttrValue,
+        shards: Option<&[Shard]>,
+    ) -> (&[PostEntry], usize) {
+        let e: &[PostEntry] = &self.entries;
+        let mut skipped = 0usize;
+        // First index with value >= c / value > c, found by narrowing the
+        // binary search to the one shard that can contain the boundary.
+        let below = |skipped: &mut usize| -> usize {
+            let (lo, hi) = match shards {
+                Some(s) => bound_window(s, c, false, skipped),
+                None => (0, e.len()),
+            };
+            lo + e[lo..hi].partition_point(|p| p.value() < c)
+        };
+        let at_or_below = |skipped: &mut usize| -> usize {
+            let (lo, hi) = match shards {
+                Some(s) => bound_window(s, c, true, skipped),
+                None => (0, e.len()),
+            };
+            lo + e[lo..hi].partition_point(|p| p.value() <= c)
+        };
+        let slice = match op {
+            CmpOp::Lt => &e[..below(&mut skipped)],
+            CmpOp::Le => &e[..at_or_below(&mut skipped)],
+            CmpOp::Eq => {
+                let lo = below(&mut skipped);
+                let hi = at_or_below(&mut skipped);
+                &e[lo..hi]
+            }
+            CmpOp::Ge => &e[below(&mut skipped)..],
+            CmpOp::Gt => &e[at_or_below(&mut skipped)..],
+        };
+        (slice, skipped)
     }
 
     /// Number of nodes satisfying `value op c` (postings hold each node at
@@ -57,6 +112,52 @@ impl Postings {
     pub fn range_count(&self, op: CmpOp, c: AttrValue) -> usize {
         self.range(op, c).len()
     }
+
+    /// Heap bytes owned by the postings (0 when mapped).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.heap_bytes()
+    }
+
+    /// Bytes viewed through a shared mapping (0 when owned).
+    pub fn mapped_bytes(&self) -> usize {
+        self.entries.mapped_bytes()
+    }
+}
+
+/// The entry window `[lo, hi)` that contains the partition boundary
+/// (first value `>= c`, or `> c` when `strict_above` is set), found by
+/// scanning the shard envelopes. Shards wholly below the boundary
+/// contribute their length to `lo`; shards wholly above cap `hi`. The
+/// number of shards whose entries were not touched is added to `skipped`.
+fn bound_window(
+    shards: &[Shard],
+    c: AttrValue,
+    strict_above: bool,
+    skipped: &mut usize,
+) -> (usize, usize) {
+    // Shards partition a value-sorted array, so "wholly below the
+    // boundary" (every value < c, or <= c for the strict bound) is a
+    // prefix of the shard list and "wholly above" (every value >= c /
+    // > c) is a suffix; both are found with partition points over the
+    // stored envelopes. The (possibly empty) middle — shards straddling
+    // the boundary, more than one only when a run of values equal to `c`
+    // crosses shard edges — is what the binary search still touches.
+    let first_not_below =
+        shards.partition_point(|s| if strict_above { s.max <= c } else { s.max < c });
+    let first_above = shards.partition_point(|s| if strict_above { s.min <= c } else { s.min < c });
+    debug_assert!(first_not_below <= first_above);
+    let lo = if first_not_below == 0 {
+        0
+    } else {
+        shards[first_not_below - 1].end as usize
+    };
+    let hi = if first_above == shards.len() {
+        shards.last().map_or(0, |s| s.end as usize)
+    } else {
+        shards[first_above].start as usize
+    };
+    *skipped += first_not_below + (shards.len() - first_above);
+    (lo, hi)
 }
 
 /// Per-`(label, attribute)` postings of a whole graph.
@@ -67,25 +168,67 @@ pub struct AttrIndex {
 
 impl AttrIndex {
     /// Builds the index from raw `(label, attr, value, node)` observations
-    /// (one per attribute per node).
-    pub(crate) fn build(
-        observations: impl Iterator<Item = (LabelId, AttrId, AttrValue, NodeId)>,
-    ) -> Self {
-        let mut postings: HashMap<(LabelId, AttrId), Postings> = HashMap::new();
+    /// (one per attribute per node). Deterministic in the observation
+    /// *set* (insertion order is irrelevant), so the builder and the
+    /// streaming TSV converter produce identical postings.
+    pub fn build(observations: impl Iterator<Item = (LabelId, AttrId, AttrValue, NodeId)>) -> Self {
+        let mut raw: HashMap<(LabelId, AttrId), Vec<PostEntry>> = HashMap::new();
         for (l, a, v, n) in observations {
-            postings.entry((l, a)).or_default().entries.push((v, n));
+            raw.entry((l, a)).or_default().push(PostEntry::new(v, n));
         }
-        for p in postings.values_mut() {
-            p.entries.sort_unstable();
-            p.entries.shrink_to_fit();
+        let mut postings = HashMap::with_capacity(raw.len());
+        for (k, mut entries) in raw {
+            entries.sort_unstable();
+            entries.shrink_to_fit();
+            postings.insert(k, Postings::from_entries(Segment::from_vec(entries)));
         }
         Self { postings }
+    }
+
+    /// Reassembles an index from per-pair entry segments (store loads;
+    /// each segment must already be `(value, node)`-sorted).
+    pub fn from_parts(parts: HashMap<(LabelId, AttrId), Segment<PostEntry>>) -> Self {
+        Self {
+            postings: parts
+                .into_iter()
+                .map(|(k, seg)| (k, Postings::from_entries(seg)))
+                .collect(),
+        }
     }
 
     /// The postings of `(label, attr)`, if any node carries the pair.
     #[inline]
     pub fn postings(&self, label: LabelId, attr: AttrId) -> Option<&Postings> {
         self.postings.get(&(label, attr))
+    }
+
+    /// Number of `(label, attr)` pairs with postings.
+    pub fn pair_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total posting entries across all pairs.
+    pub fn entry_count(&self) -> usize {
+        self.postings.values().map(|p| p.entries().len()).sum()
+    }
+
+    /// Pairs in `(label, attr)` order — deterministic iteration for
+    /// serialization and partition building.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (LabelId, AttrId, &Postings)> {
+        let mut keys: Vec<&(LabelId, AttrId)> = self.postings.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|&(l, a)| (l, a, &self.postings[&(l, a)]))
+    }
+
+    /// Heap bytes owned by the index (mapped postings count 0).
+    pub fn heap_bytes(&self) -> usize {
+        self.postings.values().map(|p| p.heap_bytes() + 64).sum()
+    }
+
+    /// Bytes viewed through shared mappings.
+    pub fn mapped_bytes(&self) -> usize {
+        self.postings.values().map(|p| p.mapped_bytes()).sum()
     }
 }
 
@@ -224,7 +367,7 @@ mod tests {
         let nodes = |op, c| -> Vec<NodeId> {
             p.range(op, AttrValue::Int(c))
                 .iter()
-                .map(|&(_, n)| n)
+                .map(|e| e.node())
                 .collect()
         };
         assert_eq!(nodes(CmpOp::Ge, 35), ids(&[1, 2, 3]));
@@ -240,6 +383,45 @@ mod tests {
             g.attr_index().postings(org, age).unwrap().entries().len(),
             1
         );
+    }
+
+    #[test]
+    fn sharded_range_agrees_with_plain_range() {
+        use crate::partition::shards_of;
+        let mut b = GraphBuilder::new();
+        for i in 0..300i64 {
+            b.add_named_node("user", &[("x", AttrValue::Int(i % 37))]);
+        }
+        let g = b.finish();
+        let user = g.schema().find_node_label("user").unwrap();
+        let x = g.schema().find_attr("x").unwrap();
+        let p = g.attr_index().postings(user, x).unwrap();
+        let shards = shards_of(p.entries(), 16);
+        assert!(shards.len() > 3);
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt] {
+            for c in [-1i64, 0, 5, 18, 36, 37, 100] {
+                let plain = p.range(op, AttrValue::Int(c));
+                let (sharded, skipped) = p.range_sharded(op, AttrValue::Int(c), Some(&shards));
+                assert_eq!(plain, sharded, "op {op:?} c {c}");
+                // A boundary away from the extremes must skip shards.
+                if c == 18 && matches!(op, CmpOp::Ge | CmpOp::Lt) {
+                    assert!(skipped > 0);
+                }
+            }
+        }
+        // Index accounting helpers.
+        assert!(g.attr_index().pair_count() >= 1);
+        assert_eq!(g.attr_index().entry_count(), 300);
+        assert!(g.attr_index().heap_bytes() > 0);
+        assert_eq!(g.attr_index().mapped_bytes(), 0);
+        let pairs: Vec<_> = g
+            .attr_index()
+            .iter_sorted()
+            .map(|(l, a, _)| (l, a))
+            .collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
     }
 
     #[test]

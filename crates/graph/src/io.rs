@@ -15,6 +15,15 @@
 //! Integer attribute values are written bare; string values are written
 //! with a `s:` prefix (`country=s:US`). Node ids must be dense `0..n` in
 //! the node section (the reader validates this).
+//!
+//! Parsing is event-driven: [`parse_tsv`] validates the syntax and feeds
+//! node/edge events into a [`TsvSink`]. [`read_tsv`] plugs in a
+//! [`GraphBuilder`] sink; the `fairsqg-store` converter plugs in a
+//! bounded-memory columnar sink that never materializes a full `Graph`.
+//! Both sinks intern names in the same order (per attribute: string value
+//! first, then attribute name; node label after all attributes; edge
+//! labels per edge line), so the two paths assign identical schema ids —
+//! a prerequisite for bit-identical generation archives across them.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
@@ -22,6 +31,7 @@ use crate::ids::NodeId;
 use crate::value::AttrValue;
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 /// Errors raised while reading the TSV format.
 #[derive(Debug)]
@@ -30,6 +40,9 @@ pub enum IoError {
     Io(std::io::Error),
     /// Malformed content (with 1-based line and column numbers).
     Parse {
+        /// The file the content came from, when known — multi-file
+        /// conversions need failures attributable to a specific input.
+        path: Option<String>,
         /// 1-based line number.
         line: usize,
         /// 1-based byte column of the offending field.
@@ -47,6 +60,32 @@ impl IoError {
             IoError::Parse { line, column, .. } => Some((*line, *column)),
         }
     }
+
+    /// The source file of a `Parse` error, when known.
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            IoError::Io(_) => None,
+            IoError::Parse { path, .. } => path.as_deref(),
+        }
+    }
+
+    /// Attaches a source file path to a `Parse` error (no-op for `Io`).
+    pub fn with_path(self, p: &Path) -> Self {
+        match self {
+            IoError::Parse {
+                line,
+                column,
+                message,
+                ..
+            } => IoError::Parse {
+                path: Some(p.display().to_string()),
+                line,
+                column,
+                message,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for IoError {
@@ -54,10 +93,16 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse {
+                path,
                 line,
                 column,
                 message,
-            } => write!(f, "line {line}, column {column}: {message}"),
+            } => {
+                if let Some(p) = path {
+                    write!(f, "{p}: ")?;
+                }
+                write!(f, "line {line}, column {column}: {message}")
+            }
         }
     }
 }
@@ -76,13 +121,13 @@ pub fn write_tsv<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
     let schema = graph.schema();
     for v in graph.nodes() {
         write!(out, "{}\t{}", v.0, schema.node_label_name(graph.label(v)))?;
-        for &(a, val) in graph.tuple(v) {
-            match val {
-                AttrValue::Int(i) => write!(out, "\t{}={}", schema.attr_name(a), i)?,
+        for e in graph.tuple(v) {
+            match e.value() {
+                AttrValue::Int(i) => write!(out, "\t{}={}", schema.attr_name(e.attr()), i)?,
                 AttrValue::Str(s) => write!(
                     out,
                     "\t{}=s:{}",
-                    schema.attr_name(a),
+                    schema.attr_name(e.attr()),
                     schema.symbol_value(s)
                 )?,
             }
@@ -92,8 +137,14 @@ pub fn write_tsv<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
     writeln!(out)?;
     writeln!(out, "# edges: src\tlabel\tdst")?;
     for v in graph.nodes() {
-        for &(w, l) in graph.out_neighbors(v) {
-            writeln!(out, "{}\t{}\t{}", v.0, schema.edge_label_name(l), w.0)?;
+        for a in graph.out_neighbors(v) {
+            writeln!(
+                out,
+                "{}\t{}\t{}",
+                v.0,
+                schema.edge_label_name(a.label()),
+                a.to().0
+            )?;
         }
     }
     Ok(())
@@ -101,9 +152,71 @@ pub fn write_tsv<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
 
 fn parse_err(line: usize, column: usize, message: String) -> IoError {
     IoError::Parse {
+        path: None,
         line,
         column,
         message,
+    }
+}
+
+/// A raw attribute value as it appears in the TSV text, before interning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawAttr<'a> {
+    /// A bare integer value.
+    Int(i64),
+    /// A `s:`-prefixed string value (prefix stripped).
+    Str(&'a str),
+}
+
+/// Receiver of validated TSV node/edge events.
+///
+/// [`parse_tsv`] guarantees: node events arrive in dense id order
+/// (0, 1, 2, …), edge events arrive after all node events of a file, and
+/// edge endpoints are `< node_count()` at the time of the call. Sinks
+/// that intern names must follow the documented interning order (module
+/// docs) to stay schema-compatible with [`read_tsv`].
+pub trait TsvSink {
+    /// One node line: its label and `name=value` attributes in file order.
+    fn node(&mut self, label: &str, attrs: &[(&str, RawAttr<'_>)]) -> std::io::Result<()>;
+
+    /// One edge line `src --label--> dst`; endpoints already validated.
+    fn edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> std::io::Result<()>;
+
+    /// Number of node events received so far (drives edge validation).
+    fn node_count(&self) -> usize;
+}
+
+/// A [`TsvSink`] accumulating into a [`GraphBuilder`].
+struct BuilderSink {
+    builder: GraphBuilder,
+}
+
+impl TsvSink for BuilderSink {
+    fn node(&mut self, label: &str, attrs: &[(&str, RawAttr<'_>)]) -> std::io::Result<()> {
+        let mut tuple = Vec::with_capacity(attrs.len());
+        for &(name, raw) in attrs {
+            // Interning order (see module docs): string value before
+            // attribute name, node label after all attributes.
+            let value = match raw {
+                RawAttr::Str(s) => AttrValue::Str(self.builder.schema_mut().symbol(s)),
+                RawAttr::Int(i) => AttrValue::Int(i),
+            };
+            let attr = self.builder.schema_mut().attr(name);
+            tuple.push((attr, value));
+        }
+        let label = self.builder.schema_mut().node_label(label);
+        self.builder.add_node(label, &tuple);
+        Ok(())
+    }
+
+    fn edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> std::io::Result<()> {
+        let label = self.builder.schema_mut().edge_label(label);
+        self.builder.add_edge(src, dst, label);
+        Ok(())
+    }
+
+    fn node_count(&self) -> usize {
+        self.builder.node_count()
     }
 }
 
@@ -122,20 +235,12 @@ fn split_fields<'a>(line: &str, content: &'a str) -> Vec<(usize, &'a str)> {
     out
 }
 
-/// Reads a graph from the TSV format.
+/// Parses the TSV format, feeding validated events into `sink`.
 ///
-/// Errors carry the 1-based line and column of the offending field, so a
-/// caller (e.g. the service's `load` op) can report them as structured,
-/// machine-readable positions instead of opaque strings.
-pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
-    if let Some(fault) = fairsqg_faults::fire("graph.load") {
-        let message = match fault {
-            fairsqg_faults::Fault::Error(m) => m,
-            fairsqg_faults::Fault::ReturnEarly => "graph load aborted (injected)".to_string(),
-        };
-        return Err(IoError::Io(std::io::Error::other(message)));
-    }
-    let mut builder = GraphBuilder::new();
+/// Syntax and structural validation (integer fields, dense node ids,
+/// edge-endpoint ranges) happens here; storage policy lives in the sink.
+/// Errors carry the 1-based line and column of the offending field.
+pub fn parse_tsv<R: BufRead, S: TsvSink>(input: R, sink: &mut S) -> Result<(), IoError> {
     let mut in_edges = false;
     let mut expected_id: u64 = 0;
     for (i, line) in input.lines().enumerate() {
@@ -173,16 +278,15 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
             let (_, label) = fields
                 .next()
                 .ok_or_else(|| parse_err(line_no, col, "missing node label".into()))?;
-            let mut attrs = Vec::new();
+            let mut attrs: Vec<(&str, RawAttr<'_>)> = Vec::new();
             for (fcol, f) in fields {
                 let (name, value) = f.split_once('=').ok_or_else(|| {
                     parse_err(line_no, fcol, format!("expected attr=value, found '{f}'"))
                 })?;
-                let value = if let Some(s) = value.strip_prefix("s:") {
-                    let sym = builder.schema_mut().symbol(s);
-                    AttrValue::Str(sym)
+                let raw = if let Some(s) = value.strip_prefix("s:") {
+                    RawAttr::Str(s)
                 } else {
-                    AttrValue::Int(value.parse().map_err(|_| {
+                    RawAttr::Int(value.parse().map_err(|_| {
                         parse_err(
                             line_no,
                             fcol + name.len() + 1,
@@ -190,11 +294,9 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
                         )
                     })?)
                 };
-                let attr = builder.schema_mut().attr(name);
-                attrs.push((attr, value));
+                attrs.push((name, raw));
             }
-            let label = builder.schema_mut().node_label(label);
-            builder.add_node(label, &attrs);
+            sink.node(label, &attrs)?;
         } else {
             let (col, src_str) = fields
                 .next()
@@ -219,8 +321,8 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
                     format!("edge target must be an integer, found '{dst_str}'"),
                 )
             })?;
-            if src as usize >= builder.node_count() || dst as usize >= builder.node_count() {
-                let col = if src as usize >= builder.node_count() {
+            if src as usize >= sink.node_count() || dst as usize >= sink.node_count() {
+                let col = if src as usize >= sink.node_count() {
                     col
                 } else {
                     dcol
@@ -230,15 +332,41 @@ pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
                     col,
                     format!(
                         "edge endpoint out of range (graph has {} nodes)",
-                        builder.node_count()
+                        sink.node_count()
                     ),
                 ));
             }
-            let label = builder.schema_mut().edge_label(label);
-            builder.add_edge(NodeId(src), NodeId(dst), label);
+            sink.edge(NodeId(src), label, NodeId(dst))?;
         }
     }
-    Ok(builder.finish())
+    Ok(())
+}
+
+/// Reads a graph from the TSV format.
+///
+/// Errors carry the 1-based line and column of the offending field, so a
+/// caller (e.g. the service's `load` op) can report them as structured,
+/// machine-readable positions instead of opaque strings.
+pub fn read_tsv<R: BufRead>(input: R) -> Result<Graph, IoError> {
+    if let Some(fault) = fairsqg_faults::fire("graph.load") {
+        let message = match fault {
+            fairsqg_faults::Fault::Error(m) => m,
+            fairsqg_faults::Fault::ReturnEarly => "graph load aborted (injected)".to_string(),
+        };
+        return Err(IoError::Io(std::io::Error::other(message)));
+    }
+    let mut sink = BuilderSink {
+        builder: GraphBuilder::new(),
+    };
+    parse_tsv(input, &mut sink)?;
+    Ok(sink.builder.finish())
+}
+
+/// Reads a graph from a TSV file, attaching the file path to any parse
+/// error so multi-file failures stay attributable.
+pub fn read_tsv_path(path: &Path) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_tsv(std::io::BufReader::new(file)).map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -315,6 +443,31 @@ mod tests {
         // Field starts at byte 5 (1-based), value after "gender=".
         assert_eq!(column, 5 + "gender=".len());
         assert!(err.to_string().contains("line 1"));
+        // Untracked source: no path.
+        assert!(err.path().is_none());
+    }
+
+    #[test]
+    fn path_errors_name_the_file() {
+        let dir = std::env::temp_dir().join(format!("fairsqg-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.tsv");
+        std::fs::write(&p, "0\ta\tgender=x\n\n").unwrap();
+        let err = read_tsv_path(&p).unwrap_err();
+        assert_eq!(err.path(), Some(p.display().to_string().as_str()));
+        assert!(err.to_string().contains("bad.tsv"));
+        assert!(err.to_string().contains("line 1"));
+        let good = dir.join("good.tsv");
+        std::fs::write(&good, "0\ta\n\n").unwrap();
+        assert_eq!(read_tsv_path(&good).unwrap().node_count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_tsv_path(Path::new("/nonexistent/fairsqg.tsv")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.path().is_none());
     }
 
     #[test]

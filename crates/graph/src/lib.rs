@@ -20,10 +20,14 @@
 //! assert_eq!(g.node_count(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only two modules allowed to use it
+// are `seg` (owned-or-mapped segments) and `cols` (Pod impls for the
+// layout-stable records), each with a narrow, documented safety contract.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
+mod cols;
 mod domains;
 mod graph;
 mod groups;
@@ -31,20 +35,25 @@ mod ids;
 mod index;
 mod interner;
 mod io;
+mod partition;
 mod schema;
+mod seg;
 mod stats;
 mod subgraph;
 mod value;
 
 pub use builder::GraphBuilder;
+pub use cols::{Adj, AttrEntry, PostEntry, RawVal, TAG_INT, TAG_STR};
 pub use domains::ActiveDomains;
-pub use graph::Graph;
+pub use graph::{Graph, GraphColumns, GraphParts, StorageFootprint};
 pub use groups::{CoverageSpec, GroupSet};
 pub use ids::{AttrId, EdgeLabelId, GroupId, LabelId, NodeId, SymbolId};
 pub use index::{gallop_intersect, AttrIndex, NodeBitset, Postings};
 pub use interner::Interner;
-pub use io::{read_tsv, write_tsv, IoError};
+pub use io::{parse_tsv, read_tsv, read_tsv_path, write_tsv, IoError, RawAttr, TsvSink};
+pub use partition::{shards_of, PartitionTable, Shard, DEFAULT_SHARD_TARGET};
 pub use schema::Schema;
+pub use seg::{Pod, Segment, SegmentError, StableBytes};
 pub use stats::{GraphStats, LabelStats};
 pub use subgraph::{induce_subgraph, InducedSubgraph};
 pub use value::{AttrValue, CmpOp};

@@ -1,0 +1,199 @@
+//! Value-range partition metadata over the attribute postings.
+//!
+//! Each `(label, attribute)` postings array is cut into fixed-size shards
+//! annotated with the minimum and maximum value they cover. Range-literal
+//! evaluation can then locate its boundary inside a single shard (skipping
+//! whole shards whose `[min, max]` envelope falls outside the predicate)
+//! and downstream passes — incremental maintenance, parallel verification
+//! — can iterate one shard at a time instead of the whole array.
+//!
+//! The table is **deterministic**: built by the same function whether the
+//! graph came from the in-memory builder or from an `.fsg` container (the
+//! container stores the shard size target and the loader rebuilds the
+//! table from the mapped postings — two envelope reads per shard), so both
+//! load paths expose identical shard boundaries.
+
+use crate::cols::PostEntry;
+use crate::ids::{AttrId, LabelId};
+use crate::value::AttrValue;
+use std::collections::HashMap;
+
+/// Default number of postings per shard.
+///
+/// Small enough that a shard is a cache-friendly unit of incremental
+/// work, large enough that the table stays negligible (a 16M-posting
+/// graph carries ~4k shard records).
+pub const DEFAULT_SHARD_TARGET: usize = 4096;
+
+/// One contiguous shard of a `(label, attribute)` postings array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// First posting index covered (inclusive), relative to the pair's
+    /// postings array.
+    pub start: u32,
+    /// One past the last posting index covered.
+    pub end: u32,
+    /// Smallest value in the shard.
+    pub min: AttrValue,
+    /// Largest value in the shard.
+    pub max: AttrValue,
+}
+
+impl Shard {
+    /// Number of postings covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the shard covers no postings (never true in a built table).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Cuts one value-sorted postings array into shards of at most `target`
+/// entries. Deterministic: shard `i` covers `[i*target, min((i+1)*target,
+/// len))`, with min/max read off the sorted entries.
+pub fn shards_of(entries: &[PostEntry], target: usize) -> Vec<Shard> {
+    let target = target.max(1);
+    let mut out = Vec::with_capacity(entries.len().div_ceil(target));
+    let mut start = 0usize;
+    while start < entries.len() {
+        let end = (start + target).min(entries.len());
+        out.push(Shard {
+            start: start as u32,
+            end: end as u32,
+            min: entries[start].value(),
+            max: entries[end - 1].value(),
+        });
+        start = end;
+    }
+    out
+}
+
+/// Per-`(label, attribute)` shard tables of a whole graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionTable {
+    shards: HashMap<(LabelId, AttrId), Vec<Shard>>,
+    target: usize,
+}
+
+impl PartitionTable {
+    /// Builds the table from an iterator of `(label, attr, entries)`
+    /// postings (each `entries` sorted by `(value, node)`), with the
+    /// given shard size target.
+    pub fn build<'a>(
+        postings: impl Iterator<Item = (LabelId, AttrId, &'a [PostEntry])>,
+        target: usize,
+    ) -> Self {
+        let mut shards = HashMap::new();
+        for (l, a, entries) in postings {
+            if !entries.is_empty() {
+                shards.insert((l, a), shards_of(entries, target));
+            }
+        }
+        Self { shards, target }
+    }
+
+    /// Reassembles a table from already-built parts (store loads).
+    pub fn from_parts(shards: HashMap<(LabelId, AttrId), Vec<Shard>>, target: usize) -> Self {
+        Self { shards, target }
+    }
+
+    /// The shard list of `(label, attr)`, if the pair has postings.
+    #[inline]
+    pub fn shards(&self, label: LabelId, attr: AttrId) -> Option<&[Shard]> {
+        self.shards.get(&(label, attr)).map(Vec::as_slice)
+    }
+
+    /// The shard size target the table was built with.
+    #[inline]
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Number of `(label, attr)` pairs covered.
+    pub fn pair_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of shards across all pairs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.values().map(Vec::len).sum()
+    }
+
+    /// Pairs in `(label, attr)` order — deterministic iteration for
+    /// serialization.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (LabelId, AttrId, &[Shard])> {
+        let mut keys: Vec<&(LabelId, AttrId)> = self.shards.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|&(l, a)| (l, a, self.shards[&(l, a)].as_slice()))
+    }
+
+    /// Approximate heap bytes held by the table.
+    pub fn heap_bytes(&self) -> usize {
+        self.shards
+            .values()
+            .map(|v| v.len() * std::mem::size_of::<Shard>() + 48)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn entries(vals: &[i64]) -> Vec<PostEntry> {
+        let mut v: Vec<PostEntry> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| PostEntry::new(AttrValue::Int(x), NodeId(i as u32)))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn shards_cover_exactly_once() {
+        let e = entries(&[5, 1, 9, 3, 3, 7, 2, 8, 0, 4, 6]);
+        let shards = shards_of(&e, 4);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].start, 0);
+        assert_eq!(shards.last().unwrap().end as usize, e.len());
+        for w in shards.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert!(w[0].max <= w[1].min);
+        }
+        for s in &shards {
+            assert_eq!(s.min, e[s.start as usize].value());
+            assert_eq!(s.max, e[s.end as usize - 1].value());
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_entries_yield_no_shards() {
+        assert!(shards_of(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn table_roundtrips_through_parts() {
+        let e = entries(&[1, 2, 3, 4, 5]);
+        let t = PartitionTable::build(vec![(LabelId(0), AttrId(1), e.as_slice())].into_iter(), 2);
+        assert_eq!(t.pair_count(), 1);
+        assert_eq!(t.shard_count(), 3);
+        assert_eq!(t.target(), 2);
+        let mut m = HashMap::new();
+        for (l, a, s) in t.iter_sorted() {
+            m.insert((l, a), s.to_vec());
+        }
+        let t2 = PartitionTable::from_parts(m, 2);
+        assert_eq!(t, t2);
+        assert!(t.heap_bytes() > 0);
+        assert!(t.shards(LabelId(9), AttrId(9)).is_none());
+    }
+}

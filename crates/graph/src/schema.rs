@@ -96,6 +96,11 @@ impl Schema {
     pub fn attr_count(&self) -> usize {
         self.attrs.len()
     }
+
+    /// Number of distinct interned string values.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
 }
 
 #[cfg(test)]

@@ -30,16 +30,19 @@ pub fn induce_subgraph(graph: &Graph, keep: &[NodeId]) -> InducedSubgraph {
 
     let mut to_induced: Vec<Option<NodeId>> = vec![None; graph.node_count()];
     let mut b = GraphBuilder::with_schema(graph.schema().clone());
+    let mut tuple = Vec::new();
     for (new_idx, &old) in kept.iter().enumerate() {
-        let id = b.add_node(graph.label(old), graph.tuple(old));
+        tuple.clear();
+        tuple.extend(graph.tuple(old).iter().map(|e| (e.attr(), e.value())));
+        let id = b.add_node(graph.label(old), &tuple);
         debug_assert_eq!(id.index(), new_idx);
         to_induced[old.index()] = Some(id);
     }
     for &old in &kept {
         let src = to_induced[old.index()].unwrap();
-        for &(t, l) in graph.out_neighbors(old) {
-            if let Some(dst) = to_induced[t.index()] {
-                b.add_edge(src, dst, l);
+        for a in graph.out_neighbors(old) {
+            if let Some(dst) = to_induced[a.to().index()] {
+                b.add_edge(src, dst, a.label());
             }
         }
     }

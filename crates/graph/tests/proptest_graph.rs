@@ -60,12 +60,12 @@ proptest! {
         let mut out_edges = Vec::new();
         let mut in_edges = Vec::new();
         for v in g.nodes() {
-            for &(w, l) in g.out_neighbors(v) {
-                out_edges.push((v, w, l));
-                prop_assert!(g.has_edge(v, w, l));
+            for a in g.out_neighbors(v) {
+                out_edges.push((v, a.to(), a.label()));
+                prop_assert!(g.has_edge(v, a.to(), a.label()));
             }
-            for &(u, l) in g.in_neighbors(v) {
-                in_edges.push((u, v, l));
+            for a in g.in_neighbors(v) {
+                in_edges.push((a.to(), v, a.label()));
             }
         }
         out_edges.sort();
@@ -96,9 +96,9 @@ proptest! {
     fn active_domains_complete_and_sorted(raw in arb_raw()) {
         let g = build(&raw);
         for v in g.nodes() {
-            for &(a, val) in g.tuple(v) {
-                prop_assert!(g.domains().global(a).binary_search(&val).is_ok());
-                prop_assert!(g.domains().for_label(g.label(v), a).binary_search(&val).is_ok());
+            for e in g.tuple(v) {
+                prop_assert!(g.domains().global(e.attr()).binary_search(&e.value()).is_ok());
+                prop_assert!(g.domains().for_label(g.label(v), e.attr()).binary_search(&e.value()).is_ok());
             }
         }
         for ai in 0..3u16 {
@@ -139,10 +139,10 @@ proptest! {
             let render = |g: &Graph, v: NodeId| -> Vec<(String, i64)> {
                 g.tuple(v)
                     .iter()
-                    .map(|&(a, val)| {
+                    .map(|e| {
                         (
-                            g.schema().attr_name(a).to_string(),
-                            val.as_int().unwrap(),
+                            g.schema().attr_name(e.attr()).to_string(),
+                            e.value().as_int().unwrap(),
                         )
                     })
                     .collect()
@@ -153,10 +153,10 @@ proptest! {
             prop_assert_eq!(r1, r2);
         }
         for v in g.nodes() {
-            for &(w, l) in g.out_neighbors(v) {
-                let name = g.schema().edge_label_name(l);
+            for a in g.out_neighbors(v) {
+                let name = g.schema().edge_label_name(a.label());
                 let l2 = g2.schema().find_edge_label(name).unwrap();
-                prop_assert!(g2.has_edge(v, w, l2));
+                prop_assert!(g2.has_edge(v, a.to(), l2));
             }
         }
     }

@@ -363,8 +363,9 @@ fn extend(
     } else {
         graph.out_neighbors(w)
     };
-    'next: for &(v, l) in neighbors {
-        if l != drive.label {
+    'next: for a in neighbors {
+        let v = a.to();
+        if a.label() != drive.label {
             continue;
         }
         *steps += 1;

@@ -72,14 +72,19 @@ pub(crate) fn candidates_into(
 
     // One value-index range slice per literal; a missing (label, attr)
     // pair means no node of this label carries the attribute, so the
-    // literal — and the whole conjunction — is unsatisfiable.
+    // literal — and the whole conjunction — is unsatisfiable. Shard
+    // partition metadata (when present) narrows each boundary search to
+    // one shard and counts the shards skipped wholesale.
     let mut ranges = Vec::with_capacity(node.literals.len());
     for l in &node.literals {
         let Some(p) = graph.attr_index().postings(node.label, l.attr) else {
             stats::count_index_candidates();
             return;
         };
-        ranges.push((p.range(l.op, l.value), l));
+        let shards = graph.partitions().shards(node.label, l.attr);
+        let (slice, skipped) = p.range_sharded(l.op, l.value, shards);
+        stats::count_shard_skips(skipped as u64);
+        ranges.push((slice, l));
     }
     ranges.sort_by_key(|(slice, _)| slice.len());
     if ranges[0].0.is_empty() {
@@ -98,14 +103,14 @@ pub(crate) fn candidates_into(
 
     // Seed from the most selective slice. Slices are sorted by (value,
     // node), so the extracted node ids must be re-sorted.
-    out.extend(ranges[0].0.iter().map(|&(_, v)| v));
+    out.extend(ranges[0].0.iter().map(|e| e.node()));
     out.sort_unstable();
     for &(slice, lit) in &ranges[1..] {
         if out.is_empty() {
             break;
         }
         if slice.len() <= out.len().saturating_mul(GALLOP_MAX_RATIO) {
-            let mut other: Vec<NodeId> = slice.iter().map(|&(_, v)| v).collect();
+            let mut other: Vec<NodeId> = slice.iter().map(|e| e.node()).collect();
             other.sort_unstable();
             *out = gallop_intersect(out, &other);
         } else {

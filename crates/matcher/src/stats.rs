@@ -24,6 +24,10 @@ pub struct MatcherStats {
     /// Candidate sets restricted to an `incVerify` pool (the parent's
     /// output match set) instead of the full label population.
     pub pool_restrictions: u64,
+    /// Postings shards skipped wholesale by partition metadata during
+    /// indexed range evaluation (their `[min, max]` envelope lay entirely
+    /// on one side of the literal's boundary).
+    pub shard_skips: u64,
 }
 
 impl MatcherStats {
@@ -33,6 +37,7 @@ impl MatcherStats {
         self.scan_candidates += other.scan_candidates;
         self.scan_fallbacks += other.scan_fallbacks;
         self.pool_restrictions += other.pool_restrictions;
+        self.shard_skips += other.shard_skips;
     }
 
     /// Field-wise difference from an earlier snapshot of the same
@@ -50,6 +55,7 @@ impl MatcherStats {
             pool_restrictions: self
                 .pool_restrictions
                 .saturating_sub(baseline.pool_restrictions),
+            shard_skips: self.shard_skips.saturating_sub(baseline.shard_skips),
         }
     }
 }
@@ -59,6 +65,7 @@ thread_local! {
     static SCAN_CANDIDATES: Cell<u64> = const { Cell::new(0) };
     static SCAN_FALLBACKS: Cell<u64> = const { Cell::new(0) };
     static POOL_RESTRICTIONS: Cell<u64> = const { Cell::new(0) };
+    static SHARD_SKIPS: Cell<u64> = const { Cell::new(0) };
 }
 
 #[inline]
@@ -81,6 +88,13 @@ pub(crate) fn count_pool_restriction() {
     POOL_RESTRICTIONS.with(|c| c.set(c.get() + 1));
 }
 
+#[inline]
+pub(crate) fn count_shard_skips(n: u64) {
+    if n > 0 {
+        SHARD_SKIPS.with(|c| c.set(c.get() + n));
+    }
+}
+
 /// Current thread's counters without resetting them.
 pub fn matcher_stats() -> MatcherStats {
     MatcherStats {
@@ -88,6 +102,7 @@ pub fn matcher_stats() -> MatcherStats {
         scan_candidates: SCAN_CANDIDATES.with(Cell::get),
         scan_fallbacks: SCAN_FALLBACKS.with(Cell::get),
         pool_restrictions: POOL_RESTRICTIONS.with(Cell::get),
+        shard_skips: SHARD_SKIPS.with(Cell::get),
     }
 }
 
@@ -99,6 +114,7 @@ pub fn take_stats() -> MatcherStats {
         scan_candidates: SCAN_CANDIDATES.with(|c| c.replace(0)),
         scan_fallbacks: SCAN_FALLBACKS.with(|c| c.replace(0)),
         pool_restrictions: POOL_RESTRICTIONS.with(|c| c.replace(0)),
+        shard_skips: SHARD_SKIPS.with(|c| c.replace(0)),
     }
 }
 
@@ -127,11 +143,13 @@ mod tests {
             scan_candidates: 2,
             scan_fallbacks: 3,
             pool_restrictions: 4,
+            shard_skips: 5,
         };
         a.merge(a);
         assert_eq!(a.index_candidates, 2);
         assert_eq!(a.scan_candidates, 4);
         assert_eq!(a.scan_fallbacks, 6);
         assert_eq!(a.pool_restrictions, 8);
+        assert_eq!(a.shard_skips, 10);
     }
 }

@@ -445,9 +445,10 @@ impl<'g> DiversityMeasure<'g> {
         while i < tv.len() || j < tw.len() {
             count += 1;
             match (tv.get(i), tw.get(j)) {
-                (Some(&(a1, v1)), Some(&(a2, v2))) => {
+                (Some(&e1), Some(&e2)) => {
+                    let (a1, a2) = (e1.attr(), e2.attr());
                     if a1 == a2 {
-                        total += self.value_distance(a1, v1, v2);
+                        total += self.value_distance(a1, e1.value(), e2.value());
                         i += 1;
                         j += 1;
                     } else if a1 < a2 {

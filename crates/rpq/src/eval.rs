@@ -72,7 +72,8 @@ fn product_bfs(graph: &Graph, seeds: &[NodeId], nfa: &Nfa, dir: Direction) -> Ve
             Direction::Forward => graph.out_neighbors(v),
             Direction::Backward => graph.in_neighbors(v),
         };
-        for &(w, el) in neighbors {
+        for a in neighbors {
+            let (w, el) = (a.to(), a.label());
             for &(tl, t) in nfa.label_transitions(s) {
                 if tl != el {
                     continue;
@@ -137,9 +138,9 @@ fn relation_matrix(graph: &Graph, regex: &PathRegex, n: usize) -> Vec<bool> {
         PathRegex::Label(l) => {
             let mut m = vec![false; n * n];
             for v in graph.nodes() {
-                for &(w, el) in graph.out_neighbors(v) {
-                    if el == *l {
-                        m[v.index() * n + w.index()] = true;
+                for a in graph.out_neighbors(v) {
+                    if a.label() == *l {
+                        m[v.index() * n + a.to().index()] = true;
                     }
                 }
             }

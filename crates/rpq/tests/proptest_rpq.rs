@@ -94,11 +94,13 @@ proptest! {
         let nfa = Nfa::from_regex(&e);
         let seed = NodeId::from_index(seed % g.node_count());
         let reach = reachable_from(&g, &[seed], &e);
-        for &(w1, l1) in g.out_neighbors(seed) {
+        for a1 in g.out_neighbors(seed) {
+            let (w1, l1) = (a1.to(), a1.label());
             if nfa.accepts(&[l1]) {
                 prop_assert!(reach.binary_search(&w1).is_ok());
             }
-            for &(w2, l2) in g.out_neighbors(w1) {
+            for a2 in g.out_neighbors(w1) {
+                let (w2, l2) = (a2.to(), a2.label());
                 if nfa.accepts(&[l1, l2]) {
                     prop_assert!(reach.binary_search(&w2).is_ok());
                 }

@@ -660,6 +660,16 @@ impl Engine {
                 ]),
             ),
             ("warm_state", warm),
+            ("registry", {
+                let r = self.shared.registry.stats();
+                Value::object([
+                    ("graphs", Value::from(r.graphs as u64)),
+                    ("parse_loads", Value::from(r.parse_loads)),
+                    ("mmap_loads", Value::from(r.mmap_loads)),
+                    ("heap_bytes", Value::from(r.heap_bytes as u64)),
+                    ("mapped_bytes", Value::from(r.mapped_bytes as u64)),
+                ])
+            }),
             (
                 "evaluator_cache",
                 Value::object([

@@ -432,6 +432,7 @@ pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
                     "pool_restrictions",
                     Value::from(out.stats.pool_restrictions as i64),
                 ),
+                ("shard_skips", Value::from(out.stats.shard_skips as i64)),
                 (
                     "distance_cache_hits",
                     Value::from(out.stats.distance_cache_hits as i64),

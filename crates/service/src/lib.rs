@@ -63,6 +63,6 @@ pub use job::{
     diversity_for_spec, generated_to_value, plan_key, plan_spec, plan_spec_cached, run_plan,
     run_plan_shared, AlgoKind, JobSpec, Plan,
 };
-pub use registry::{GraphEntry, GraphRegistry, LoadError, WarmPoolStats};
+pub use registry::{GraphEntry, GraphRegistry, LoadError, LoadKind, RegistryStats, WarmPoolStats};
 pub use server::{spawn, spawn_with, Server, ServerOptions, StopHandle};
 pub use warm::{WarmCounters, WarmPlan, WarmState};

@@ -172,28 +172,31 @@ pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
             };
             match (str_field("name"), str_field("path")) {
                 (Err(e), _) | (_, Err(e)) => e,
-                (Ok(name), Ok(path)) => match engine.registry().load_tsv(name, path) {
-                    Ok(epoch) => ok_response(vec![
+                (Ok(name), Ok(path)) => match engine.registry().load_path(name, path) {
+                    Ok((epoch, kind)) => ok_response(vec![
                         ("name", Value::from(name)),
                         ("epoch", Value::from(epoch)),
+                        ("load", Value::from(kind.as_str())),
                     ]),
                     Err(LoadError::Io(m)) => error_response("load_failed", &m),
+                    Err(LoadError::Store(m)) => error_response("store_error", &m),
                     Err(LoadError::Parse {
+                        path,
                         line,
                         column,
                         message,
-                    }) => Value::object([
-                        ("ok", Value::from(false)),
-                        (
-                            "error",
-                            Value::object([
-                                ("code", Value::from("parse_error")),
-                                ("message", Value::from(message.as_str())),
-                                ("line", Value::from(line)),
-                                ("column", Value::from(column)),
-                            ]),
-                        ),
-                    ]),
+                    }) => {
+                        let mut err = vec![
+                            ("code", Value::from("parse_error")),
+                            ("message", Value::from(message.as_str())),
+                            ("line", Value::from(line)),
+                            ("column", Value::from(column)),
+                        ];
+                        if let Some(p) = &path {
+                            err.push(("path", Value::from(p.as_str())));
+                        }
+                        Value::object([("ok", Value::from(false)), ("error", Value::object(err))])
+                    }
                 },
             }
         }

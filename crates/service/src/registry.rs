@@ -9,10 +9,12 @@
 
 use crate::warm::{WarmCounters, WarmState};
 use fairsqg_graph::{Graph, IoError};
+use fairsqg_store::StoreError;
 use std::collections::HashMap;
 use std::fmt;
 use std::io::BufReader;
-use std::sync::atomic::Ordering;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Default warm-state byte budget across all graphs: 256 MiB.
@@ -26,6 +28,8 @@ pub enum LoadError {
     Io(String),
     /// Malformed content, with its 1-based position in the file.
     Parse {
+        /// Path of the offending file, when known.
+        path: Option<String>,
         /// 1-based line number.
         line: usize,
         /// 1-based byte column of the offending field.
@@ -33,6 +37,9 @@ pub enum LoadError {
         /// Explanation.
         message: String,
     },
+    /// A binary store file failed to open or validate (bad magic, wrong
+    /// version, truncation, or corrupt section data).
+    Store(String),
 }
 
 impl fmt::Display for LoadError {
@@ -40,10 +47,17 @@ impl fmt::Display for LoadError {
         match self {
             LoadError::Io(m) => write!(f, "{m}"),
             LoadError::Parse {
+                path,
                 line,
                 column,
                 message,
-            } => write!(f, "line {line}, column {column}: {message}"),
+            } => {
+                if let Some(p) = path {
+                    write!(f, "{p}: ")?;
+                }
+                write!(f, "line {line}, column {column}: {message}")
+            }
+            LoadError::Store(m) => write!(f, "{m}"),
         }
     }
 }
@@ -54,6 +68,41 @@ impl From<LoadError> for String {
     fn from(e: LoadError) -> Self {
         e.to_string()
     }
+}
+
+/// How a graph load was served, surfaced per-load and in aggregate so
+/// operators can see which path a deployment actually exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Text parse: TSV read + full index rebuild.
+    Parse,
+    /// Binary container: validate + memory-map swap, no re-parse.
+    MmapSwap,
+}
+
+impl LoadKind {
+    /// The wire name of this load kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoadKind::Parse => "parse",
+            LoadKind::MmapSwap => "mmap_swap",
+        }
+    }
+}
+
+/// Aggregate registry counters (the `registry` stats block).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistryStats {
+    /// Graphs currently registered.
+    pub graphs: usize,
+    /// Loads served by the TSV parse path.
+    pub parse_loads: u64,
+    /// Loads served by the `.fsg` validate-and-map path.
+    pub mmap_loads: u64,
+    /// Heap bytes owned by registered graphs' storage.
+    pub heap_bytes: usize,
+    /// Bytes served zero-copy out of file mappings.
+    pub mapped_bytes: usize,
 }
 
 /// A registered graph together with its load epoch.
@@ -145,6 +194,8 @@ pub struct GraphRegistry {
     inner: RwLock<HashMap<String, GraphEntry>>,
     warm: Mutex<WarmPool>,
     warm_counters: Arc<WarmCounters>,
+    parse_loads: AtomicU64,
+    mmap_loads: AtomicU64,
 }
 
 impl GraphRegistry {
@@ -241,16 +292,63 @@ impl GraphRegistry {
         let graph = fairsqg_graph::read_tsv(BufReader::new(file)).map_err(|e| match e {
             IoError::Io(e) => LoadError::Io(format!("{path}: {e}")),
             IoError::Parse {
+                path: err_path,
                 line,
                 column,
                 message,
             } => LoadError::Parse {
+                path: err_path.or_else(|| Some(path.to_string())),
                 line,
                 column,
                 message,
             },
         })?;
+        self.parse_loads.fetch_add(1, Ordering::Relaxed);
         Ok(self.insert(name, graph))
+    }
+
+    /// Loads a binary `.fsg` container under `name`: validate, memory-map,
+    /// swap the entry and bump the epoch — no text parse, no index
+    /// rebuild. The previous mapping (if any) stays alive until the last
+    /// in-flight job drops its pinned `Arc`.
+    pub fn load_store(&self, name: &str, path: &str) -> Result<u64, LoadError> {
+        let loaded = fairsqg_store::open_path(Path::new(path)).map_err(|e| match e {
+            StoreError::Io(io) => LoadError::Io(format!("cannot open {path}: {io}")),
+            other => LoadError::Store(format!("{path}: {other}")),
+        })?;
+        self.mmap_loads.fetch_add(1, Ordering::Relaxed);
+        Ok(self.insert(name, loaded.graph))
+    }
+
+    /// Loads a graph file under `name`, picking the path by extension:
+    /// `.fsg` containers go through the zero-copy mmap swap, anything
+    /// else through the TSV parser. Returns the new epoch and which path
+    /// served the load.
+    pub fn load_path(&self, name: &str, path: &str) -> Result<(u64, LoadKind), LoadError> {
+        if fairsqg_store::is_store_path(Path::new(path)) {
+            self.load_store(name, path).map(|e| (e, LoadKind::MmapSwap))
+        } else {
+            self.load_tsv(name, path).map(|e| (e, LoadKind::Parse))
+        }
+    }
+
+    /// Aggregate registry counters: load-path split and resident bytes of
+    /// all registered graphs (heap vs mapped).
+    pub fn stats(&self) -> RegistryStats {
+        let map = crate::sync::read(&self.inner);
+        let mut stats = RegistryStats {
+            graphs: map.len(),
+            parse_loads: self.parse_loads.load(Ordering::Relaxed),
+            mmap_loads: self.mmap_loads.load(Ordering::Relaxed),
+            heap_bytes: 0,
+            mapped_bytes: 0,
+        };
+        for entry in map.values() {
+            let f = entry.graph.storage();
+            stats.heap_bytes += f.heap_bytes;
+            stats.mapped_bytes += f.mapped_bytes;
+        }
+        stats
     }
 
     /// Returns the current entry for `name`, if registered.
@@ -406,5 +504,60 @@ mod tests {
         assert!(Arc::ptr_eq(&wb, &reg.warm_snapshot("b").unwrap()));
         assert!(reg.warm_snapshot("a").is_none());
         assert!(reg.warm_stats().evictions >= 1);
+    }
+
+    #[test]
+    fn load_path_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join(format!("fairsqg-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = tiny();
+        let tsv = dir.join("g.tsv");
+        let fsg = dir.join("g.fsg");
+        {
+            let mut out = Vec::new();
+            fairsqg_graph::write_tsv(&g, &mut out).unwrap();
+            std::fs::write(&tsv, out).unwrap();
+        }
+        fairsqg_store::write_graph_to_path(&g, &fsg).unwrap();
+
+        let reg = GraphRegistry::new();
+        let (e1, k1) = reg.load_path("g", tsv.to_str().unwrap()).unwrap();
+        assert_eq!((e1, k1), (1, LoadKind::Parse));
+        let (e2, k2) = reg.load_path("g", fsg.to_str().unwrap()).unwrap();
+        assert_eq!((e2, k2), (2, LoadKind::MmapSwap));
+
+        // Both paths produce the same graph shape; reload swapped epochs.
+        let entry = reg.get("g").unwrap();
+        assert_eq!(entry.epoch, 2);
+        assert_eq!(entry.graph.node_count(), g.node_count());
+        assert_eq!(entry.graph.edge_count(), g.edge_count());
+
+        let stats = reg.stats();
+        assert_eq!(stats.graphs, 1);
+        assert_eq!(stats.parse_loads, 1);
+        assert_eq!(stats.mmap_loads, 1);
+        assert!(
+            stats.mapped_bytes > 0,
+            "an mmap-swapped graph must report mapped bytes"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_store_reports_corruption_as_store_error() {
+        let dir = std::env::temp_dir().join(format!("fairsqg-reg-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.fsg");
+        std::fs::write(&bad, b"not a container").unwrap();
+        let reg = GraphRegistry::new();
+        let err = reg.load_path("g", bad.to_str().unwrap()).unwrap_err();
+        match err {
+            LoadError::Store(m) => assert!(m.contains("bad.fsg"), "message names the file: {m}"),
+            other => panic!("expected Store error, got {other:?}"),
+        }
+        assert!(reg.is_empty());
+        assert_eq!(reg.stats().mmap_loads, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

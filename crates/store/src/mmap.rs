@@ -1,0 +1,207 @@
+//! Read-only file mappings without external crates.
+//!
+//! The container loader wants a [`StableBytes`] buffer over the whole
+//! file. On Unix this is a private read-only `mmap(2)` reached through a
+//! two-symbol `extern "C"` declaration (the build environment has no
+//! `libc`/`memmap2` crates); elsewhere — and whenever the map fails — the
+//! file is read into an owned `Vec<u8>`, which satisfies the same
+//! contract at the cost of one copy.
+
+use fairsqg_graph::StableBytes;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A private, read-only mapping of a whole file.
+///
+/// The kernel keeps the pages at a fixed address until `munmap`, and
+/// `MAP_PRIVATE` isolates the mapping from concurrent writers (writes to
+/// the underlying file after the map are not guaranteed to be visible,
+/// and never tear the mapping) — which is exactly the [`StableBytes`]
+/// contract.
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+#[cfg(unix)]
+// SAFETY: the mapping is read-only and lives until Drop; raw-pointer
+// reads from any thread are sound.
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+// SAFETY: as above — shared reads only.
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps `len` bytes of `file` read-only. `len` must be nonzero.
+    pub fn map(file: &File, len: usize) -> std::io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        assert!(len > 0, "cannot map an empty file");
+        // SAFETY: fd is a valid open file descriptor for the duration of
+        // the call; we pass addr = null and let the kernel choose.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr.cast_const().cast::<u8>(),
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `ptr..ptr+len` is a live read-only mapping.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are unmapped
+        // exactly once.
+        unsafe {
+            sys::munmap(self.ptr.cast_mut().cast(), self.len);
+        }
+    }
+}
+
+#[cfg(unix)]
+// SAFETY: the mapping's address and contents are fixed until Drop.
+unsafe impl StableBytes for Mmap {
+    fn stable_bytes(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+/// A whole file as stable bytes: memory-mapped when possible, owned
+/// otherwise.
+pub enum FileBytes {
+    /// A read-only mapping (Unix).
+    #[cfg(unix)]
+    Mapped(Mmap),
+    /// The file's contents read into memory.
+    Owned(Vec<u8>),
+}
+
+impl FileBytes {
+    /// Opens `path` and returns its bytes plus whether they are served by
+    /// a mapping (as opposed to an in-memory copy). Empty files come back
+    /// as an empty owned buffer — `mmap` rejects zero-length maps.
+    pub fn open(path: &Path) -> std::io::Result<(Self, bool)> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        {
+            if len > 0 {
+                if let Ok(m) = Mmap::map(&file, len as usize) {
+                    return Ok((FileBytes::Mapped(m), true));
+                }
+            }
+        }
+        let mut buf = Vec::with_capacity(len as usize);
+        file.read_to_end(&mut buf)?;
+        Ok((FileBytes::Owned(buf), false))
+    }
+
+    /// The file bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            FileBytes::Mapped(m) => m.as_bytes(),
+            FileBytes::Owned(v) => v,
+        }
+    }
+}
+
+// SAFETY: both backings keep their buffer fixed and immutable: the
+// mapping until munmap at Drop, the Vec because no `&mut` access exists
+// once inside an `Arc`.
+unsafe impl StableBytes for FileBytes {
+    fn stable_bytes(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fairsqg-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmp("data.bin");
+        std::fs::write(&p, b"hello mapping").unwrap();
+        let (bytes, mapped) = FileBytes::open(&p).unwrap();
+        assert_eq!(bytes.as_bytes(), b"hello mapping");
+        assert_eq!(bytes.stable_bytes(), b"hello mapping");
+        #[cfg(unix)]
+        assert!(mapped);
+        let _ = mapped;
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn empty_file_is_owned() {
+        let p = tmp("empty.bin");
+        std::fs::write(&p, b"").unwrap();
+        let (bytes, mapped) = FileBytes::open(&p).unwrap();
+        assert!(bytes.as_bytes().is_empty());
+        assert!(!mapped);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(FileBytes::open(Path::new("/nonexistent/x.fsg")).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapping_is_page_aligned() {
+        let p = tmp("aligned.bin");
+        std::fs::write(&p, vec![7u8; 100]).unwrap();
+        let (bytes, _) = FileBytes::open(&p).unwrap();
+        // mmap returns page-aligned addresses, which is what lets the
+        // loader take zero-copy typed views of 16-aligned sections.
+        assert_eq!(bytes.as_bytes().as_ptr() as usize % 4096, 0);
+        let _ = std::fs::remove_file(&p);
+    }
+}

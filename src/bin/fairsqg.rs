@@ -5,16 +5,26 @@
 //!     --group-attr topic --cover 10 [--algo biqgen] [--eps 0.1] [--top 10]
 //!     [--format human|json]
 //! fairsqg stats --graph g.tsv
+//! fairsqg convert --input g.tsv --output g.fsg
+//! fairsqg datagen --kind dbp|lki|cite --scale 1000000 --output g.fsg
 //! fairsqg serve --addr 127.0.0.1:7878 --load name=g.tsv [--load ...]
 //! fairsqg client --addr 127.0.0.1:7878 --op stats
 //! fairsqg demo
 //! ```
 //!
-//! `generate` loads a TSV graph (see `fairsqg::graph::read_tsv` for the
-//! format) and a DSL template (see `fairsqg::query::parse_template`),
-//! induces one group per distinct value of `--group-attr` over the
-//! template's output label, requires `--cover` matches per group, and
-//! prints the suggested ε-Pareto query set.
+//! `generate` loads a graph (TSV text, or a binary `.fsg` container — see
+//! `docs/storage.md`) and a DSL template (see
+//! `fairsqg::query::parse_template`), induces one group per distinct
+//! value of `--group-attr` over the template's output label, requires
+//! `--cover` matches per group, and prints the suggested ε-Pareto query
+//! set. Everywhere a graph path is accepted (`generate`, `stats`,
+//! `serve --load`), a `.fsg` extension selects the zero-copy mmap load
+//! path instead of the TSV parser.
+//!
+//! `convert` turns TSV text into a `.fsg` container with the streaming
+//! converter (bounded memory); `datagen` emits a synthetic preset at a
+//! chosen scale, directly as TSV or chained through the converter when
+//! the output path ends in `.fsg`.
 //!
 //! `serve` runs the concurrent generation server (`fairsqg::service`);
 //! `client` speaks its newline-delimited JSON protocol. See
@@ -42,8 +52,10 @@ fn usage() -> ExitCode {
          [--threads <n>  (parenum; 0 = all hardware threads)]\n      \
          [--deadline-ms <n>] [--format human|json]\n      \
          [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
-         fairsqg stats --graph <tsv>\n  \
-         fairsqg serve --addr <host:port> --load <name>=<tsv> [--load ...]\n      \
+         fairsqg stats --graph <tsv|fsg>\n  \
+         fairsqg convert --input <tsv> --output <fsg>\n  \
+         fairsqg datagen --kind dbp|lki|cite --scale <n> --output <tsv|fsg> [--seed <n>]\n  \
+         fairsqg serve --addr <host:port> --load <name>=<tsv|fsg> [--load ...]\n      \
          [--workers <n>] [--queue <n>] [--cache <n>] [--default-deadline-ms <n>]\n      \
          [--warm on|off] [--warm-budget-mb <n>] [--coalesce on|off]\n      \
          [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
@@ -137,8 +149,69 @@ impl Args {
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
+    if fairsqg::store::is_store_path(std::path::Path::new(path)) {
+        let loaded = fairsqg::store::open_path(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        return Ok(loaded.graph);
+    }
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     fairsqg::graph::read_tsv(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let input = args.get("input").ok_or("--input is required")?;
+    let output = args.get("output").ok_or("--output is required")?;
+    let stats =
+        fairsqg::store::convert_tsv_path(std::path::Path::new(input), std::path::Path::new(output))
+            .map_err(|e| e.to_string())?;
+    let tsv_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {input} -> {output}: {} nodes, {} edges, {} -> {} bytes",
+        stats.nodes, stats.edges, tsv_bytes, stats.bytes
+    );
+    Ok(())
+}
+
+fn cmd_datagen(args: &Args) -> Result<(), String> {
+    use fairsqg::datagen::{stream_tsv_to_path, DatasetKind};
+    let kind = match args.get("kind").ok_or("--kind is required")? {
+        "dbp" => DatasetKind::Dbp,
+        "lki" => DatasetKind::Lki,
+        "cite" => DatasetKind::Cite,
+        other => return Err(format!("unknown kind '{other}' (dbp|lki|cite)")),
+    };
+    let scale = args.get_usize("scale", 10_000)?;
+    let seed = args.get_opt_u64("seed")?.unwrap_or(0xFA1);
+    let output = args.get("output").ok_or("--output is required")?;
+    let out_path = std::path::Path::new(output);
+    if fairsqg::store::is_store_path(out_path) {
+        // Stream TSV to a sibling temp file, convert, clean up: neither
+        // step holds the graph in memory.
+        let tmp = format!("{output}.tsv.tmp");
+        let tmp_path = std::path::Path::new(&tmp);
+        let stats =
+            stream_tsv_to_path(kind, scale, seed, tmp_path).map_err(|e| format!("{tmp}: {e}"))?;
+        let converted = fairsqg::store::convert_tsv_path(tmp_path, out_path);
+        std::fs::remove_file(tmp_path).ok();
+        let cstats = converted.map_err(|e| e.to_string())?;
+        println!(
+            "{} scale {scale} seed {seed}: {} nodes, {} edge lines -> {output} ({} bytes)",
+            kind.name(),
+            stats.nodes,
+            stats.edges,
+            cstats.bytes
+        );
+    } else {
+        let stats = stream_tsv_to_path(kind, scale, seed, out_path)
+            .map_err(|e| format!("{output}: {e}"))?;
+        println!(
+            "{} scale {scale} seed {seed}: {} nodes, {} edge lines -> {output}",
+            kind.name(),
+            stats.nodes,
+            stats.edges
+        );
+    }
+    Ok(())
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
@@ -273,12 +346,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     for load in args.get_all("load") {
         let (name, path) = load
             .split_once('=')
-            .ok_or_else(|| format!("--load expects <name>=<tsv>, got '{load}'"))?;
-        let epoch = registry.load_tsv(name, path)?;
-        eprintln!("loaded graph '{name}' from {path} (epoch {epoch})");
+            .ok_or_else(|| format!("--load expects <name>=<tsv|fsg>, got '{load}'"))?;
+        let (epoch, kind) = registry.load_path(name, path)?;
+        eprintln!(
+            "loaded graph '{name}' from {path} (epoch {epoch}, {})",
+            kind.as_str()
+        );
     }
     if registry.is_empty() {
-        return Err("no graphs loaded; pass at least one --load <name>=<tsv>".into());
+        return Err("no graphs loaded; pass at least one --load <name>=<tsv|fsg>".into());
     }
     let config = EngineConfig {
         workers: args.get_usize("workers", 4)?,
@@ -413,6 +489,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
+        "convert" => cmd_convert(&args),
+        "datagen" => cmd_datagen(&args),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
         "demo" => cmd_demo(),

@@ -63,6 +63,7 @@ pub use fairsqg_measures as measures;
 pub use fairsqg_query as query;
 pub use fairsqg_rpq as rpq;
 pub use fairsqg_service as service;
+pub use fairsqg_store as store;
 pub use fairsqg_wire as wire;
 
 use fairsqg_algo::{
