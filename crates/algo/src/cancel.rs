@@ -23,6 +23,12 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Hard-stop escalation: unlike `flag` (checked *between*
+    /// verifications), this is checked *inside* the matcher's backtracking
+    /// loops, so it stops even a verification wedged in a long
+    /// gallop/intersection. Set by the service watchdog when cooperative
+    /// cancellation has not taken effect by deadline + grace.
+    hard: Arc<AtomicBool>,
     deadline: Option<Instant>,
 }
 
@@ -37,6 +43,7 @@ impl CancelToken {
     pub fn with_deadline(budget: Duration) -> Self {
         Self {
             flag: Arc::new(AtomicBool::new(false)),
+            hard: Arc::new(AtomicBool::new(false)),
             deadline: Instant::now().checked_add(budget),
         }
     }
@@ -73,6 +80,27 @@ impl CancelToken {
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
+
+    /// Escalates to a **hard stop**: the matcher's inner backtracking loops
+    /// poll this flag and abort the in-flight verification, so it takes
+    /// effect even when the run is wedged *inside* one verification and
+    /// cooperative cancellation (checked only between verifications) cannot
+    /// fire. Implies [`cancel`](Self::cancel).
+    pub fn hard_stop(&self) {
+        self.flag.store(true, Ordering::Release);
+        self.hard.store(true, Ordering::Release);
+    }
+
+    /// Whether [`hard_stop`](Self::hard_stop) was requested.
+    pub fn hard_stop_requested(&self) -> bool {
+        self.hard.load(Ordering::Acquire)
+    }
+
+    /// The shared hard-stop flag, for threading into matcher
+    /// [`MatchOptions`](fairsqg_matcher::MatchOptions) inner-loop checks.
+    pub fn hard_stop_flag(&self) -> &Arc<AtomicBool> {
+        &self.hard
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +114,18 @@ mod tests {
         assert!(!t.is_cancelled() && !c.is_cancelled());
         c.cancel();
         assert!(t.is_cancelled() && c.is_cancelled());
+    }
+
+    #[test]
+    fn hard_stop_is_shared_and_implies_cancel() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.hard_stop_requested());
+        c.hard_stop();
+        assert!(t.hard_stop_requested() && t.is_cancelled() && t.cancel_requested());
+        assert!(t
+            .hard_stop_flag()
+            .load(std::sync::atomic::Ordering::Acquire));
     }
 
     #[test]

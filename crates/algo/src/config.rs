@@ -156,6 +156,13 @@ impl<'a> Configuration<'a> {
     pub fn cancelled(&self) -> bool {
         self.cancel.is_some_and(CancelToken::is_cancelled)
     }
+
+    /// The attached token's hard-stop flag, threaded into matcher
+    /// [`MatchOptions`](fairsqg_matcher::MatchOptions) so a watchdog can
+    /// abort a verification wedged mid-search.
+    pub fn hard_stop_flag(&self) -> Option<&'a std::sync::atomic::AtomicBool> {
+        self.cancel.map(|c| c.hard_stop_flag().as_ref())
+    }
 }
 
 /// Statistics gathered during a generation run; the pruning experiments of

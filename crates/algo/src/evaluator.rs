@@ -141,6 +141,7 @@ impl<'a> Evaluator<'a> {
             MatchOptions {
                 restrict_output: restriction,
                 use_index: !self.cfg.reference_path,
+                stop: self.cfg.hard_stop_flag(),
             },
             &self.cfg.budget,
             &mut self.scratch,

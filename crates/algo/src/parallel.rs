@@ -68,6 +68,7 @@ fn verify_standalone(
         MatchOptions {
             restrict_output: cfg.output_restriction,
             use_index: !cfg.reference_path,
+            stop: cfg.hard_stop_flag(),
         },
         &cfg.budget,
         scratch,

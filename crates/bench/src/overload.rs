@@ -1,0 +1,426 @@
+//! Overload benchmark: open-loop offered load against a small engine at
+//! 0.5×/1×/2× of its calibrated capacity, brownout on vs off.
+//!
+//! Each phase starts a fresh engine (result cache, coalescing, warm
+//! state, and dedup all off, so every submission is real work), then a
+//! single driver submits jobs on a fixed schedule — an *open* loop: the
+//! driver does not wait for results, so when offered load exceeds
+//! capacity the queue genuinely fills and the admission/brownout
+//! machinery engages. Every job carries a deadline and a mixed priority
+//! (0..=3, priority 0 sheddable under the default ladder).
+//!
+//! Reported per phase: goodput (jobs finishing *within* their deadline
+//! per second), deadline-miss rate among accepted jobs, p50/p99 latency
+//! of accepted jobs, and the typed rejection breakdown. The acceptance
+//! gate for `BENCH_PR7.json`: at 2× offered load with brownout on, the
+//! p99 latency of accepted jobs stays within 2× the 0.5×-load baseline.
+//!
+//! Caveat (as in `BENCH_PR4.json`/`BENCH_PR5.json`): numbers come from a
+//! single shared machine; treat them as shape, not absolutes.
+
+use fairsqg_datagen::{social_graph, SocialConfig};
+use fairsqg_service::{
+    AlgoKind, BrownoutConfig, Engine, EngineConfig, GraphRegistry, JobSpec, JobState, SubmitError,
+};
+use fairsqg_wire::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The benchmark's fixed query template (one refinable range literal).
+const TEMPLATE: &str = "node u0 : director\nnode u1 : user\nedge u1 -recommend-> u0\n\
+                        where u1.yearsOfExp >= ?\noutput u0\n";
+
+/// One benchmark preset.
+#[derive(Debug, Clone)]
+pub struct OverloadOptions {
+    /// Preset name, recorded in the report.
+    pub preset: String,
+    /// Director population of the generated social graph.
+    pub directors: usize,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (small, so 2× load actually overflows).
+    pub queue_capacity: usize,
+    /// Jobs offered per phase.
+    pub jobs_per_phase: usize,
+    /// Closed-loop jobs used to calibrate base service time.
+    pub calibration_jobs: usize,
+    /// Offered-load multipliers swept (fractions of calibrated capacity).
+    pub multipliers: Vec<f64>,
+    /// Per-job deadline as a multiple of the calibrated service time.
+    pub deadline_factor: f64,
+}
+
+/// Resolves a preset by name (`smoke`, `small`).
+pub fn preset(name: &str) -> Option<OverloadOptions> {
+    let (directors, workers, queue_capacity, jobs_per_phase, calibration_jobs, multipliers) =
+        match name {
+            // CI smoke: completion + the report shape only.
+            "smoke" => (40, 2, 6, 10, 3, vec![0.5, 2.0]),
+            "small" => (250, 2, 12, 48, 6, vec![0.5, 1.0, 2.0]),
+            _ => return None,
+        };
+    Some(OverloadOptions {
+        preset: name.to_string(),
+        directors,
+        workers,
+        queue_capacity,
+        jobs_per_phase,
+        calibration_jobs,
+        multipliers,
+        deadline_factor: 2.5,
+    })
+}
+
+fn bench_graph(opts: &OverloadOptions) -> fairsqg_graph::Graph {
+    social_graph(SocialConfig {
+        directors: opts.directors,
+        majority_share: 0.6,
+        seed: 0x0B5E,
+    })
+}
+
+fn engine_config(opts: &OverloadOptions, brownout: bool) -> EngineConfig {
+    EngineConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        // Every replay/sharing layer off: each admitted job is real work,
+        // so the only overload valves are admission, brownout, and shed.
+        cache_entries: 0,
+        dedup_entries: 0,
+        warm_state: false,
+        coalesce: false,
+        brownout: BrownoutConfig {
+            enabled: brownout,
+            // More sensitive than the service default: with deadline
+            // admission also shaving the queue, a 0.5 queue-ratio trigger
+            // would never be reached — brown out as soon as a few jobs
+            // stack up, so the two valves actually compose.
+            degraded_ratio: 0.25,
+            ..BrownoutConfig::default()
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// The spec of phase-salted job `i`: a distinct λ per job (distinct
+/// fingerprints — nothing coalesces or replays) and a cycling 0..=3
+/// priority, so the shed valve has low-priority work to drop.
+fn spec(salt: usize, i: usize, deadline_ms: Option<u64>) -> JobSpec {
+    JobSpec {
+        graph: "bench".into(),
+        template: TEMPLATE.into(),
+        group_attr: "gender".into(),
+        cover: 4,
+        algo: AlgoKind::BiQGen,
+        threads: 1,
+        eps: 0.05,
+        lambda: 0.30 + ((salt * 997 + i * 131) % 1201) as f64 * 0.0004,
+        deadline_ms,
+        budget: fairsqg_algo::MatchBudget::UNLIMITED,
+        request_key: None,
+        priority: (i % 4) as u8,
+        client: None,
+    }
+}
+
+fn wait_terminal(engine: &Engine, id: u64) -> JobState {
+    loop {
+        let state = engine.status(id).expect("job exists").state;
+        if state.is_terminal() {
+            return state;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Calibrates the engine's base service time: a closed loop of
+/// deadline-free jobs on a fresh engine, returning the mean service
+/// milliseconds per job.
+fn calibrate(opts: &OverloadOptions) -> f64 {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("bench", bench_graph(opts));
+    let engine = Engine::start(registry, engine_config(opts, false));
+    // One untimed warmup absorbs first-touch costs.
+    let warm = engine.submit(spec(0, 0, None)).expect("warmup submit");
+    assert_eq!(wait_terminal(&engine, warm), JobState::Done);
+    let started = Instant::now();
+    for i in 1..=opts.calibration_jobs {
+        let id = engine.submit(spec(0, i, None)).expect("calibration submit");
+        assert_eq!(wait_terminal(&engine, id), JobState::Done);
+    }
+    let mean_ms = started.elapsed().as_secs_f64() * 1e3 / opts.calibration_jobs as f64;
+    engine.shutdown();
+    mean_ms.max(0.1)
+}
+
+#[derive(Debug, Default)]
+struct Rejections {
+    overloaded: u64,
+    deadline: u64,
+    shed: u64,
+    quota: u64,
+    other: u64,
+}
+
+struct Phase {
+    offered_jobs_per_sec: f64,
+    offered_measured: usize,
+    ramp_jobs: usize,
+    accepted: usize,
+    rejections: Rejections,
+    goodput_jobs_per_sec: f64,
+    deadline_miss_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_secs: f64,
+    stats: Value,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Runs one open-loop phase at `multiplier` × calibrated capacity.
+fn run_phase(
+    opts: &OverloadOptions,
+    brownout: bool,
+    multiplier: f64,
+    base_service_ms: f64,
+    salt: usize,
+) -> Phase {
+    let registry = Arc::new(GraphRegistry::new());
+    registry.insert("bench", bench_graph(opts));
+    let engine = Engine::start(registry, engine_config(opts, brownout));
+    // One untimed warmup absorbs the fresh engine's first-touch costs so
+    // the low-load phases' small p99 samples aren't cold-start artifacts.
+    let warm = engine
+        .submit(spec(salt, opts.jobs_per_phase, None))
+        .expect("warmup submit");
+    assert_eq!(wait_terminal(&engine, warm), JobState::Done);
+
+    // Capacity is one job per `base_service_ms` per *runnable* worker:
+    // on a box with fewer hardware threads than workers (CI containers),
+    // workers time-share a core and the parallelism term is the core
+    // count, not the worker count — otherwise "0.5×" load is already
+    // saturation and the whole sweep is mislabeled.
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let capacity_jobs_per_sec = opts.workers.min(hw) as f64 * 1e3 / base_service_ms;
+    let offered_jobs_per_sec = capacity_jobs_per_sec * multiplier;
+    let interval = Duration::from_secs_f64(1.0 / offered_jobs_per_sec);
+    let deadline_ms = (base_service_ms * opts.deadline_factor).ceil() as u64;
+
+    // Completions are polled *between* paced submissions (and every
+    // 200µs afterwards), so a latency sample is taken within one poll
+    // tick of the job actually settling — not after the whole offered
+    // stream has been submitted.
+    let poll_tick = Duration::from_micros(200);
+    let poll = |pending: &mut Vec<(u64, Instant, bool)>, settled: &mut Vec<(JobState, f64)>| {
+        pending.retain(|&(id, submitted, measured)| {
+            let state = engine.status(id).expect("job exists").state;
+            if state.is_terminal() {
+                if measured {
+                    settled.push((state, submitted.elapsed().as_secs_f64() * 1e3));
+                }
+                false
+            } else {
+                true
+            }
+        });
+    };
+
+    // The first quarter of the offered stream is the ramp: the pressure
+    // controller and the admission EWMA need a few settlements before
+    // they reflect the phase's load. Ramp jobs still run (they *create*
+    // the pressure) but are excluded from the reported metrics, which
+    // describe the steady state the resilience machinery converges to.
+    let ramp_jobs = opts.jobs_per_phase / 4;
+
+    let started = Instant::now();
+    let mut pending: Vec<(u64, Instant, bool)> = Vec::with_capacity(opts.jobs_per_phase);
+    let mut settled: Vec<(JobState, f64)> = Vec::with_capacity(opts.jobs_per_phase);
+    let mut rejections = Rejections::default();
+    for i in 0..opts.jobs_per_phase {
+        let target = started + interval.mul_f64(i as f64);
+        loop {
+            poll(&mut pending, &mut settled);
+            let now = Instant::now();
+            let Some(remaining) = target.checked_duration_since(now) else {
+                break;
+            };
+            std::thread::sleep(remaining.min(poll_tick));
+        }
+        let measured = i >= ramp_jobs;
+        match engine.submit(spec(salt, i, Some(deadline_ms))) {
+            Ok(id) => pending.push((id, Instant::now(), measured)),
+            Err(e) if !measured => {
+                let _ = e;
+            }
+            Err(SubmitError::Overloaded { .. }) => rejections.overloaded += 1,
+            Err(SubmitError::DeadlineUnmeetable { .. }) => rejections.deadline += 1,
+            Err(SubmitError::Shed { .. }) => rejections.shed += 1,
+            Err(SubmitError::QuotaExceeded { .. }) => rejections.quota += 1,
+            Err(other) => {
+                rejections.other += 1;
+                eprintln!("unexpected rejection: {other:?}");
+            }
+        }
+    }
+    while !pending.is_empty() {
+        poll(&mut pending, &mut settled);
+        std::thread::sleep(poll_tick);
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    // The measured window starts where the ramp ends.
+    let measured_secs = (wall_secs - ramp_jobs as f64 * interval.as_secs_f64()).max(f64::EPSILON);
+
+    let accepted = settled.len();
+    let mut done_latencies_ms: Vec<f64> = Vec::with_capacity(accepted);
+    let mut within_deadline = 0usize;
+    for (state, latency_ms) in settled {
+        if state == JobState::Done {
+            done_latencies_ms.push(latency_ms);
+            if latency_ms <= deadline_ms as f64 {
+                within_deadline += 1;
+            }
+        }
+    }
+    let stats = engine.stats_value();
+    engine.shutdown();
+
+    done_latencies_ms.sort_by(f64::total_cmp);
+    Phase {
+        offered_jobs_per_sec,
+        offered_measured: opts.jobs_per_phase - ramp_jobs,
+        ramp_jobs,
+        accepted,
+        rejections,
+        goodput_jobs_per_sec: within_deadline as f64 / measured_secs,
+        deadline_miss_rate: if accepted > 0 {
+            1.0 - within_deadline as f64 / accepted as f64
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&done_latencies_ms, 0.50),
+        p99_ms: percentile(&done_latencies_ms, 0.99),
+        wall_secs,
+        stats,
+    }
+}
+
+fn stat_u64(stats: &Value, block: &str, field: &str) -> u64 {
+    stats
+        .get(block)
+        .and_then(|b| b.get(field))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+fn phase_value(p: &Phase) -> Value {
+    Value::object([
+        ("offered_jobs_per_sec", Value::from(p.offered_jobs_per_sec)),
+        (
+            "offered_jobs_measured",
+            Value::from(p.offered_measured as i64),
+        ),
+        ("ramp_jobs_excluded", Value::from(p.ramp_jobs as i64)),
+        ("accepted", Value::from(p.accepted as i64)),
+        (
+            "rejected",
+            Value::object([
+                ("overloaded", Value::from(p.rejections.overloaded)),
+                ("deadline_unmeetable", Value::from(p.rejections.deadline)),
+                ("shed", Value::from(p.rejections.shed)),
+                ("quota", Value::from(p.rejections.quota)),
+                ("other", Value::from(p.rejections.other)),
+            ]),
+        ),
+        ("goodput_jobs_per_sec", Value::from(p.goodput_jobs_per_sec)),
+        ("deadline_miss_rate", Value::from(p.deadline_miss_rate)),
+        ("p50_ms", Value::from(p.p50_ms)),
+        ("p99_ms", Value::from(p.p99_ms)),
+        ("wall_secs", Value::from(p.wall_secs)),
+        (
+            "brownout_jobs",
+            Value::from(stat_u64(&p.stats, "pressure", "brownout_jobs")),
+        ),
+        (
+            "pressure_transitions",
+            Value::from(stat_u64(&p.stats, "pressure", "transitions")),
+        ),
+    ])
+}
+
+/// Runs the full benchmark and returns the `BENCH_PR7.json` report.
+pub fn run_overload(opts: &OverloadOptions) -> Value {
+    let base_service_ms = calibrate(opts);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut sweep = Vec::new();
+    let mut baseline_p99 = None; // brownout on, lowest multiplier
+    let mut stressed_p99 = None; // brownout on, highest multiplier
+    for (mi, &multiplier) in opts.multipliers.iter().enumerate() {
+        let off = run_phase(opts, false, multiplier, base_service_ms, mi * 2 + 1);
+        let on = run_phase(opts, true, multiplier, base_service_ms, mi * 2 + 2);
+        if mi == 0 {
+            baseline_p99 = Some(on.p99_ms);
+        }
+        if mi == opts.multipliers.len() - 1 {
+            stressed_p99 = Some(on.p99_ms);
+        }
+        sweep.push(Value::object([
+            ("load_multiplier", Value::from(multiplier)),
+            ("brownout_off", phase_value(&off)),
+            ("brownout_on", phase_value(&on)),
+        ]));
+    }
+
+    let baseline = baseline_p99.unwrap_or(0.0);
+    let stressed = stressed_p99.unwrap_or(0.0);
+    let ratio = if baseline > 0.0 {
+        stressed / baseline
+    } else {
+        0.0
+    };
+    Value::object([
+        ("bench", Value::from("overload-pr7")),
+        ("preset", Value::from(opts.preset.as_str())),
+        ("hardware_threads", Value::from(hw as i64)),
+        ("workers", Value::from(opts.workers as i64)),
+        ("queue_capacity", Value::from(opts.queue_capacity as i64)),
+        ("directors", Value::from(opts.directors as i64)),
+        ("base_service_ms", Value::from(base_service_ms)),
+        (
+            "deadline_ms",
+            Value::from((base_service_ms * opts.deadline_factor).ceil()),
+        ),
+        ("sweep", Value::Array(sweep)),
+        (
+            "acceptance",
+            Value::object([
+                (
+                    "criterion",
+                    Value::from(
+                        "at max offered load with brownout on, p99 latency of accepted \
+                         jobs stays within 2x the lowest-load baseline",
+                    ),
+                ),
+                ("baseline_p99_ms", Value::from(baseline)),
+                ("stressed_p99_ms", Value::from(stressed)),
+                ("p99_ratio", Value::from(ratio)),
+                ("pass", Value::from(baseline > 0.0 && ratio <= 2.0)),
+            ]),
+        ),
+        (
+            "caveat",
+            Value::from(
+                "single shared machine; open-loop pacing from one driver thread; \
+                 treat numbers as shape, not absolutes",
+            ),
+        ),
+    ])
+}

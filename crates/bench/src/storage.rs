@@ -187,6 +187,8 @@ fn spec(lambda: f64, budget: fairsqg_algo::MatchBudget) -> JobSpec {
         deadline_ms: None,
         budget,
         request_key: None,
+        priority: fairsqg_service::DEFAULT_PRIORITY,
+        client: None,
     }
 }
 

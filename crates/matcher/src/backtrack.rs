@@ -13,6 +13,7 @@ use crate::budget::{BudgetExceeded, BudgetKind, MatchBudget};
 use crate::candidates::{candidates_from_pool_into, candidates_into, candidates_scan_into};
 use fairsqg_graph::{EdgeLabelId, Graph, NodeBitset, NodeId};
 use fairsqg_query::{ConcreteQuery, QNodeId};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Options controlling a match-set computation.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +26,13 @@ pub struct MatchOptions<'a> {
     /// (default). Disable to force the naive label-population scan — the
     /// reference path used for A/B benchmarking.
     pub use_index: bool,
+    /// External hard-stop flag, polled every [`STOP_POLL_STEPS`] extension
+    /// steps *inside* the backtracking search. When it reads `true` the
+    /// search aborts with [`BudgetKind::HardStop`] — the escape hatch for
+    /// supervisors whose cooperative cancellation (checked only between
+    /// verifications) cannot reach a verification wedged in a huge
+    /// candidate product. `None` = never polled (zero cost).
+    pub stop: Option<&'a AtomicBool>,
 }
 
 impl Default for MatchOptions<'_> {
@@ -32,9 +40,15 @@ impl Default for MatchOptions<'_> {
         Self {
             restrict_output: None,
             use_index: true,
+            stop: None,
         }
     }
 }
+
+/// How many extension steps pass between hard-stop polls. Power of two so
+/// the check compiles to a mask; small enough that escalation latency is
+/// microseconds, large enough that the atomic load is free in the noise.
+pub const STOP_POLL_STEPS: u64 = 1024;
 
 /// An adjacency constraint between two query nodes, oriented from the point
 /// of view of the node being extended.
@@ -129,6 +143,7 @@ pub fn try_match_output_set_with(
     }
     let cand = &mut cand_pool[..active.len()];
     for (slot, &u) in active.iter().enumerate() {
+        check_stop(opts.stop)?;
         let c = &mut cand[slot];
         let compute = if opts.use_index {
             candidates_into
@@ -272,6 +287,7 @@ pub fn try_match_output_set_with(
     assignment.resize(order.len(), NodeId(0));
     let mut steps: u64 = 0;
     for &v in cand_by_pos[0] {
+        check_stop(opts.stop)?;
         assignment[0] = v;
         if extend(
             graph,
@@ -281,6 +297,7 @@ pub fn try_match_output_set_with(
             1,
             &mut steps,
             budget,
+            opts.stop,
         )? {
             result.push(v);
             if let Some(max) = budget.max_matches {
@@ -317,6 +334,18 @@ impl Membership<'_> {
     }
 }
 
+/// Aborts with [`BudgetKind::HardStop`] when the external stop flag fired.
+#[inline]
+fn check_stop(stop: Option<&AtomicBool>) -> Result<(), BudgetExceeded> {
+    match stop {
+        Some(flag) if flag.load(Ordering::Acquire) => Err(BudgetExceeded {
+            kind: BudgetKind::HardStop,
+            limit: 0,
+        }),
+        _ => Ok(()),
+    }
+}
+
 /// Tries to extend the partial embedding at `pos`; returns `Ok(true)` on
 /// the first complete embedding, or [`BudgetExceeded`] once the step cap
 /// is reached.
@@ -329,6 +358,7 @@ fn extend(
     pos: usize,
     steps: &mut u64,
     budget: &MatchBudget,
+    stop: Option<&AtomicBool>,
 ) -> Result<bool, BudgetExceeded> {
     if pos == membership.len() {
         return Ok(true);
@@ -377,6 +407,9 @@ fn extend(
                 });
             }
         }
+        if (*steps).is_multiple_of(STOP_POLL_STEPS) {
+            check_stop(stop)?;
+        }
         // Injectivity.
         if assignment[..pos].contains(&v) {
             continue;
@@ -409,6 +442,7 @@ fn extend(
             pos + 1,
             steps,
             budget,
+            stop,
         )? {
             return Ok(true);
         }

@@ -43,6 +43,25 @@ impl MatchBudget {
             max_matches: self.max_matches.or(default.max_matches),
         }
     }
+
+    /// Field-wise: the tighter of this budget's caps and `caps` — on each
+    /// axis a set cap wins over an unset one, and when both are set the
+    /// smaller applies. Used by the service's brownout controller, which
+    /// may only ever *shrink* the resources a job runs with.
+    pub fn tighten(&self, caps: &MatchBudget) -> MatchBudget {
+        fn axis(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        MatchBudget {
+            max_candidates: axis(self.max_candidates, caps.max_candidates),
+            max_steps: axis(self.max_steps, caps.max_steps),
+            max_matches: axis(self.max_matches, caps.max_matches),
+        }
+    }
 }
 
 /// Which cap a verification tripped.
@@ -54,6 +73,10 @@ pub enum BudgetKind {
     Steps,
     /// The match set exceeded `max_matches`.
     Matches,
+    /// An external hard-stop flag ([`MatchOptions::stop`]
+    /// (crate::MatchOptions::stop)) fired mid-search — e.g. a watchdog
+    /// escalating past cooperative cancellation.
+    HardStop,
 }
 
 impl BudgetKind {
@@ -63,6 +86,7 @@ impl BudgetKind {
             Self::Candidates => "max_candidates",
             Self::Steps => "max_steps",
             Self::Matches => "max_matches",
+            Self::HardStop => "hard_stop",
         }
     }
 }
@@ -78,6 +102,9 @@ pub struct BudgetExceeded {
 
 impl fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == BudgetKind::HardStop {
+            return write!(f, "verification hard-stopped mid-search");
+        }
         write!(
             f,
             "verification budget exceeded: {} > {}",
@@ -110,6 +137,26 @@ mod tests {
         assert_eq!(merged.max_matches, None);
         assert!(merged.is_limited());
         assert!(!MatchBudget::UNLIMITED.is_limited());
+    }
+
+    #[test]
+    fn tighten_takes_the_smaller_cap_per_axis() {
+        let merged = MatchBudget {
+            max_candidates: Some(100),
+            max_steps: None,
+            max_matches: Some(5),
+        };
+        let brownout = MatchBudget {
+            max_candidates: Some(50),
+            max_steps: Some(1000),
+            max_matches: Some(500),
+        };
+        let tight = merged.tighten(&brownout);
+        assert_eq!(tight.max_candidates, Some(50), "both set: min wins");
+        assert_eq!(tight.max_steps, Some(1000), "unset axis picks up the cap");
+        assert_eq!(tight.max_matches, Some(5), "an already-tighter cap stays");
+        // Tightening with UNLIMITED is the identity.
+        assert_eq!(merged.tighten(&MatchBudget::UNLIMITED), merged);
     }
 
     #[test]

@@ -23,6 +23,7 @@ mod stats;
 
 pub use backtrack::{
     match_output_set, try_match_output_set, try_match_output_set_with, MatchOptions, MatchScratch,
+    STOP_POLL_STEPS,
 };
 pub use budget::{BudgetExceeded, BudgetKind, MatchBudget};
 pub use candidates::{candidates, candidates_from_pool, candidates_scan, satisfies_literals};
@@ -189,6 +190,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn hard_stop_flag_aborts_mid_search() {
+        use std::sync::atomic::AtomicBool;
+        let g = talent_graph();
+        let (t, d) = talent_template(&g);
+        let q = ConcreteQuery::materialize(&t, &d, &Instantiation::root(&d));
+        // A pre-fired flag must abort before any work (polled at candidate
+        // computation and at every root extension).
+        let fired = AtomicBool::new(true);
+        let err = try_match_output_set(
+            &g,
+            &q,
+            MatchOptions {
+                stop: Some(&fired),
+                ..MatchOptions::default()
+            },
+            &MatchBudget::UNLIMITED,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, BudgetKind::HardStop);
+        assert_eq!(err.to_string(), "verification hard-stopped mid-search");
+        // An unfired flag is inert: results match the plain path.
+        let idle = AtomicBool::new(false);
+        let m = try_match_output_set(
+            &g,
+            &q,
+            MatchOptions {
+                stop: Some(&idle),
+                ..MatchOptions::default()
+            },
+            &MatchBudget::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(m, match_output_set(&g, &q, MatchOptions::default()));
     }
 
     #[test]

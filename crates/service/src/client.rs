@@ -31,6 +31,9 @@ pub enum ClientError {
         code: String,
         /// Human-readable explanation.
         message: String,
+        /// The server's suggested wait before retrying, when the
+        /// rejection carried one (`overloaded`, `shed`, …).
+        retry_after_ms: Option<u64>,
     },
     /// `wait` ran out of budget before the job settled.
     Timeout,
@@ -41,7 +44,17 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
-            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+            ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            } => {
+                write!(f, "server [{code}]: {message}")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms}ms)")?;
+                }
+                Ok(())
+            }
             ClientError::Timeout => write!(f, "timed out waiting for the job"),
         }
     }
@@ -68,6 +81,11 @@ pub struct RetryPolicy {
     pub read_timeout: Option<Duration>,
     /// Socket write timeout (None = block forever).
     pub write_timeout: Option<Duration>,
+    /// Wall-clock cap across *all* retries of one idempotent request,
+    /// including honoring server `retry_after_ms` hints (`None` = bounded
+    /// by `max_attempts` alone). When the budget runs out the last error
+    /// is returned as-is.
+    pub retry_budget: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -78,6 +96,7 @@ impl Default for RetryPolicy {
             max_backoff: Duration::from_secs(2),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            retry_budget: None,
         }
     }
 }
@@ -92,6 +111,7 @@ impl RetryPolicy {
             max_backoff: Duration::ZERO,
             read_timeout: None,
             write_timeout: None,
+            retry_budget: None,
         }
     }
 
@@ -208,23 +228,49 @@ impl Client {
     }
 
     /// Like [`Client::request`], but replays the request on a fresh
-    /// connection (with backoff) when the transport fails. Only use for
-    /// requests that are safe to execute more than once — reads, cancels,
-    /// and submits carrying a `request_key`.
+    /// connection (with backoff) when the transport fails, and retries
+    /// *structured load rejections* (`overloaded`, `shed`,
+    /// `quota_exceeded`, `draining`) honoring the server's
+    /// `retry_after_ms` hint. Only use for requests that are safe to
+    /// execute more than once — reads, cancels, and submits carrying a
+    /// `request_key`. Retries are bounded by `max_attempts` and, when
+    /// set, the policy's wall-clock `retry_budget`.
     pub fn request_idempotent(&mut self, request: &Value) -> Result<Value, ClientError> {
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             let outcome = self.request(request);
-            match outcome {
-                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {
-                    attempt += 1;
-                    if attempt >= self.policy.max_attempts.max(1) {
-                        return outcome;
-                    }
-                    std::thread::sleep(self.policy.backoff(attempt - 1, u64::from(attempt)));
+            let pause = match &outcome {
+                Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => None,
+                Err(ClientError::Server {
+                    code,
+                    retry_after_ms,
+                    ..
+                }) if is_retryable_code(code) => {
+                    // Prefer the server's own prediction over blind
+                    // exponential backoff — it knows its queue.
+                    Some(retry_after_ms.map(Duration::from_millis))
                 }
-                other => return other,
+                _ => return outcome,
+            };
+            attempt += 1;
+            if attempt >= self.policy.max_attempts.max(1) {
+                return outcome;
             }
+            let mut sleep = match pause {
+                // Cap the hint: a server predicting a minute of drain
+                // should not pin this thread for a minute per attempt.
+                Some(Some(hint)) => hint.min(Duration::from_secs(10)),
+                _ => self.policy.backoff(attempt - 1, u64::from(attempt)),
+            };
+            if let Some(budget) = self.policy.retry_budget {
+                let remaining = budget.saturating_sub(started.elapsed());
+                if remaining.is_zero() {
+                    return outcome;
+                }
+                sleep = sleep.min(remaining);
+            }
+            std::thread::sleep(sleep);
         }
     }
 
@@ -256,7 +302,15 @@ impl Client {
                     .and_then(Value::as_str)
                     .unwrap_or("unknown error")
                     .to_string();
-                Err(ClientError::Server { code, message })
+                let retry_after_ms = value
+                    .get("error")
+                    .and_then(|e| e.get("retry_after_ms"))
+                    .and_then(Value::as_u64);
+                Err(ClientError::Server {
+                    code,
+                    message,
+                    retry_after_ms,
+                })
             }
         }
     }
@@ -358,6 +412,16 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("load reply missing 'epoch'".into()))
     }
 
+    /// Asks the server to begin a graceful drain: queued jobs come back
+    /// `drained` (replay them elsewhere via their request keys), running
+    /// jobs finish, new submissions are rejected with code `draining`.
+    /// Returns `(bounced, running)`.
+    pub fn drain(&mut self) -> Result<(u64, u64), ClientError> {
+        let reply = self.request(&Value::object([("op", Value::from("drain"))]))?;
+        let field = |name: &str| reply.get(name).and_then(Value::as_u64).unwrap_or(0);
+        Ok((field("bounced"), field("running")))
+    }
+
     /// Asks the server to drain and stop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Value::object([("op", Value::from("shutdown"))]))
@@ -366,7 +430,8 @@ impl Client {
 
     /// Polls `status` until the job settles, then returns the `result`
     /// body for `done` jobs. Cancelled jobs yield a `Server` error with
-    /// code `"cancelled"`.
+    /// code `"cancelled"`; drained jobs one with code `"draining"` —
+    /// resubmit elsewhere with the same request key.
     pub fn wait(&mut self, id: u64, budget: Duration) -> Result<Value, ClientError> {
         let deadline = Instant::now() + budget;
         loop {
@@ -381,12 +446,21 @@ impl Client {
                             .and_then(Value::as_str)
                             .unwrap_or("job failed")
                             .to_string(),
+                        retry_after_ms: None,
                     })
                 }
                 Some("cancelled") => {
                     return Err(ClientError::Server {
                         code: "cancelled".into(),
                         message: format!("job {id} was cancelled"),
+                        retry_after_ms: None,
+                    })
+                }
+                Some("drained") => {
+                    return Err(ClientError::Server {
+                        code: "draining".into(),
+                        message: format!("job {id} was drained before running; replay elsewhere"),
+                        retry_after_ms: None,
                     })
                 }
                 _ => {}
@@ -397,6 +471,13 @@ impl Client {
             std::thread::sleep(Duration::from_millis(10));
         }
     }
+}
+
+/// Server rejection codes that are worth retrying from
+/// [`Client::request_idempotent`]: all of them mean "not now", carry (or
+/// imply) a wait hint, and are safe to replay.
+fn is_retryable_code(code: &str) -> bool {
+    matches!(code, "overloaded" | "shed" | "quota_exceeded" | "draining")
 }
 
 #[cfg(test)]
@@ -411,6 +492,7 @@ mod tests {
             max_backoff: Duration::from_millis(100),
             read_timeout: None,
             write_timeout: None,
+            retry_budget: None,
         };
         // Jitter is 50%..150%, so bound-check instead of equality.
         let b0 = p.backoff(0, 1);
@@ -428,6 +510,7 @@ mod tests {
             max_backoff: Duration::from_millis(2),
             read_timeout: None,
             write_timeout: None,
+            retry_budget: None,
         };
         let started = Instant::now();
         let err = match Client::connect_with("127.0.0.1:1", policy) {

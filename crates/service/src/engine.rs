@@ -17,10 +17,25 @@
 //! strength. Locks are poison-tolerant throughout (see [`crate::sync`]).
 //! Jobs may carry a client-supplied `request_key`; resubmitting the same
 //! key returns the original job id instead of running the work twice.
+//!
+//! Under sustained load the engine **degrades by levels** instead of
+//! queueing into uselessness (see [`crate::overload`]): admission
+//! predicts whether a deadline can still be met (rejecting with a
+//! `retry_after_ms` hint when it can't), a brownout controller tightens
+//! budgets and pair-sampling while pressure lasts, and at the top level
+//! low-priority submissions are shed. A **watchdog** escalates past
+//! cooperative cancellation for workers stuck beyond deadline + grace
+//! (hard-stop flag, then declaring the worker lost and respawning), and
+//! [`Engine::begin_drain`] bounces queued jobs with a typed `Drained`
+//! outcome so clients replay them elsewhere via their request keys.
 
 use crate::cache::{CacheStats, LruCache};
 use crate::job::{
-    diversity_for_spec, generated_to_value, plan_spec, plan_spec_cached, run_plan_shared, JobSpec,
+    diversity_for_spec_with, generated_to_value_with, plan_key, plan_spec, plan_spec_cached,
+    run_plan_overridden, BrownoutMark, JobSpec, RunOverrides,
+};
+use crate::overload::{
+    BrownoutConfig, Ewma, PressureController, PressureInputs, PressureLevel, ServiceModel,
 };
 use crate::registry::{GraphEntry, GraphRegistry, DEFAULT_WARM_BUDGET_BYTES};
 use crate::sync;
@@ -29,7 +44,7 @@ use fairsqg_faults::Fault;
 use fairsqg_wire::Value;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,6 +74,21 @@ pub struct EngineConfig {
     /// Attach submissions whose fingerprint matches an in-flight job as
     /// followers of that job instead of running the work again.
     pub coalesce: bool,
+    /// Brownout policy: pressure thresholds and the tightened caps
+    /// applied while degraded (see [`crate::overload`]).
+    pub brownout: BrownoutConfig,
+    /// Deadline-aware admission: reject a deadline-bearing job when the
+    /// service model predicts the queue ahead of it already spends its
+    /// deadline. An idle engine always admits — prediction only guards
+    /// *queueing* delay; execution delay is the budget/deadline's job.
+    pub admission_control: bool,
+    /// Maximum unsettled jobs per client identity (`0` = no quota).
+    pub client_quota: usize,
+    /// Watchdog escalation grace: a running job is hard-stopped once it
+    /// exceeds its deadline by this much, and its worker declared lost
+    /// (and replaced) after a second grace. `None` disables the
+    /// watchdog. Jobs with no effective deadline are never escalated.
+    pub watchdog_grace: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +103,10 @@ impl Default for EngineConfig {
             warm_state: true,
             warm_budget_bytes: DEFAULT_WARM_BUDGET_BYTES,
             coalesce: true,
+            brownout: BrownoutConfig::default(),
+            admission_control: true,
+            client_quota: 0,
+            watchdog_grace: Some(Duration::from_secs(2)),
         }
     }
 }
@@ -84,9 +118,41 @@ pub enum SubmitError {
     Overloaded {
         /// Queue capacity at rejection time.
         capacity: usize,
+        /// Suggested wait before retrying (one queue slot's predicted
+        /// drain time).
+        retry_after_ms: u64,
+    },
+    /// The service model predicts the job's deadline lapses before a
+    /// worker would reach it — running it would only burn a worker on a
+    /// result the client has already given up on.
+    DeadlineUnmeetable {
+        /// The job's effective deadline.
+        deadline_ms: u64,
+        /// Predicted queue-drain + service time.
+        predicted_ms: u64,
+        /// Suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The submitting client already has `limit` unsettled jobs.
+    QuotaExceeded {
+        /// The client identity the quota applies to.
+        client: String,
+        /// The configured per-client limit.
+        limit: usize,
+        /// Suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// Shed under overload: the engine is at its `Shedding` pressure
+    /// level and the job's priority is below the shed threshold.
+    Shed {
+        /// Suggested wait before retrying.
+        retry_after_ms: u64,
     },
     /// The referenced graph is not in the registry.
     UnknownGraph(String),
+    /// The engine is draining: it completes what it has but accepts
+    /// nothing new. Clients replay via their request keys elsewhere.
+    Draining,
     /// The engine is shutting down.
     ShuttingDown,
     /// Admission failed for an internal reason (e.g. an injected fault).
@@ -106,6 +172,8 @@ pub enum JobState {
     Failed,
     /// Cancelled before producing a result.
     Cancelled,
+    /// Bounced by a drain before running; replay elsewhere.
+    Drained,
 }
 
 impl JobState {
@@ -117,7 +185,16 @@ impl JobState {
             Self::Done => "done",
             Self::Failed => "failed",
             Self::Cancelled => "cancelled",
+            Self::Drained => "drained",
         }
+    }
+
+    /// Whether the job has settled (no further transitions).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Self::Done | Self::Failed | Self::Cancelled | Self::Drained
+        )
     }
 }
 
@@ -130,6 +207,13 @@ struct JobRecord {
     from_cache: bool,
     truncated: bool,
     submitted_at: Instant,
+    /// Effective deadline (spec's or the engine default) — what the
+    /// watchdog measures overruns against.
+    deadline: Option<Duration>,
+    /// When a worker picked the job up (`Running` and later).
+    started_at: Option<Instant>,
+    /// When the watchdog escalated to a hard stop, if it did.
+    hard_stopped_at: Option<Instant>,
     /// The graph pinned at admission; a reload between admission and
     /// execution must not change what a job runs against (its fingerprint
     /// was computed for this epoch). Cleared on completion.
@@ -214,6 +298,18 @@ struct Counters {
     coalesced_attached: AtomicU64,
     coalesced_served: AtomicU64,
     coalesced_requeued: AtomicU64,
+    // Overload control: typed rejections by cause, queued victims evicted
+    // in favor of higher-priority submissions, and jobs run degraded.
+    deadline_rejected: AtomicU64,
+    quota_rejected: AtomicU64,
+    shed: AtomicU64,
+    shed_evicted: AtomicU64,
+    brownout_jobs: AtomicU64,
+    deadline_misses: AtomicU64,
+    // Watchdog escalations and drain bounces.
+    watchdog_hard_stops: AtomicU64,
+    watchdog_lost_workers: AtomicU64,
+    drained: AtomicU64,
 }
 
 struct QueueState {
@@ -257,6 +353,22 @@ impl DedupMap {
     }
 }
 
+/// Mutable overload-control state. The mutex guarding it is a **leaf**:
+/// it is never held while acquiring (or waiting on) any other engine
+/// lock, so it cannot participate in a lock cycle.
+struct OverloadState {
+    /// Per-template service-time and queue-wait EWMAs.
+    model: ServiceModel,
+    /// The hysteretic pressure state machine.
+    controller: PressureController,
+    /// Unsettled jobs per client identity (quota accounting).
+    quotas: HashMap<String, usize>,
+    /// EWMA of deadline misses per completed deadline-bearing job.
+    miss_ewma: Ewma,
+    /// Warm-pool eviction total at the previous pressure evaluation.
+    last_warm_evictions: u64,
+}
+
 struct Shared {
     config: EngineConfig,
     registry: Arc<GraphRegistry>,
@@ -276,6 +388,41 @@ struct Shared {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     worker_seq: AtomicU64,
     workers_alive: AtomicU64,
+    /// Leaf lock (see [`OverloadState`]).
+    overload: Mutex<OverloadState>,
+    /// Mirror of the controller's level for lock-free reads on the worker
+    /// hot path (0 = nominal, 1 = degraded, 2 = shedding).
+    level: AtomicU8,
+    /// Set by [`Engine::begin_drain`]; rejects new submissions.
+    draining: AtomicBool,
+    /// Workers the watchdog replaced while their predecessor was still
+    /// wedged: when the original thread eventually returns, one surplus
+    /// worker exits voluntarily so the pool converges back to size.
+    workers_excess: AtomicI64,
+    watchdog: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+fn level_to_u8(level: PressureLevel) -> u8 {
+    match level {
+        PressureLevel::Nominal => 0,
+        PressureLevel::Degraded => 1,
+        PressureLevel::Shedding => 2,
+    }
+}
+
+fn level_from_u8(v: u8) -> PressureLevel {
+    match v {
+        0 => PressureLevel::Nominal,
+        1 => PressureLevel::Degraded,
+        _ => PressureLevel::Shedding,
+    }
+}
+
+/// Clamps a predicted wait into an honest `retry_after_ms` hint: never so
+/// small that clients busy-spin, never so large that they give up on a
+/// transient.
+fn hint_ms(predicted: f64) -> u64 {
+    (predicted.ceil() as u64).clamp(25, 60_000)
 }
 
 /// The concurrent generation engine. See the module docs.
@@ -308,9 +455,28 @@ impl Engine {
             workers: Mutex::new(Vec::new()),
             worker_seq: AtomicU64::new(pool),
             workers_alive: AtomicU64::new(0),
+            overload: Mutex::new(OverloadState {
+                model: ServiceModel::default(),
+                controller: PressureController::new(config.brownout),
+                quotas: HashMap::new(),
+                miss_ewma: Ewma::new(0.2),
+                last_warm_evictions: 0,
+            }),
+            level: AtomicU8::new(0),
+            draining: AtomicBool::new(false),
+            workers_excess: AtomicI64::new(0),
+            watchdog: Mutex::new(None),
         });
         for i in 0..pool {
             spawn_worker(&shared, i);
+        }
+        if let Some(grace) = config.watchdog_grace {
+            let arc = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("fairsqg-watchdog".to_string())
+                .spawn(move || watchdog_loop(&arc, grace))
+                .expect("spawn watchdog");
+            *sync::lock(&shared.watchdog) = Some(handle);
         }
         Self { shared }
     }
@@ -348,6 +514,16 @@ impl Engine {
             return Err(SubmitError::Internal(message));
         }
 
+        // A draining engine completes what it has but takes nothing new;
+        // the typed rejection tells clients to replay elsewhere.
+        if self.shared.draining.load(Ordering::SeqCst) {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Draining);
+        }
+
         let entry = self
             .shared
             .registry
@@ -382,6 +558,9 @@ impl Engine {
                     from_cache: true,
                     truncated,
                     submitted_at: Instant::now(),
+                    deadline: None,
+                    started_at: None,
+                    hard_stopped_at: None,
                     entry: None,
                     fingerprint: None,
                     followers: Vec::new(),
@@ -401,6 +580,12 @@ impl Engine {
             .deadline_ms
             .map(Duration::from_millis)
             .or(self.shared.config.default_deadline);
+
+        // The overload gate: one leaf-lock session deciding shedding,
+        // deadline admission, and the quota reservation. A reservation
+        // made here is released on every later rejection path.
+        let quota_client = self.overload_gate(&spec, deadline)?;
+
         let cancel = match deadline {
             Some(d) => CancelToken::with_deadline(d),
             None => CancelToken::new(),
@@ -438,6 +623,9 @@ impl Engine {
                             from_cache: false,
                             truncated: false,
                             submitted_at: Instant::now(),
+                            deadline,
+                            started_at: None,
+                            hard_stopped_at: None,
                             entry: Some(entry),
                             fingerprint: Some(key),
                             followers: Vec::new(),
@@ -463,16 +651,69 @@ impl Engine {
 
         let mut q = sync::lock(&self.shared.queue);
         if q.shutdown {
+            drop(q);
+            drop(inflight);
+            self.release_quota(quota_client.as_deref());
             return Err(SubmitError::ShuttingDown);
         }
+        let mut evicted: Option<(u64, Option<String>)> = None;
         if q.queue.len() >= self.shared.config.queue_capacity {
-            self.shared
-                .counters
-                .rejected
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::Overloaded {
-                capacity: self.shared.config.queue_capacity,
-            });
+            // At the Shedding level a full queue prefers its
+            // highest-priority work: evict the lowest-priority waiter
+            // (strictly below the newcomer, follower-free so nobody else
+            // rides on it) instead of bouncing the newcomer.
+            let level = level_from_u8(self.shared.level.load(Ordering::SeqCst));
+            if level == PressureLevel::Shedding {
+                let mut jobs = sync::lock(&self.shared.jobs);
+                let victim = q
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pos, &jid)| {
+                        let r = jobs.get(&jid)?;
+                        (r.spec.priority < spec.priority && r.followers.is_empty()).then_some((
+                            pos,
+                            jid,
+                            r.spec.priority,
+                        ))
+                    })
+                    .min_by_key(|&(_, _, p)| p);
+                if let Some((pos, jid, _)) = victim {
+                    q.queue.remove(pos);
+                    if let Some(r) = jobs.get_mut(&jid) {
+                        r.state = JobState::Failed;
+                        r.error = Some("shed: displaced by higher-priority work".to_string());
+                        r.entry = None;
+                        evicted = Some((jid, r.spec.client.clone()));
+                        if let Some(fp) = r.fingerprint.clone() {
+                            if let Some(map) = inflight.as_deref_mut() {
+                                if map.get(&fp) == Some(&jid) {
+                                    map.remove(&fp);
+                                }
+                            }
+                        }
+                    }
+                    self.shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .shed_evicted
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if evicted.is_none() {
+                drop(q);
+                drop(inflight);
+                self.release_quota(quota_client.as_deref());
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let retry_after_ms = self.retry_hint(1);
+                return Err(SubmitError::Overloaded {
+                    capacity: self.shared.config.queue_capacity,
+                    retry_after_ms,
+                });
+            }
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         sync::lock(&self.shared.jobs).insert(
@@ -486,6 +727,9 @@ impl Engine {
                 from_cache: false,
                 truncated: false,
                 submitted_at: Instant::now(),
+                deadline,
+                started_at: None,
+                hard_stopped_at: None,
                 entry: Some(entry),
                 fingerprint: Some(key.clone()),
                 followers: Vec::new(),
@@ -500,8 +744,155 @@ impl Engine {
         q.queue.push_back(id);
         drop(q);
         drop(inflight);
+        if let Some((_, victim_client)) = evicted {
+            self.release_quota(victim_client.as_deref());
+        }
         self.shared.work_ready.notify_one();
         Ok(id)
+    }
+
+    /// One overload-gate pass under the leaf lock: refresh the pressure
+    /// level, shed if warranted, check deadline admission, and reserve a
+    /// quota slot. Returns the client whose slot was reserved (released
+    /// by [`Self::release_quota`] on later rejection, or at settlement).
+    fn overload_gate(
+        &self,
+        spec: &JobSpec,
+        deadline: Option<Duration>,
+    ) -> Result<Option<String>, SubmitError> {
+        let depth = self.queue_depth();
+        let capacity = self.shared.config.queue_capacity.max(1);
+        let warm_evictions = if self.shared.config.warm_state {
+            self.shared.registry.warm_stats().evictions
+        } else {
+            0
+        };
+        let workers = self.shared.config.workers.max(1);
+        let mut ov = sync::lock(&self.shared.overload);
+
+        // Deterministic override for tests and drills: the
+        // `brownout.level` fail point pins the controller to a named
+        // level (`error(degraded)` / `error(shedding)` / `error(nominal)`).
+        if let Some(Fault::Error(name)) = fairsqg_faults::fire("brownout.level") {
+            if let Some(forced) = PressureLevel::parse(&name) {
+                ov.controller.force(forced);
+            }
+        } else {
+            let inputs = PressureInputs {
+                queue_ratio: depth as f64 / capacity as f64,
+                miss_rate: ov.miss_ewma.get_or(0.0),
+                evictions_delta: warm_evictions.saturating_sub(ov.last_warm_evictions),
+            };
+            ov.last_warm_evictions = warm_evictions;
+            ov.controller.evaluate(inputs);
+        }
+        let level = ov.controller.level();
+        self.shared
+            .level
+            .store(level_to_u8(level), Ordering::SeqCst);
+
+        if level == PressureLevel::Shedding
+            && spec.priority < self.shared.config.brownout.shed_below_priority
+        {
+            let retry_after_ms = hint_ms(ov.model.predict_completion_ms(
+                plan_key(spec),
+                depth,
+                workers,
+            ));
+            drop(ov);
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Shed { retry_after_ms });
+        }
+
+        // Deadline admission guards *queueing* delay: an idle engine
+        // always admits (running to the deadline and truncating is the
+        // contract), but a deadline the queue ahead would already spend
+        // is rejected up front with an honest retry hint.
+        if self.shared.config.admission_control {
+            if let Some(d) = deadline {
+                let deadline_ms = d.as_millis() as u64;
+                let forced = matches!(
+                    fairsqg_faults::fire("admission.reject"),
+                    Some(Fault::Error(_) | Fault::ReturnEarly)
+                );
+                let predicted = ov
+                    .model
+                    .predict_completion_ms(plan_key(spec), depth, workers);
+                if forced || (depth > 0 && predicted > deadline_ms as f64) {
+                    let predicted_ms = predicted.ceil() as u64;
+                    let retry_after_ms = hint_ms(predicted - deadline_ms as f64);
+                    drop(ov);
+                    self.shared
+                        .counters
+                        .deadline_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::DeadlineUnmeetable {
+                        deadline_ms,
+                        predicted_ms,
+                        retry_after_ms,
+                    });
+                }
+            }
+        }
+
+        // Quota: reserve the slot now (check-and-increment under the one
+        // lock), so two racing submissions cannot both squeeze under the
+        // limit.
+        let limit = self.shared.config.client_quota;
+        if limit > 0 {
+            if let Some(client) = &spec.client {
+                let used = ov.quotas.entry(client.clone()).or_insert(0);
+                if *used >= limit {
+                    let retry_after_ms =
+                        hint_ms(ov.model.predict_service_ms(plan_key(spec)) / workers as f64);
+                    drop(ov);
+                    self.shared
+                        .counters
+                        .quota_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::QuotaExceeded {
+                        client: client.clone(),
+                        limit,
+                        retry_after_ms,
+                    });
+                }
+                *used += 1;
+                return Ok(Some(client.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Releases a quota slot reserved by [`Self::overload_gate`].
+    fn release_quota(&self, client: Option<&str>) {
+        let Some(client) = client else { return };
+        let mut ov = sync::lock(&self.shared.overload);
+        if let Some(used) = ov.quotas.get_mut(client) {
+            *used = used.saturating_sub(1);
+            if *used == 0 {
+                ov.quotas.remove(client);
+            }
+        }
+    }
+
+    /// A retry hint for `slots` queue slots' worth of predicted drain.
+    fn retry_hint(&self, slots: usize) -> u64 {
+        let workers = self.shared.config.workers.max(1);
+        let ov = sync::lock(&self.shared.overload);
+        let per_job = ov.model.overall_service_ms().unwrap_or(25.0);
+        hint_ms(per_job * slots as f64 / workers as f64)
     }
 
     /// Snapshot of a job's state.
@@ -549,6 +940,53 @@ impl Engine {
     /// Worker threads currently alive (dips briefly during a respawn).
     pub fn workers_alive(&self) -> u64 {
         self.shared.workers_alive.load(Ordering::SeqCst)
+    }
+
+    /// The current pressure level (last admission/settlement evaluation).
+    pub fn pressure_level(&self) -> PressureLevel {
+        level_from_u8(self.shared.level.load(Ordering::SeqCst))
+    }
+
+    /// Whether [`Self::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful drain: new submissions are rejected with
+    /// [`SubmitError::Draining`], every still-queued job (and its
+    /// followers) is settled as [`JobState::Drained`] so clients replay
+    /// it elsewhere via their request keys, and running jobs finish
+    /// normally. Returns `(bounced, running)`. Idempotent; the workers
+    /// stay up for status/result traffic until [`Self::shutdown`].
+    pub fn begin_drain(&self) -> (usize, usize) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let queued: Vec<u64> = {
+            let mut q = sync::lock(&self.shared.queue);
+            q.queue.drain(..).collect()
+        };
+        let bounced = queued.len();
+        for id in queued {
+            settle_job(&self.shared, id, Settled::Drained);
+        }
+        let running = sync::lock(&self.shared.jobs)
+            .values()
+            .filter(|r| r.state == JobState::Running)
+            .count();
+        (bounced, running)
+    }
+
+    /// Whether a drain has finished: draining was requested and nothing
+    /// is queued or running any more.
+    pub fn drain_complete(&self) -> bool {
+        if !self.is_draining() {
+            return false;
+        }
+        if !sync::lock(&self.shared.queue).queue.is_empty() {
+            return false;
+        }
+        !sync::lock(&self.shared.jobs)
+            .values()
+            .any(|r| matches!(r.state, JobState::Queued | JobState::Running))
     }
 
     /// Engine statistics in wire form (the `stats` response body).
@@ -640,6 +1078,72 @@ impl Engine {
                     ),
                 ]),
             ),
+            ("pressure", {
+                let ov = sync::lock(&self.shared.overload);
+                Value::object([
+                    ("level", Value::from(self.pressure_level().as_str())),
+                    ("transitions", Value::from(ov.controller.transitions())),
+                    (
+                        "miss_rate",
+                        ov.miss_ewma.get().map_or(Value::Null, Value::from),
+                    ),
+                    (
+                        "service_ms",
+                        ov.model
+                            .overall_service_ms()
+                            .map_or(Value::Null, Value::from),
+                    ),
+                    (
+                        "queue_wait_ms",
+                        ov.model.queue_wait_ms().map_or(Value::Null, Value::from),
+                    ),
+                    (
+                        "deadline_rejected",
+                        Value::from(c.deadline_rejected.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "quota_rejected",
+                        Value::from(c.quota_rejected.load(Ordering::Relaxed)),
+                    ),
+                    ("shed", Value::from(c.shed.load(Ordering::Relaxed))),
+                    (
+                        "shed_evicted",
+                        Value::from(c.shed_evicted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "brownout_jobs",
+                        Value::from(c.brownout_jobs.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "deadline_misses",
+                        Value::from(c.deadline_misses.load(Ordering::Relaxed)),
+                    ),
+                ])
+            }),
+            (
+                "watchdog",
+                Value::object([
+                    (
+                        "enabled",
+                        Value::from(self.shared.config.watchdog_grace.is_some()),
+                    ),
+                    (
+                        "hard_stops",
+                        Value::from(c.watchdog_hard_stops.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "lost_workers",
+                        Value::from(c.watchdog_lost_workers.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "drain",
+                Value::object([
+                    ("draining", Value::from(self.is_draining())),
+                    ("drained", Value::from(c.drained.load(Ordering::Relaxed))),
+                ]),
+            ),
             ("result_cache", result_cache),
             (
                 "coalescing",
@@ -668,6 +1172,7 @@ impl Engine {
                     ("mmap_loads", Value::from(r.mmap_loads)),
                     ("heap_bytes", Value::from(r.heap_bytes as u64)),
                     ("mapped_bytes", Value::from(r.mapped_bytes as u64)),
+                    ("quarantined", Value::from(r.quarantined as u64)),
                 ])
             }),
             (
@@ -709,6 +1214,10 @@ impl Engine {
             for h in drained {
                 let _ = h.join();
             }
+        }
+        // The watchdog observes the shutdown flag within one poll tick.
+        if let Some(h) = sync::lock(&self.shared.watchdog).take() {
+            let _ = h.join();
         }
     }
 }
@@ -756,6 +1265,22 @@ fn worker_loop(shared: &Arc<Shared>) {
     };
     shared.workers_alive.fetch_add(1, Ordering::SeqCst);
     loop {
+        // The watchdog over-provisions the pool when it declares a wedged
+        // worker lost; once any worker is between jobs the surplus drains
+        // here so the pool converges back to its configured size.
+        loop {
+            let excess = shared.workers_excess.load(Ordering::SeqCst);
+            if excess <= 0 {
+                break;
+            }
+            if shared
+                .workers_excess
+                .compare_exchange(excess, excess - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
         let id = {
             let mut q = sync::lock(&shared.queue);
             loop {
@@ -772,18 +1297,100 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The stuck-job supervisor. Cooperative cancellation (the deadline on a
+/// job's [`CancelToken`]) is observed *between* verifications; a single
+/// adversarial verification — or an injected wedge — can overstay it. The
+/// watchdog escalates in two stages, each one `grace` past the last:
+///
+/// 1. **Hard stop** — sets the token's hard-stop flag, which the matcher
+///    inner loops poll every few thousand extension steps, tearing the
+///    search down *inside* a verification.
+/// 2. **Worker lost** — the thread ignored even the hard stop (wedged in
+///    foreign code or an injected sleep): the job is settled `Failed`, a
+///    replacement worker is spawned, and the pool's excess counter makes
+///    the original thread exit voluntarily if it ever returns.
+///
+/// Jobs with no effective deadline are never escalated — "stuck" is only
+/// defined relative to a promise.
+fn watchdog_loop(shared: &Arc<Shared>, grace: Duration) {
+    let tick = (grace / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+    loop {
+        if sync::lock(&shared.queue).shutdown {
+            return;
+        }
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        let mut lost: Vec<u64> = Vec::new();
+        {
+            let mut jobs = sync::lock(&shared.jobs);
+            for (&id, r) in jobs.iter_mut() {
+                if r.state != JobState::Running {
+                    continue;
+                }
+                let (Some(started), Some(deadline)) = (r.started_at, r.deadline) else {
+                    continue;
+                };
+                if now.saturating_duration_since(started) <= deadline + grace {
+                    continue;
+                }
+                match r.hard_stopped_at {
+                    None => {
+                        r.cancel.hard_stop();
+                        r.hard_stopped_at = Some(now);
+                        shared
+                            .counters
+                            .watchdog_hard_stops
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(at) if now.saturating_duration_since(at) > grace => lost.push(id),
+                    Some(_) => {}
+                }
+            }
+        }
+        for id in lost {
+            shared
+                .counters
+                .watchdog_lost_workers
+                .fetch_add(1, Ordering::Relaxed);
+            // Over-provision first, settle second: the pool must not dip
+            // below strength while the wedged thread holds its slot. If
+            // the original thread ever returns, its settlement is a
+            // guarded no-op and one surplus worker exits.
+            shared.workers_excess.fetch_add(1, Ordering::SeqCst);
+            let seq = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(shared, seq);
+            settle_job(
+                shared,
+                id,
+                Settled::Failed(
+                    "watchdog: worker unresponsive past deadline + grace; job abandoned".into(),
+                ),
+            );
+        }
+    }
+}
+
 /// Terminal outcome of a leader job, consumed by [`settle_job`].
 enum Settled {
-    Done { result: Arc<Value>, truncated: bool },
+    Done {
+        result: Arc<Value>,
+        truncated: bool,
+    },
     Failed(String),
     Cancelled,
+    /// Bounced by [`Engine::begin_drain`] before running.
+    Drained,
 }
 
 fn run_job(shared: &Shared, id: u64) {
     // Snapshot what the job needs; the jobs lock is NOT held while running.
-    let (spec, cancel, submitted_at, pinned) = {
+    let (spec, cancel, submitted_at, pinned, deadline) = {
         let mut jobs = sync::lock(&shared.jobs);
         let Some(r) = jobs.get_mut(&id) else { return };
+        // A drain or double-settle may have already finished this id.
+        if r.state.is_terminal() {
+            return;
+        }
         // Explicit cancellation skips the job entirely; a lapsed deadline
         // does not — the generation runs and returns immediately with an
         // empty archive flagged truncated, which is what deadline-bound
@@ -794,17 +1401,47 @@ fn run_job(shared: &Shared, id: u64) {
             return;
         }
         r.state = JobState::Running;
+        r.started_at = Some(Instant::now());
         (
             r.spec.clone(),
             r.cancel.clone(),
             r.submitted_at,
             r.entry.clone(),
+            r.deadline,
         )
     };
     let picked_up = Instant::now();
     sync::lock(&shared.latencies)
         .queue_wait
         .record(picked_up - submitted_at);
+    sync::lock(&shared.overload)
+        .model
+        .observe_queue_wait(picked_up - submitted_at);
+
+    // Brownout: while the engine is Degraded or Shedding the job runs
+    // with axis-wise *tightened* caps and a smaller diversity pair
+    // sample. The result is a valid (possibly coarser) ε-Pareto archive,
+    // flagged in `stats.brownout` and never cached.
+    let level = level_from_u8(shared.level.load(Ordering::SeqCst));
+    let (overrides, mark) = if level >= PressureLevel::Degraded {
+        let bc = &shared.config.brownout;
+        let budget = spec.budget.tighten(&bc.degraded_budget);
+        let pair_cap = (bc.degraded_pair_cap > 0).then_some(bc.degraded_pair_cap);
+        shared
+            .counters
+            .brownout_jobs
+            .fetch_add(1, Ordering::Relaxed);
+        (
+            Some(RunOverrides { budget, pair_cap }),
+            Some(BrownoutMark {
+                level: level.as_str(),
+                budget,
+                pair_cap,
+            }),
+        )
+    } else {
+        (None, None)
+    };
 
     // The graph was pinned at admission (reloads must not change what an
     // admitted job runs against); the registry fallback only covers
@@ -844,16 +1481,23 @@ fn run_job(shared: &Shared, id: u64) {
             None => plan_spec(&entry.graph, &spec)?,
         };
         let planned = Instant::now();
-        let shared_div = warm.as_ref().map(|w| {
-            w.diversity_cache(
-                &entry.graph,
-                plan.template.output_label(),
-                &diversity_for_spec(&spec),
-            )
-        });
-        let out = run_plan_shared(&plan, &spec, &cancel, shared_div.as_ref());
+        // The warm diversity table is keyed by the *effective* pair cap,
+        // so tables built under brownout never serve nominal jobs (and
+        // vice versa).
+        let effective_div =
+            diversity_for_spec_with(&spec, overrides.as_ref().and_then(|o| o.pair_cap));
+        let shared_div = warm
+            .as_ref()
+            .map(|w| w.diversity_cache(&entry.graph, plan.template.output_label(), &effective_div));
+        let out = run_plan_overridden(
+            &plan,
+            &spec,
+            &cancel,
+            shared_div.as_ref(),
+            overrides.as_ref(),
+        );
         let generated = Instant::now();
-        let rendered = generated_to_value(&plan, &out);
+        let rendered = generated_to_value_with(&plan, &out, mark.as_ref());
         let render_done = Instant::now();
         {
             let mut lat = sync::lock(&shared.latencies);
@@ -875,14 +1519,36 @@ fn run_job(shared: &Shared, id: u64) {
         Ok::<(Arc<Value>, bool), String>((Arc::new(rendered), out.truncated))
     }));
 
+    // Feed the admission predictor whatever happened: service time for
+    // the model, and — for deadline-bearing jobs — whether the deadline
+    // was held. Observed before settling so a follower-promotion requeue
+    // already sees fresh numbers.
+    let elapsed = picked_up.elapsed();
+    {
+        let mut ov = sync::lock(&shared.overload);
+        ov.model.observe_service(plan_key(&spec), elapsed);
+        if let Some(d) = deadline {
+            let missed = elapsed > d;
+            ov.miss_ewma.observe(if missed { 1.0 } else { 0.0 });
+            if missed {
+                shared
+                    .counters
+                    .deadline_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     match outcome {
         Ok(Ok((result, truncated))) => {
-            if !truncated {
-                // Partial archives are deadline/budget artifacts; only
-                // complete results are worth sharing across requests. The
-                // insert is fenced: a panic here (e.g. injected through the
-                // `cache.insert` fail point) poisons the cache lock but the
-                // job still completes, and later lock takers recover.
+            if !truncated && mark.is_none() {
+                // Partial archives are deadline/budget artifacts and
+                // brownout archives reflect degraded caps; only complete,
+                // nominally-resourced results are worth sharing across
+                // requests. The insert is fenced: a panic here (e.g.
+                // injected through the `cache.insert` fail point) poisons
+                // the cache lock but the job still completes, and later
+                // lock takers recover.
                 let key = spec.fingerprint(entry.epoch);
                 let _ = catch_unwind(AssertUnwindSafe(|| {
                     let mut cache = sync::lock(&shared.cache);
@@ -892,6 +1558,10 @@ fn run_job(shared: &Shared, id: u64) {
                     }
                 }));
             }
+            // A brownout archive still serves coalesced followers: it is
+            // a valid (flagged) answer to exactly the job they submitted,
+            // and re-running them would churn work precisely while the
+            // engine is overloaded.
             settle_job(shared, id, Settled::Done { result, truncated });
         }
         Ok(Err(message)) => settle_job(shared, id, Settled::Failed(message)),
@@ -926,15 +1596,31 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
         } => Some(Arc::clone(result)),
         _ => None,
     };
+    // A drain bounces followers along with their leader: none of them ran,
+    // all of them should be replayed elsewhere, so promotion would be
+    // exactly wrong.
+    let draining = matches!(outcome, Settled::Drained);
     let mut promoted: Option<u64> = None;
+    // Client identities whose quota slots free up here; released after the
+    // job locks are dropped (the overload mutex is a leaf).
+    let mut released: Vec<String> = Vec::new();
     {
         let mut inflight = sync::lock(&shared.inflight);
         let mut jobs = sync::lock(&shared.jobs);
         let (fingerprint, followers) = match jobs.get_mut(&id) {
             Some(r) => {
+                // Double-settle guard: the watchdog may declare a job lost
+                // while its worker is still wedged; whichever settlement
+                // lands first wins and the straggler is a no-op.
+                if r.state.is_terminal() {
+                    return;
+                }
                 let fp = r.fingerprint.clone();
                 let fw = std::mem::take(&mut r.followers);
                 r.entry = None;
+                if let Some(c) = &r.spec.client {
+                    released.push(c.clone());
+                }
                 match &outcome {
                     Settled::Done { result, truncated } => {
                         r.state = JobState::Done;
@@ -954,6 +1640,10 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                         r.state = JobState::Cancelled;
                         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                     }
+                    Settled::Drained => {
+                        r.state = JobState::Drained;
+                        shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 (fp, fw)
             }
@@ -964,6 +1654,9 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
             for f in rest.by_ref() {
                 if let Some(fr) = jobs.get_mut(&f) {
                     fr.entry = None;
+                    if let Some(c) = &fr.spec.client {
+                        released.push(c.clone());
+                    }
                     if fr.cancel.cancel_requested() {
                         fr.state = JobState::Cancelled;
                         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -978,18 +1671,34 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                     }
                 }
             }
+        } else if draining {
+            for f in rest.by_ref() {
+                if let Some(fr) = jobs.get_mut(&f) {
+                    fr.entry = None;
+                    fr.state = JobState::Drained;
+                    if let Some(c) = &fr.spec.client {
+                        released.push(c.clone());
+                    }
+                    shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         } else {
             for f in rest.by_ref() {
+                let mut freed: Option<String> = None;
                 let live = jobs.get_mut(&f).is_some_and(|fr| {
                     if fr.cancel.cancel_requested() {
                         fr.state = JobState::Cancelled;
                         fr.entry = None;
+                        freed = fr.spec.client.clone();
                         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
                         false
                     } else {
                         true
                     }
                 });
+                if let Some(c) = freed {
+                    released.push(c);
+                }
                 if live {
                     promoted = Some(f);
                     break;
@@ -1017,6 +1726,17 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
             }
         }
     }
+    if !released.is_empty() && shared.config.client_quota > 0 {
+        let mut ov = sync::lock(&shared.overload);
+        for c in released {
+            if let Some(used) = ov.quotas.get_mut(&c) {
+                *used = used.saturating_sub(1);
+                if *used == 0 {
+                    ov.quotas.remove(&c);
+                }
+            }
+        }
+    }
     if let Some(nl) = promoted {
         let mut q = sync::lock(&shared.queue);
         if q.shutdown {
@@ -1025,6 +1745,11 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
             // anything attached to it) as failed.
             drop(q);
             settle_job(shared, nl, Settled::Failed("engine shutting down".into()));
+        } else if shared.draining.load(Ordering::SeqCst) {
+            // Same for a graceful drain, but with the typed outcome so
+            // the client replays instead of treating it as a failure.
+            drop(q);
+            settle_job(shared, nl, Settled::Drained);
         } else {
             q.queue.push_back(nl);
             drop(q);

@@ -97,7 +97,24 @@ pub struct JobSpec {
     /// Client-supplied idempotency key: resubmitting with the same key
     /// returns the original job id instead of running the job again.
     pub request_key: Option<String>,
+    /// Scheduling priority in `0..=9` (higher = more important; default
+    /// 1). Under load shedding, submissions below the engine's shed
+    /// threshold are rejected first, and a full queue prefers evicting
+    /// its lowest-priority waiter over bouncing a higher-priority
+    /// newcomer.
+    pub priority: u8,
+    /// Client identity for per-client concurrency quotas. Usually left
+    /// unset — the server stamps each connection's identity — but an
+    /// explicit value lets a proxy attribute jobs to its own tenants.
+    pub client: Option<String>,
 }
+
+/// The highest admissible [`JobSpec::priority`]; wire values above it are
+/// clamped.
+pub const MAX_PRIORITY: u8 = 9;
+
+/// The priority a submission gets when it doesn't ask for one.
+pub const DEFAULT_PRIORITY: u8 = 1;
 
 impl JobSpec {
     /// Parses a spec from the wire object (the `job` field of a `submit`).
@@ -137,6 +154,11 @@ impl JobSpec {
                 .get("request_key")
                 .and_then(Value::as_str)
                 .map(str::to_string),
+            priority: v
+                .get("priority")
+                .and_then(Value::as_u64)
+                .map_or(DEFAULT_PRIORITY, |p| p.min(MAX_PRIORITY as u64) as u8),
+            client: v.get("client").and_then(Value::as_str).map(str::to_string),
         })
     }
 
@@ -169,13 +191,20 @@ impl JobSpec {
         if let Some(k) = &self.request_key {
             pairs.push(("request_key", Value::from(k.as_str())));
         }
+        if self.priority != DEFAULT_PRIORITY {
+            pairs.push(("priority", Value::from(self.priority as i64)));
+        }
+        if let Some(c) = &self.client {
+            pairs.push(("client", Value::from(c.as_str())));
+        }
         Value::object(pairs)
     }
 
     /// Cache fingerprint: graph epoch + template hash + every parameter
-    /// that affects the result. Deadlines, the idempotency key, and the
-    /// thread count are deliberately excluded — a completed
-    /// (non-truncated) result is valid whatever deadline produced it, and
+    /// that affects the result. Deadlines, the idempotency key, the
+    /// thread count, the priority, and the client identity are
+    /// deliberately excluded — a completed (non-truncated) result is
+    /// valid whatever deadline, priority, or submitter produced it, and
     /// `parenum`'s archive is identical at any thread count — but the
     /// resource caps are included because a tripped budget changes the
     /// archive.
@@ -304,10 +333,32 @@ pub fn plan_spec_cached<'g>(
 /// The diversity configuration a spec runs under (single source of truth
 /// for both the execution path and the warm-cache key).
 pub fn diversity_for_spec(spec: &JobSpec) -> DiversityConfig {
-    DiversityConfig {
+    diversity_for_spec_with(spec, None)
+}
+
+/// Like [`diversity_for_spec`], with an optional pair-sample override —
+/// the brownout controller's tightened sampling. The override is part of
+/// the warm-cache key (`pair_cap` is a component of the warm layer's
+/// `DivKey`), so tables built under brownout never serve nominal jobs.
+pub fn diversity_for_spec_with(spec: &JobSpec, pair_cap: Option<usize>) -> DiversityConfig {
+    let mut cfg = DiversityConfig {
         lambda: spec.lambda,
         ..DiversityConfig::default()
+    };
+    if let Some(cap) = pair_cap {
+        // Brownout may only shrink the sample.
+        cfg.pair_cap = cfg.pair_cap.min(cap.max(1));
     }
+    cfg
+}
+
+/// Per-run resource overrides (the brownout controller's tightened caps).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOverrides {
+    /// The budget actually applied (already tightened by the caller).
+    pub budget: MatchBudget,
+    /// Diversity pair-sample cap (`None` keeps the spec's own sampling).
+    pub pair_cap: Option<usize>,
 }
 
 /// Runs a planned job, observing `cancel` between verifications.
@@ -324,6 +375,21 @@ pub fn run_plan_shared(
     cancel: &CancelToken,
     shared: Option<&Arc<SharedDiversityCache>>,
 ) -> Generated {
+    run_plan_overridden(plan, spec, cancel, shared, None)
+}
+
+/// Like [`run_plan_shared`], with optional [`RunOverrides`] — the engine's
+/// brownout path, which substitutes tightened caps without mutating the
+/// job's recorded spec.
+pub fn run_plan_overridden(
+    plan: &Plan<'_>,
+    spec: &JobSpec,
+    cancel: &CancelToken,
+    shared: Option<&Arc<SharedDiversityCache>>,
+    overrides: Option<&RunOverrides>,
+) -> Generated {
+    let budget = overrides.map_or(spec.budget, |o| o.budget);
+    let diversity = diversity_for_spec_with(spec, overrides.and_then(|o| o.pair_cap));
     let mut cfg = Configuration::new(
         plan.graph,
         &plan.template,
@@ -331,10 +397,10 @@ pub fn run_plan_shared(
         &plan.groups,
         &plan.spec,
         spec.eps,
-        diversity_for_spec(spec),
+        diversity,
     )
     .with_cancel(cancel)
-    .with_budget(spec.budget);
+    .with_budget(budget);
     if let Some(shared) = shared {
         cfg = cfg.with_shared_diversity(shared);
     }
@@ -348,9 +414,50 @@ pub fn run_plan_shared(
     }
 }
 
+/// How a brownout-degraded run was constrained, for the result's
+/// `stats.brownout` flag. Results carrying this mark are valid ε-Pareto
+/// archives — just computed under tighter caps, so possibly coarser —
+/// and are never admitted to the result cache.
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutMark {
+    /// The pressure-level name the job ran under (`degraded`/`shedding`).
+    pub level: &'static str,
+    /// The budget actually applied.
+    pub budget: MatchBudget,
+    /// The pair-sample cap applied, if tightened.
+    pub pair_cap: Option<usize>,
+}
+
+impl BrownoutMark {
+    fn to_value(self) -> Value {
+        let cap = |o: Option<u64>| o.map_or(Value::Null, |v| Value::from(v as i64));
+        Value::object([
+            ("level", Value::from(self.level)),
+            ("max_candidates", cap(self.budget.max_candidates)),
+            ("max_steps", cap(self.budget.max_steps)),
+            ("max_matches", cap(self.budget.max_matches)),
+            (
+                "pair_cap",
+                self.pair_cap.map_or(Value::Null, |c| Value::from(c as i64)),
+            ),
+        ])
+    }
+}
+
 /// Renders a generation result into its wire form. Entries are sorted by
 /// descending coverage, then descending diversity (the CLI's order).
 pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
+    generated_to_value_with(plan, out, None)
+}
+
+/// Like [`generated_to_value`], stamping `stats.brownout` when the run
+/// was degraded (`Null` on a nominal run, so clients can always read the
+/// field).
+pub fn generated_to_value_with(
+    plan: &Plan<'_>,
+    out: &Generated,
+    brownout: Option<&BrownoutMark>,
+) -> Value {
     let schema = plan.graph.schema();
     let mut entries = out.entries.clone();
     entries.sort_by(|a, b| {
@@ -451,6 +558,7 @@ pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
                         None => Value::Null,
                     },
                 ),
+                ("brownout", brownout.map_or(Value::Null, |m| m.to_value())),
             ]),
         ),
     ])
@@ -489,6 +597,8 @@ mod tests {
             deadline_ms: None,
             budget: MatchBudget::UNLIMITED,
             request_key: None,
+            priority: DEFAULT_PRIORITY,
+            client: None,
         }
     }
 
@@ -538,6 +648,92 @@ mod tests {
         let mut sk = s.clone();
         sk.request_key = Some("idem".into());
         assert_eq!(a, sk.fingerprint(1));
+    }
+
+    #[test]
+    fn fingerprint_invariant_to_priority_and_client() {
+        // A cached archive is valid whoever asked for it and however
+        // urgently: scheduling metadata must never partition the cache.
+        let s = spec();
+        let a = s.fingerprint(1);
+        let mut sp = s.clone();
+        sp.priority = 9;
+        assert_eq!(a, sp.fingerprint(1), "priority must not affect the key");
+        let mut sc = s.clone();
+        sc.client = Some("tenant-7".into());
+        assert_eq!(a, sc.fingerprint(1), "client must not affect the key");
+    }
+
+    #[test]
+    fn priority_and_client_roundtrip_and_clamp() {
+        let mut s = spec();
+        s.priority = 7;
+        s.client = Some("conn-3".into());
+        let back = JobSpec::from_value(&s.to_value()).unwrap();
+        assert_eq!(back.priority, 7);
+        assert_eq!(back.client.as_deref(), Some("conn-3"));
+        // Default when absent; clamped when out of range.
+        let bare = JobSpec::from_value(&spec().to_value()).unwrap();
+        assert_eq!(bare.priority, DEFAULT_PRIORITY);
+        let v = Value::object([
+            ("graph", Value::from("g")),
+            ("template", Value::from(TEMPLATE)),
+            ("group_attr", Value::from("gender")),
+            ("cover", Value::from(5i64)),
+            ("priority", Value::from(99i64)),
+        ]);
+        let clamped = JobSpec::from_value(&v).unwrap();
+        assert_eq!(clamped.priority, MAX_PRIORITY);
+    }
+
+    #[test]
+    fn brownout_mark_lands_in_stats() {
+        let g = graph();
+        let s = spec();
+        let plan = plan_spec(&g, &s).unwrap();
+        let out = run_plan(&plan, &s, &CancelToken::new());
+        let nominal = generated_to_value(&plan, &out);
+        assert!(matches!(
+            nominal.get("stats").and_then(|st| st.get("brownout")),
+            Some(Value::Null)
+        ));
+        let mark = BrownoutMark {
+            level: "degraded",
+            budget: MatchBudget {
+                max_steps: Some(1000),
+                ..MatchBudget::UNLIMITED
+            },
+            pair_cap: Some(64),
+        };
+        let degraded = generated_to_value_with(&plan, &out, Some(&mark));
+        let b = degraded.get("stats").and_then(|st| st.get("brownout"));
+        let b = b.expect("brownout stamped");
+        assert_eq!(b.get("level").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(b.get("max_steps").and_then(Value::as_u64), Some(1000));
+        assert_eq!(b.get("pair_cap").and_then(Value::as_u64), Some(64));
+    }
+
+    #[test]
+    fn overrides_tighten_the_run() {
+        let g = graph();
+        let s = spec();
+        let plan = plan_spec(&g, &s).unwrap();
+        let overrides = RunOverrides {
+            budget: MatchBudget {
+                max_steps: Some(1),
+                ..MatchBudget::UNLIMITED
+            },
+            pair_cap: Some(8),
+        };
+        let out = run_plan_overridden(&plan, &s, &CancelToken::new(), None, Some(&overrides));
+        assert!(out.truncated, "a one-step budget must trip");
+        // The pair-cap override shrinks sampling but never grows it.
+        assert_eq!(diversity_for_spec_with(&s, Some(8)).pair_cap, 8);
+        let default_cap = DiversityConfig::default().pair_cap;
+        assert_eq!(
+            diversity_for_spec_with(&s, Some(default_cap * 10)).pair_cap,
+            default_cap
+        );
     }
 
     #[test]

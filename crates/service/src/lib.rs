@@ -36,6 +36,8 @@
 //!     deadline_ms: None,
 //!     budget: fairsqg_algo::MatchBudget::UNLIMITED,
 //!     request_key: None,
+//!     priority: fairsqg_service::job::DEFAULT_PRIORITY,
+//!     client: None,
 //! }).unwrap();
 //! while engine.status(id).unwrap().state != JobState::Done {
 //!     std::thread::yield_now();
@@ -50,6 +52,7 @@ mod cache;
 mod client;
 mod engine;
 pub mod job;
+pub mod overload;
 pub mod proto;
 mod registry;
 mod server;
@@ -60,9 +63,15 @@ pub use cache::{CacheStats, LruCache};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use engine::{Engine, EngineConfig, JobState, JobStatus, SubmitError};
 pub use job::{
-    diversity_for_spec, generated_to_value, plan_key, plan_spec, plan_spec_cached, run_plan,
-    run_plan_shared, AlgoKind, JobSpec, Plan,
+    diversity_for_spec, diversity_for_spec_with, generated_to_value, generated_to_value_with,
+    plan_key, plan_spec, plan_spec_cached, run_plan, run_plan_overridden, run_plan_shared,
+    AlgoKind, BrownoutMark, JobSpec, Plan, RunOverrides, DEFAULT_PRIORITY, MAX_PRIORITY,
 };
-pub use registry::{GraphEntry, GraphRegistry, LoadError, LoadKind, RegistryStats, WarmPoolStats};
+pub use overload::{
+    BrownoutConfig, Ewma, PressureController, PressureInputs, PressureLevel, ServiceModel,
+};
+pub use registry::{
+    GraphEntry, GraphRegistry, LoadError, LoadKind, ManifestReport, RegistryStats, WarmPoolStats,
+};
 pub use server::{spawn, spawn_with, Server, ServerOptions, StopHandle};
 pub use warm::{WarmCounters, WarmPlan, WarmState};

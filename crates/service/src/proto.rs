@@ -13,14 +13,24 @@
 //! | `stats`     | —                              | engine statistics          |
 //! | `graphs`    | —                              | `{"graphs": [...]}`        |
 //! | `load`      | `name`, `path`                 | `{"name", "epoch"}`        |
+//! | `drain`     | —                              | `{"draining", "bounced"}`  |
 //! | `shutdown`  | —                              | `{"stopping": true}`       |
 //!
 //! Responses are `{"ok": true, ...body}` or
 //! `{"ok": false, "error": {"code", "message"}}`. Error codes:
-//! `bad_request`, `unknown_graph`, `overloaded`, `shutting_down`,
-//! `not_found`, `not_ready`, `internal`, `load_failed`, `parse_error`.
+//! `bad_request`, `unknown_graph`, `overloaded`, `deadline_unmeetable`,
+//! `quota_exceeded`, `shed`, `draining`, `shutting_down`, `not_found`,
+//! `not_ready`, `internal`, `load_failed`, `parse_error`.
 //! `parse_error` additionally carries 1-based `line` and `column` fields
-//! locating the malformed input.
+//! locating the malformed input. Load-related rejections (`overloaded`,
+//! `deadline_unmeetable`, `quota_exceeded`, `shed`) carry a
+//! `retry_after_ms` hint — an honest prediction of when retrying might
+//! succeed — and `draining` means *this* server won't take the job at
+//! all: replay it elsewhere via the request key.
+//!
+//! Submissions are attributed to a client identity for per-client quotas:
+//! the job's own `client` field if set, else the connection tag the
+//! server passes to [`handle_request_from`].
 
 use crate::engine::{Engine, JobState, SubmitError};
 use crate::job::JobSpec;
@@ -36,6 +46,22 @@ pub fn error_response(code: &'static str, message: &str) -> Value {
             Value::object([
                 ("code", Value::from(code)),
                 ("message", Value::from(message)),
+            ]),
+        ),
+    ])
+}
+
+/// Like [`error_response`], with the `retry_after_ms` hint rejections
+/// carry.
+pub fn retry_response(code: &'static str, message: &str, retry_after_ms: u64) -> Value {
+    Value::object([
+        ("ok", Value::from(false)),
+        (
+            "error",
+            Value::object([
+                ("code", Value::from(code)),
+                ("message", Value::from(message)),
+                ("retry_after_ms", Value::from(retry_after_ms)),
             ]),
         ),
     ])
@@ -64,6 +90,17 @@ fn status_body(engine: &Engine, id: u64) -> Option<Vec<(&'static str, Value)>> {
 /// Handles one parsed request against the engine. Returns the response and
 /// whether the server should begin shutting down.
 pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
+    handle_request_from(engine, request, None)
+}
+
+/// Like [`handle_request`], stamping submissions that carry no explicit
+/// `client` field with `client_tag` (the server's per-connection
+/// identity), so per-client quotas apply to anonymous submitters too.
+pub fn handle_request_from(
+    engine: &Engine,
+    request: &Value,
+    client_tag: Option<&str>,
+) -> (Value, bool) {
     let Some(op) = request.get("op").and_then(Value::as_str) else {
         return (error_response("bad_request", "missing 'op'"), false);
     };
@@ -81,26 +118,65 @@ pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
             };
             match JobSpec::from_value(job) {
                 Err(m) => error_response("bad_request", &m),
-                Ok(spec) => match engine.submit(spec) {
-                    Ok(id) => {
-                        let state = engine.status(id).map_or(JobState::Queued, |s| s.state);
-                        ok_response(vec![
-                            ("id", Value::from(id)),
-                            ("state", Value::from(state.name())),
-                        ])
+                Ok(mut spec) => {
+                    if spec.client.is_none() {
+                        spec.client = client_tag.map(str::to_string);
                     }
-                    Err(SubmitError::Overloaded { capacity }) => error_response(
-                        "overloaded",
-                        &format!("queue full ({capacity} jobs); retry later"),
-                    ),
-                    Err(SubmitError::UnknownGraph(name)) => {
-                        error_response("unknown_graph", &format!("no graph named '{name}'"))
+                    match engine.submit(spec) {
+                        Ok(id) => {
+                            let state = engine.status(id).map_or(JobState::Queued, |s| s.state);
+                            ok_response(vec![
+                                ("id", Value::from(id)),
+                                ("state", Value::from(state.name())),
+                            ])
+                        }
+                        Err(SubmitError::Overloaded {
+                            capacity,
+                            retry_after_ms,
+                        }) => retry_response(
+                            "overloaded",
+                            &format!("queue full ({capacity} jobs); retry later"),
+                            retry_after_ms,
+                        ),
+                        Err(SubmitError::DeadlineUnmeetable {
+                            deadline_ms,
+                            predicted_ms,
+                            retry_after_ms,
+                        }) => retry_response(
+                            "deadline_unmeetable",
+                            &format!(
+                                "predicted completion {predicted_ms}ms exceeds the \
+                                 {deadline_ms}ms deadline; not admitting"
+                            ),
+                            retry_after_ms,
+                        ),
+                        Err(SubmitError::QuotaExceeded {
+                            client,
+                            limit,
+                            retry_after_ms,
+                        }) => retry_response(
+                            "quota_exceeded",
+                            &format!("client '{client}' already has {limit} unsettled jobs"),
+                            retry_after_ms,
+                        ),
+                        Err(SubmitError::Shed { retry_after_ms }) => retry_response(
+                            "shed",
+                            "shed under overload: priority below the shedding threshold",
+                            retry_after_ms,
+                        ),
+                        Err(SubmitError::UnknownGraph(name)) => {
+                            error_response("unknown_graph", &format!("no graph named '{name}'"))
+                        }
+                        Err(SubmitError::Draining) => error_response(
+                            "draining",
+                            "server is draining; replay via your request key elsewhere",
+                        ),
+                        Err(SubmitError::ShuttingDown) => {
+                            error_response("shutting_down", "engine is draining")
+                        }
+                        Err(SubmitError::Internal(m)) => error_response("internal", &m),
                     }
-                    Err(SubmitError::ShuttingDown) => {
-                        error_response("shutting_down", "engine is draining")
-                    }
-                    Err(SubmitError::Internal(m)) => error_response("internal", &m),
-                },
+                }
             }
         }
         "status" => match id_field() {
@@ -125,6 +201,10 @@ pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
                 Some(s) if s.state == JobState::Failed => {
                     error_response("internal", s.error.as_deref().unwrap_or("job failed"))
                 }
+                Some(s) if s.state == JobState::Drained => error_response(
+                    "draining",
+                    &format!("job {id} was drained before running; replay it elsewhere"),
+                ),
                 Some(s) => error_response("not_ready", &format!("job {id} is {}", s.state.name())),
             },
         },
@@ -199,6 +279,14 @@ pub fn handle_request(engine: &Engine, request: &Value) -> (Value, bool) {
                     }
                 },
             }
+        }
+        "drain" => {
+            let (bounced, running) = engine.begin_drain();
+            ok_response(vec![
+                ("draining", Value::from(true)),
+                ("bounced", Value::from(bounced as u64)),
+                ("running", Value::from(running as u64)),
+            ])
         }
         "shutdown" => {
             return (ok_response(vec![("stopping", Value::from(true))]), true);

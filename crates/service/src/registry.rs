@@ -8,8 +8,10 @@
 //! graph simply stop being reachable instead of needing eager eviction.
 
 use crate::warm::{WarmCounters, WarmState};
+use fairsqg_faults::Fault;
 use fairsqg_graph::{Graph, IoError};
 use fairsqg_store::StoreError;
+use fairsqg_wire::Value;
 use std::collections::HashMap;
 use std::fmt;
 use std::io::BufReader;
@@ -103,6 +105,19 @@ pub struct RegistryStats {
     pub heap_bytes: usize,
     /// Bytes served zero-copy out of file mappings.
     pub mapped_bytes: usize,
+    /// Paths quarantined after a corrupt `.fsg` load.
+    pub quarantined: usize,
+}
+
+/// Outcome of [`GraphRegistry::load_manifest`]: which entries loaded and
+/// which were skipped (with the reason), so a restart can report partial
+/// recovery instead of failing wholesale on one bad file.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestReport {
+    /// Names successfully (re)loaded.
+    pub loaded: Vec<String>,
+    /// `(name, reason)` for entries that failed to load and were skipped.
+    pub skipped: Vec<(String, String)>,
 }
 
 /// A registered graph together with its load epoch.
@@ -196,6 +211,16 @@ pub struct GraphRegistry {
     warm_counters: Arc<WarmCounters>,
     parse_loads: AtomicU64,
     mmap_loads: AtomicU64,
+    /// Paths whose `.fsg` bytes failed validation (digest mismatch, bad
+    /// section data, ...): path → reason. A quarantined path fast-fails
+    /// on reload until [`GraphRegistry::clear_quarantine`] — corrupt
+    /// bytes don't heal themselves, and re-validating a multi-GiB file
+    /// on every retry is exactly the work an overloaded server can't
+    /// spare.
+    quarantine: Mutex<HashMap<String, String>>,
+    /// Where each registered name was loaded from (file-backed loads
+    /// only): name → (path, kind). Feeds the restart manifest.
+    sources: Mutex<HashMap<String, (String, LoadKind)>>,
 }
 
 impl GraphRegistry {
@@ -219,6 +244,10 @@ impl GraphRegistry {
         );
         drop(map);
         crate::sync::lock(&self.warm).entries.remove(name);
+        // An in-memory insert has no file behind it; drop any stale
+        // source so the manifest never points a restart at old bytes.
+        // File-backed loads re-record their source right after this.
+        crate::sync::lock(&self.sources).remove(name);
         epoch
     }
 
@@ -304,20 +333,56 @@ impl GraphRegistry {
             },
         })?;
         self.parse_loads.fetch_add(1, Ordering::Relaxed);
-        Ok(self.insert(name, graph))
+        let epoch = self.insert(name, graph);
+        crate::sync::lock(&self.sources)
+            .insert(name.to_string(), (path.to_string(), LoadKind::Parse));
+        Ok(epoch)
     }
 
     /// Loads a binary `.fsg` container under `name`: validate, memory-map,
     /// swap the entry and bump the epoch — no text parse, no index
     /// rebuild. The previous mapping (if any) stays alive until the last
     /// in-flight job drops its pinned `Arc`.
+    ///
+    /// Validation failures (bad magic, digest mismatch, corrupt sections —
+    /// anything other than plain I/O) **quarantine** the path: subsequent
+    /// loads of the same path fast-fail without re-reading the file until
+    /// [`clear_quarantine`](Self::clear_quarantine).
     pub fn load_store(&self, name: &str, path: &str) -> Result<u64, LoadError> {
+        if let Some(reason) = crate::sync::lock(&self.quarantine).get(path).cloned() {
+            return Err(LoadError::Store(format!(
+                "{path}: quarantined after corrupt load ({reason}); \
+                 clear the quarantine to retry"
+            )));
+        }
         let loaded = fairsqg_store::open_path(Path::new(path)).map_err(|e| match e {
             StoreError::Io(io) => LoadError::Io(format!("cannot open {path}: {io}")),
-            other => LoadError::Store(format!("{path}: {other}")),
+            other => {
+                crate::sync::lock(&self.quarantine).insert(path.to_string(), other.to_string());
+                LoadError::Store(format!("{path}: {other}"))
+            }
         })?;
         self.mmap_loads.fetch_add(1, Ordering::Relaxed);
-        Ok(self.insert(name, loaded.graph))
+        let epoch = self.insert(name, loaded.graph);
+        crate::sync::lock(&self.sources)
+            .insert(name.to_string(), (path.to_string(), LoadKind::MmapSwap));
+        Ok(epoch)
+    }
+
+    /// Quarantined paths with their reasons, sorted by path.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = crate::sync::lock(&self.quarantine)
+            .iter()
+            .map(|(p, r)| (p.clone(), r.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Lifts the quarantine on `path` (e.g. after the file was rewritten).
+    /// Returns whether the path was quarantined.
+    pub fn clear_quarantine(&self, path: &str) -> bool {
+        crate::sync::lock(&self.quarantine).remove(path).is_some()
     }
 
     /// Loads a graph file under `name`, picking the path by extension:
@@ -342,6 +407,7 @@ impl GraphRegistry {
             mmap_loads: self.mmap_loads.load(Ordering::Relaxed),
             heap_bytes: 0,
             mapped_bytes: 0,
+            quarantined: crate::sync::lock(&self.quarantine).len(),
         };
         for entry in map.values() {
             let f = entry.graph.storage();
@@ -365,6 +431,114 @@ impl GraphRegistry {
             .collect();
         out.sort();
         out
+    }
+
+    /// Writes a versioned manifest of every file-backed graph to `path`
+    /// (temp-file + rename, so a crash mid-write never leaves a torn
+    /// manifest). Returns the number of entries written. In-memory
+    /// graphs have no file to point at and are omitted.
+    ///
+    /// Format: `{"version": 1, "graphs": [{"name", "path", "kind",
+    /// "epoch"}, ...]}`, one JSON object, sorted by name.
+    ///
+    /// Honors the `manifest.write` fail point: an `error` fault surfaces
+    /// as an I/O failure; `return` silently skips the write (a lost
+    /// manifest, for crash-drill tests).
+    pub fn write_manifest(&self, path: &str) -> Result<usize, LoadError> {
+        let mut entries: Vec<(String, String, LoadKind, u64)> = {
+            let sources = crate::sync::lock(&self.sources);
+            let map = crate::sync::read(&self.inner);
+            sources
+                .iter()
+                .filter_map(|(name, (src, kind))| {
+                    map.get(name)
+                        .map(|e| (name.clone(), src.clone(), *kind, e.epoch))
+                })
+                .collect()
+        };
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let count = entries.len();
+        let graphs: Vec<Value> = entries
+            .into_iter()
+            .map(|(name, src, kind, epoch)| {
+                Value::object([
+                    ("name", Value::from(name)),
+                    ("path", Value::from(src)),
+                    ("kind", Value::from(kind.as_str())),
+                    ("epoch", Value::from(epoch)),
+                ])
+            })
+            .collect();
+        let manifest = Value::object([
+            ("version", Value::from(1u64)),
+            ("graphs", Value::Array(graphs)),
+        ]);
+        match fairsqg_faults::fire("manifest.write") {
+            Some(Fault::Error(m)) => {
+                return Err(LoadError::Io(format!("manifest write {path}: {m}")))
+            }
+            Some(Fault::ReturnEarly) => return Ok(count),
+            None => {}
+        }
+        let mut text = manifest.to_string();
+        text.push('\n');
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, text.as_bytes())
+            .map_err(|e| LoadError::Io(format!("cannot write {tmp}: {e}")))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| LoadError::Io(format!("cannot rename {tmp} -> {path}: {e}")))?;
+        Ok(count)
+    }
+
+    /// Reloads every graph listed in a manifest written by
+    /// [`write_manifest`](Self::write_manifest). Entries that fail to
+    /// load (missing file, corrupt bytes, quarantined path) are skipped
+    /// and reported — one bad file must not sink the whole restart.
+    ///
+    /// Honors the `manifest.read` fail point: an `error` fault surfaces
+    /// as an I/O failure; `return` behaves as an empty manifest.
+    pub fn load_manifest(&self, path: &str) -> Result<ManifestReport, LoadError> {
+        match fairsqg_faults::fire("manifest.read") {
+            Some(Fault::Error(m)) => {
+                return Err(LoadError::Io(format!("manifest read {path}: {m}")))
+            }
+            Some(Fault::ReturnEarly) => return Ok(ManifestReport::default()),
+            None => {}
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| LoadError::Io(format!("cannot read {path}: {e}")))?;
+        let value = fairsqg_wire::parse(&text)
+            .map_err(|e| LoadError::Io(format!("{path}: invalid manifest JSON: {e}")))?;
+        match value.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            other => {
+                return Err(LoadError::Io(format!(
+                    "{path}: unsupported manifest version {other:?} (this build reads 1)"
+                )))
+            }
+        }
+        let Some(Value::Array(graphs)) = value.get("graphs") else {
+            return Err(LoadError::Io(format!(
+                "{path}: manifest has no 'graphs' array"
+            )));
+        };
+        let mut report = ManifestReport::default();
+        for entry in graphs {
+            let name = entry.get("name").and_then(Value::as_str);
+            let src = entry.get("path").and_then(Value::as_str);
+            let (Some(name), Some(src)) = (name, src) else {
+                report.skipped.push((
+                    name.unwrap_or("<unnamed>").to_string(),
+                    "manifest entry missing 'name' or 'path'".to_string(),
+                ));
+                continue;
+            };
+            match self.load_path(name, src) {
+                Ok(_) => report.loaded.push(name.to_string()),
+                Err(e) => report.skipped.push((name.to_string(), e.to_string())),
+            }
+        }
+        Ok(report)
     }
 
     /// Number of registered graphs.
@@ -541,6 +715,113 @@ mod tests {
             "an mmap-swapped graph must report mapped bytes"
         );
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_store_quarantines_path_until_cleared() {
+        let dir = std::env::temp_dir().join(format!("fairsqg-reg-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.fsg");
+        std::fs::write(&path, b"garbage, not a container").unwrap();
+        let reg = GraphRegistry::new();
+        let p = path.to_str().unwrap();
+
+        // First load validates and fails; the path is now quarantined.
+        let first = reg.load_path("g", p).unwrap_err();
+        assert!(matches!(first, LoadError::Store(_)), "got {first:?}");
+        assert_eq!(reg.stats().quarantined, 1);
+        assert_eq!(reg.quarantined().len(), 1);
+
+        // Second load fast-fails without touching the file.
+        let second = reg.load_path("g", p).unwrap_err();
+        match &second {
+            LoadError::Store(m) => {
+                assert!(
+                    m.contains("quarantined"),
+                    "fast-fail names the quarantine: {m}"
+                )
+            }
+            other => panic!("expected Store error, got {other:?}"),
+        }
+
+        // Rewrite good bytes, lift the quarantine: the load succeeds.
+        fairsqg_store::write_graph_to_path(&tiny(), &path).unwrap();
+        assert!(reg.clear_quarantine(p));
+        assert!(!reg.clear_quarantine(p), "second clear is a no-op");
+        let (epoch, kind) = reg.load_path("g", p).unwrap();
+        assert_eq!((epoch, kind), (1, LoadKind::MmapSwap));
+        assert_eq!(reg.stats().quarantined, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_reloads_file_backed_graphs() {
+        let dir = std::env::temp_dir().join(format!("fairsqg-reg-man-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = tiny();
+        let tsv = dir.join("a.tsv");
+        let fsg = dir.join("b.fsg");
+        {
+            let mut out = Vec::new();
+            fairsqg_graph::write_tsv(&g, &mut out).unwrap();
+            std::fs::write(&tsv, out).unwrap();
+        }
+        fairsqg_store::write_graph_to_path(&g, &fsg).unwrap();
+
+        let reg = GraphRegistry::new();
+        reg.load_path("a", tsv.to_str().unwrap()).unwrap();
+        reg.load_path("b", fsg.to_str().unwrap()).unwrap();
+        // In-memory graphs have no file and must not appear.
+        reg.insert("mem", tiny());
+        let manifest = dir.join("manifest.json");
+        let written = reg.write_manifest(manifest.to_str().unwrap()).unwrap();
+        assert_eq!(written, 2);
+
+        // A fresh registry (a restarted process) recovers both graphs.
+        let fresh = GraphRegistry::new();
+        let report = fresh.load_manifest(manifest.to_str().unwrap()).unwrap();
+        assert_eq!(report.loaded, vec!["a".to_string(), "b".to_string()]);
+        assert!(report.skipped.is_empty());
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(fresh.get("b").unwrap().graph.node_count(), g.node_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_skips_unloadable_entries() {
+        let dir = std::env::temp_dir().join(format!("fairsqg-reg-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fsg = dir.join("good.fsg");
+        fairsqg_store::write_graph_to_path(&tiny(), &fsg).unwrap();
+        let manifest = dir.join("manifest.json");
+        std::fs::write(
+            &manifest,
+            format!(
+                "{{\"version\":1,\"graphs\":[\
+                 {{\"name\":\"good\",\"path\":\"{}\",\"kind\":\"mmap_swap\",\"epoch\":1}},\
+                 {{\"name\":\"gone\",\"path\":\"{}/missing.fsg\",\"kind\":\"mmap_swap\",\"epoch\":1}},\
+                 {{\"name\":\"incomplete\"}}]}}\n",
+                fsg.to_str().unwrap(),
+                dir.to_str().unwrap()
+            ),
+        )
+        .unwrap();
+        let reg = GraphRegistry::new();
+        let report = reg.load_manifest(manifest.to_str().unwrap()).unwrap();
+        assert_eq!(report.loaded, vec!["good".to_string()]);
+        assert_eq!(
+            report.skipped.len(),
+            2,
+            "bad entries reported: {:?}",
+            report.skipped
+        );
+        assert_eq!(reg.len(), 1);
+
+        // A manifest from the future is refused outright.
+        std::fs::write(&manifest, "{\"version\":9,\"graphs\":[]}\n").unwrap();
+        let err = reg.load_manifest(manifest.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)), "got {err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

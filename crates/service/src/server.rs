@@ -13,15 +13,19 @@
 //! dropped connection or a panic.
 
 use crate::engine::Engine;
-use crate::proto::{error_response, handle_request};
+use crate::proto::{error_response, handle_request_from};
 use crate::sync;
 use fairsqg_faults::Fault;
 use fairsqg_wire::FrameError;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Connection sequence for per-connection client tags (`conn-<n>`), the
+/// default identity per-client quotas attribute anonymous submissions to.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Transport limits of a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +180,7 @@ fn serve_connection(
         Ok(w) => w,
         Err(_) => return false,
     };
+    let conn_tag = format!("conn-{}", CONN_SEQ.fetch_add(1, Ordering::Relaxed));
     let mut reader = BufReader::new(stream);
     loop {
         if stopping.load(Ordering::Acquire) {
@@ -188,7 +193,7 @@ fn serve_connection(
                     continue;
                 }
                 match fairsqg_wire::parse(&line) {
-                    Ok(request) => handle_request(engine, &request),
+                    Ok(request) => handle_request_from(engine, &request, Some(&conn_tag)),
                     Err(e) => (
                         error_response("bad_request", &format!("invalid JSON: {e}")),
                         false,

@@ -32,6 +32,8 @@ fn spec(lambda: f64) -> JobSpec {
         deadline_ms: None,
         budget: fairsqg_algo::MatchBudget::UNLIMITED,
         request_key: None,
+        priority: fairsqg_service::DEFAULT_PRIORITY,
+        client: None,
     }
 }
 

@@ -40,6 +40,11 @@ pub struct ConvertStats {
     pub edges: u64,
     /// Container bytes written.
     pub bytes: u64,
+    /// Whole-file xxHash64 digest of the container. [`convert_tsv_path`]
+    /// stamps it into the header; [`convert_tsv`]'s generic sink keeps a
+    /// zero ("absent") header field, and the caller may patch this value
+    /// into [`crate::format::DIGEST_OFFSET`] itself.
+    pub digest: u64,
 }
 
 /// Columnar accumulation sink for [`parse_tsv`].
@@ -184,11 +189,12 @@ impl ConvertSink {
             domains: &domains,
             shard_target: DEFAULT_SHARD_TARGET as u32,
         };
-        let bytes = write_container(&src, w)?;
+        let (bytes, digest) = write_container(&src, w)?;
         Ok(ConvertStats {
             nodes: n as u64,
             edges: out_adj.len() as u64,
             bytes,
+            digest,
         })
     }
 }
@@ -208,8 +214,8 @@ pub fn convert_tsv_path(src: &Path, dst: &Path) -> Result<ConvertStats, IoError>
     let file = std::fs::File::create(dst)?;
     let mut out = std::io::BufWriter::new(file);
     let stats = convert_tsv(input, &mut out).map_err(|e| e.with_path(src))?;
-    out.into_inner()
-        .map_err(|e| IoError::Io(e.into_error()))?
-        .sync_all()?;
+    let mut file = out.into_inner().map_err(|e| IoError::Io(e.into_error()))?;
+    crate::write::patch_digest(&mut file, stats.digest)?;
+    file.sync_all()?;
     Ok(stats)
 }

@@ -16,8 +16,19 @@ use crate::error::{corrupt, StoreError};
 
 /// First 8 bytes of every `.fsg` file.
 pub const MAGIC: [u8; 8] = *b"FAIRSQG1";
-/// The container format version this build reads and writes.
-pub const VERSION: u32 = 1;
+/// The container format version this build **writes**. Version 2 added the
+/// whole-file xxHash64 digest at header bytes `[40..48)`; version-1 files
+/// (those bytes required zero) are still read.
+pub const VERSION: u32 = 2;
+/// The oldest container format version this build still reads.
+pub const MIN_VERSION: u32 = 1;
+/// Byte offset of the v2 whole-file digest inside the header. The digest
+/// is xxHash64 (seed 0) of the entire file *with these 8 bytes treated as
+/// zero*, so a writer can stream the container with a zero placeholder and
+/// patch the digest in afterwards without changing the hashed content. A
+/// stored digest of 0 means "absent" (v1 files, or writers over
+/// non-seekable sinks): the reader then skips verification.
+pub const DIGEST_OFFSET: usize = 40;
 /// Endianness canary: written little-endian, so a big-endian writer would
 /// produce a different byte sequence and be rejected at load.
 pub const ENDIAN_MARK: u32 = 0x1A2B_3C4D;
@@ -98,6 +109,9 @@ pub struct Header {
     pub section_count: u32,
     /// Shard size target the partition table is rebuilt with at load.
     pub shard_target: u32,
+    /// Whole-file xxHash64 digest (v2; see [`DIGEST_OFFSET`]). `0` =
+    /// absent: v1 files, and v2 streams that could not be patched.
+    pub digest: u64,
 }
 
 impl Header {
@@ -111,6 +125,7 @@ impl Header {
         out[24..32].copy_from_slice(&self.edge_count.to_le_bytes());
         out[32..36].copy_from_slice(&self.section_count.to_le_bytes());
         out[36..40].copy_from_slice(&self.shard_target.to_le_bytes());
+        out[DIGEST_OFFSET..DIGEST_OFFSET + 8].copy_from_slice(&self.digest.to_le_bytes());
         out
     }
 
@@ -136,7 +151,7 @@ impl Header {
             });
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -146,14 +161,22 @@ impl Header {
         if endian != ENDIAN_MARK {
             return Err(StoreError::BadEndianness);
         }
-        if bytes[40..HEADER_BYTES].iter().any(|&b| b != 0) {
+        // v1 reserved the whole tail; v2 carved the digest out of it.
+        let reserved_from = if version >= 2 { DIGEST_OFFSET + 8 } else { 40 };
+        if bytes[reserved_from..HEADER_BYTES].iter().any(|&b| b != 0) {
             return Err(corrupt("header", "nonzero reserved bytes"));
         }
+        let digest = if version >= 2 {
+            u64::from_le_bytes(bytes[DIGEST_OFFSET..DIGEST_OFFSET + 8].try_into().unwrap())
+        } else {
+            0
+        };
         Ok(Self {
             node_count: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
             edge_count: u64::from_le_bytes(bytes[24..32].try_into().unwrap()),
             section_count: u32::from_le_bytes(bytes[32..36].try_into().unwrap()),
             shard_target: u32::from_le_bytes(bytes[36..40].try_into().unwrap()),
+            digest,
         })
     }
 }
@@ -210,8 +233,29 @@ mod tests {
             edge_count: 34,
             section_count: 15,
             shard_target: 4096,
+            digest: 0xDEAD_BEEF_0BAD_F00D,
         };
         assert_eq!(Header::parse(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn version1_headers_still_parse() {
+        let h = Header {
+            node_count: 12,
+            edge_count: 34,
+            section_count: 15,
+            shard_target: 4096,
+            digest: 0,
+        };
+        let mut v1 = h.to_bytes();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(Header::parse(&v1).unwrap(), h);
+        // In a v1 file the digest bytes are *reserved* and must be zero.
+        v1[DIGEST_OFFSET] = 7;
+        assert!(matches!(
+            Header::parse(&v1),
+            Err(StoreError::Corrupt { .. })
+        ));
     }
 
     #[test]
@@ -221,6 +265,7 @@ mod tests {
             edge_count: 0,
             section_count: 15,
             shard_target: 4096,
+            digest: 1,
         };
         let good = h.to_bytes();
 

@@ -34,6 +34,7 @@ pub mod format;
 pub mod mmap;
 mod read;
 mod write;
+pub mod xxhash;
 
 pub use convert::{convert_tsv, convert_tsv_path, ConvertStats};
 pub use error::StoreError;

@@ -12,7 +12,7 @@
 
 use crate::error::{corrupt, StoreError};
 use crate::format::{
-    section, Header, SectionEntry, HEADER_BYTES, REQUIRED_SECTIONS, SECTION_ALIGN,
+    section, Header, SectionEntry, DIGEST_OFFSET, HEADER_BYTES, REQUIRED_SECTIONS, SECTION_ALIGN,
     SECTION_ENTRY_BYTES, VERSION,
 };
 use crate::mmap::FileBytes;
@@ -407,6 +407,27 @@ fn pair_of(
 pub fn load_bytes(owner: Arc<dyn StableBytes>) -> Result<Graph, StoreError> {
     let bytes = owner.stable_bytes();
     let header = Header::parse(bytes)?;
+    // Whole-file integrity first (v2): the digest covers every byte with
+    // the digest field itself zeroed, so a single flipped bit anywhere —
+    // including in regions the structural checks below cannot see, like
+    // padding or string payloads — fails fast here. Zero = absent (v1, or
+    // a non-seekable writer), so verification is skipped.
+    if header.digest != 0 {
+        let mut h = crate::xxhash::Xxh64::new(0);
+        h.update(&bytes[..DIGEST_OFFSET]);
+        h.update(&[0u8; 8]);
+        h.update(&bytes[DIGEST_OFFSET + 8..]);
+        let computed = h.finish();
+        if computed != header.digest {
+            return Err(corrupt(
+                "digest",
+                format!(
+                    "whole-file digest mismatch: stored {:016x}, computed {computed:016x}",
+                    header.digest
+                ),
+            ));
+        }
+    }
     if header.shard_target == 0 {
         return Err(corrupt("header", "shard size target is 0"));
     }

@@ -7,12 +7,13 @@
 //! zero-copy *reader* is where the layout equivalence pays off.
 
 use crate::format::{
-    section, Header, SectionEntry, HEADER_BYTES, SECTION_ALIGN, SECTION_ENTRY_BYTES,
+    section, Header, SectionEntry, DIGEST_OFFSET, HEADER_BYTES, SECTION_ALIGN, SECTION_ENTRY_BYTES,
 };
+use crate::xxhash::Xxh64;
 use fairsqg_graph::{
     ActiveDomains, Adj, AttrEntry, AttrIndex, AttrValue, Graph, GraphColumns, PostEntry, Schema,
 };
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Everything the writer needs, borrowed. Built from a [`Graph`] by
@@ -33,15 +34,22 @@ fn encode(v: AttrValue) -> (u16, i64) {
     }
 }
 
-/// Counting writer with 16-byte alignment padding.
+/// Counting, digest-computing writer with 16-byte alignment padding.
+///
+/// Every byte written also feeds a streaming xxHash64. The header goes out
+/// with a zero digest placeholder — exactly what the digest convention
+/// hashes (the digest field is treated as zero) — so the final hash can be
+/// patched into a seekable sink afterwards without invalidating itself.
 struct Out<W: Write> {
     w: W,
     written: u64,
+    hash: Xxh64,
 }
 
 impl<W: Write> Out<W> {
     fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.w.write_all(bytes)?;
+        self.hash.update(bytes);
         self.written += bytes.len() as u64;
         Ok(())
     }
@@ -168,8 +176,14 @@ fn pair_key(l: fairsqg_graph::LabelId, a: fairsqg_graph::AttrId) -> u64 {
     ((l.0 as u64) << 16) | a.0 as u64
 }
 
-/// Writes `src` as a version-1 container, returning the bytes written.
-pub(crate) fn write_container<W: Write>(src: &ContainerSource<'_>, w: W) -> std::io::Result<u64> {
+/// Writes `src` as a container, returning `(bytes_written, digest)`. The
+/// emitted stream carries a **zero** digest field (a non-seekable sink
+/// cannot be patched; zero means "absent, skip verification"); path-based
+/// writers patch the returned digest into [`DIGEST_OFFSET`] afterwards.
+pub(crate) fn write_container<W: Write>(
+    src: &ContainerSource<'_>,
+    w: W,
+) -> std::io::Result<(u64, u64)> {
     let cols = &src.cols;
     let n = cols.node_labels.len();
     let m = cols.out_adj.len();
@@ -248,12 +262,17 @@ pub(crate) fn write_container<W: Write>(src: &ContainerSource<'_>, w: W) -> std:
         offset += byte_len;
     }
 
-    let mut out = Out { w, written: 0 };
+    let mut out = Out {
+        w,
+        written: 0,
+        hash: Xxh64::new(0),
+    };
     let header = Header {
         node_count: n as u64,
         edge_count: m as u64,
         section_count: entries.len() as u32,
         shard_target: src.shard_target,
+        digest: 0,
     };
     out.put(&header.to_bytes())?;
     for e in &entries {
@@ -311,11 +330,19 @@ pub(crate) fn write_container<W: Write>(src: &ContainerSource<'_>, w: W) -> std:
             other => unreachable!("unknown section kind {other} in writer layout"),
         }
     }
-    Ok(out.written)
+    Ok((out.written, out.hash.finish()))
 }
 
-/// Serializes `graph` as a version-1 `.fsg` container into `w`, returning
-/// the bytes written.
+/// Patches a computed digest into an already-written container file.
+pub(crate) fn patch_digest<F: Write + Seek>(file: &mut F, digest: u64) -> std::io::Result<()> {
+    file.seek(SeekFrom::Start(DIGEST_OFFSET as u64))?;
+    file.write_all(&digest.to_le_bytes())
+}
+
+/// Serializes `graph` as an `.fsg` container into `w`, returning the bytes
+/// written. The stream's header digest field is zero ("absent") — `w` may
+/// not be seekable; use [`write_graph_to_path`] to get a digest-stamped
+/// file.
 pub fn write_graph<W: Write>(graph: &Graph, w: W) -> std::io::Result<u64> {
     let src = ContainerSource {
         schema: graph.schema(),
@@ -324,14 +351,24 @@ pub fn write_graph<W: Write>(graph: &Graph, w: W) -> std::io::Result<u64> {
         domains: graph.domains(),
         shard_target: graph.partitions().target().max(1) as u32,
     };
-    write_container(&src, w)
+    write_container(&src, w).map(|(n, _)| n)
 }
 
-/// Writes `graph` to `path` (buffered), returning the bytes written.
+/// Writes `graph` to `path` (buffered) with the whole-file digest stamped
+/// into the header, returning the bytes written.
 pub fn write_graph_to_path(graph: &Graph, path: &Path) -> std::io::Result<u64> {
+    let src = ContainerSource {
+        schema: graph.schema(),
+        cols: graph.columns(),
+        attr_index: graph.attr_index(),
+        domains: graph.domains(),
+        shard_target: graph.partitions().target().max(1) as u32,
+    };
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
-    let n = write_graph(graph, &mut w)?;
-    w.into_inner()?.sync_all()?;
+    let (n, digest) = write_container(&src, &mut w)?;
+    let mut file = w.into_inner()?;
+    patch_digest(&mut file, digest)?;
+    file.sync_all()?;
     Ok(n)
 }

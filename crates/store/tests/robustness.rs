@@ -68,12 +68,12 @@ fn garbage_is_not_a_container() {
 fn wrong_version_and_endianness_are_rejected() {
     let good = container();
     let mut bad = good.clone();
-    bad[8] = 2; // version 2
+    bad[8] = 3; // one past the newest version this build writes
     assert!(matches!(
         load(bad),
         Err(StoreError::UnsupportedVersion {
-            found: 2,
-            supported: 1
+            found: 3,
+            supported: 2
         })
     ));
     let mut bad = good;
@@ -81,6 +81,56 @@ fn wrong_version_and_endianness_are_rejected() {
     // have produced).
     bad[12..16].reverse();
     assert!(matches!(load(bad), Err(StoreError::BadEndianness)));
+}
+
+#[test]
+fn digest_catches_any_flipped_byte() {
+    use fairsqg_store::format::DIGEST_OFFSET;
+    use fairsqg_store::write_graph_to_path;
+
+    let dir = std::env::temp_dir().join(format!("fsg-digest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.fsg");
+    write_graph_to_path(&sample(), &path).unwrap();
+    let stamped = std::fs::read(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The stamped file carries a nonzero digest and loads clean — both
+    // from bytes and the mmap path.
+    let header = Header::parse(&stamped).unwrap();
+    assert_ne!(header.digest, 0, "path writer must stamp a digest");
+    assert!(load(stamped.clone()).is_ok());
+
+    // Flip one byte at a spread of offsets (skipping the digest field
+    // itself, which is excluded from the hashed content by construction):
+    // every flip must surface as a typed error, and flips in regions the
+    // structural validators cannot see (e.g. alignment padding) are
+    // exactly what the digest exists to catch.
+    for at in (0..stamped.len()).step_by(7) {
+        if (DIGEST_OFFSET..DIGEST_OFFSET + 8).contains(&at) {
+            continue;
+        }
+        let mut bad = stamped.clone();
+        bad[at] ^= 0x20;
+        assert!(
+            load(bad).is_err(),
+            "flipped byte at {at} loaded successfully"
+        );
+    }
+
+    // A corrupted digest field itself is also a mismatch.
+    let mut bad = stamped.clone();
+    bad[DIGEST_OFFSET] ^= 0xFF;
+    match load(bad) {
+        Err(StoreError::Corrupt { section, .. }) => assert_eq!(section, "digest"),
+        other => panic!("expected digest corruption, got {other:?}"),
+    }
+
+    // Zeroing the digest disables verification (v1 compatibility posture),
+    // so the structurally-intact file still loads.
+    let mut unstamped = stamped;
+    unstamped[DIGEST_OFFSET..DIGEST_OFFSET + 8].fill(0);
+    assert!(load(unstamped).is_ok());
 }
 
 #[test]

@@ -56,14 +56,17 @@ fn usage() -> ExitCode {
          fairsqg convert --input <tsv> --output <fsg>\n  \
          fairsqg datagen --kind dbp|lki|cite --scale <n> --output <tsv|fsg> [--seed <n>]\n  \
          fairsqg serve --addr <host:port> --load <name>=<tsv|fsg> [--load ...]\n      \
+         [--manifest <json>  (reload graphs on start, rewritten on drain/stop)]\n      \
          [--workers <n>] [--queue <n>] [--cache <n>] [--default-deadline-ms <n>]\n      \
          [--warm on|off] [--warm-budget-mb <n>] [--coalesce on|off]\n      \
+         [--brownout on|off] [--admission on|off] [--client-quota <n>]\n      \
+         [--watchdog-grace-ms <n>  (0 = watchdog off)]\n      \
          [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
-         fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|shutdown|submit\n      \
+         fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|drain|shutdown|submit\n      \
          [--id <n>] [--graph <name> --template <dsl> --group-attr <attr> --cover <n>\n      \
          [--algo ...] [--eps <f>] [--lambda <f>] [--deadline-ms <n>] [--wait-ms <n>]\n      \
-         [--retries <n>] [--timeout-ms <n>] [--request-key <key>]\n      \
-         [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]]\n  \
+         [--priority <0..=9>] [--retries <n>] [--retry-budget-ms <n>] [--timeout-ms <n>]\n      \
+         [--request-key <key>] [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]]\n  \
          fairsqg demo"
     );
     ExitCode::from(2)
@@ -267,6 +270,17 @@ fn job_spec_from_args(args: &Args, graph_name: &str) -> Result<JobSpec, String> 
         deadline_ms,
         budget: args.budget()?,
         request_key: args.get("request-key").map(str::to_string),
+        priority: match args.get_opt_u64("priority")? {
+            None => fairsqg::service::DEFAULT_PRIORITY,
+            Some(p) if p <= u64::from(fairsqg::service::MAX_PRIORITY) => p as u8,
+            Some(p) => {
+                return Err(format!(
+                    "--priority expects 0..={}, got {p}",
+                    fairsqg::service::MAX_PRIORITY
+                ))
+            }
+        },
+        client: None,
     })
 }
 
@@ -340,9 +354,59 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// SIGTERM → graceful drain. Minimal libc-free FFI (the workspace adds no
+/// dependencies): `signal(2)` flips an atomic the serve monitor polls.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        // Only async-signal-safe work here: set the flag, nothing else.
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGTERM handler. Idempotent.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Whether SIGTERM has been received since [`install`].
+    pub fn triggered() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let manifest = args.get("manifest").map(str::to_string);
     let registry = Arc::new(GraphRegistry::new());
+    if let Some(path) = &manifest {
+        if std::path::Path::new(path).exists() {
+            let report = registry.load_manifest(path)?;
+            for name in &report.loaded {
+                eprintln!("manifest: reloaded graph '{name}'");
+            }
+            for (name, reason) in &report.skipped {
+                eprintln!("manifest: skipped graph '{name}': {reason}");
+            }
+        }
+    }
     for load in args.get_all("load") {
         let (name, path) = load
             .split_once('=')
@@ -354,8 +418,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         );
     }
     if registry.is_empty() {
-        return Err("no graphs loaded; pass at least one --load <name>=<tsv|fsg>".into());
+        return Err(
+            "no graphs loaded; pass at least one --load <name>=<tsv|fsg> or a --manifest".into(),
+        );
     }
+    let brownout = fairsqg::service::BrownoutConfig {
+        enabled: args.get_switch("brownout", true)?,
+        ..Default::default()
+    };
     let config = EngineConfig {
         workers: args.get_usize("workers", 4)?,
         queue_capacity: args.get_usize("queue", 64)?,
@@ -375,14 +445,62 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             None => EngineConfig::default().warm_budget_bytes,
         },
         coalesce: args.get_switch("coalesce", true)?,
+        brownout,
+        admission_control: args.get_switch("admission", true)?,
+        client_quota: args.get_usize("client-quota", 0)?,
+        watchdog_grace: match args.get_opt_u64("watchdog-grace-ms")? {
+            None => EngineConfig::default().watchdog_grace,
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+        },
         ..EngineConfig::default()
     };
     let engine = Arc::new(Engine::start(registry, config));
-    let server =
-        fairsqg::service::Server::bind(addr, engine).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = fairsqg::service::Server::bind(addr, Arc::clone(&engine))
+        .map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("fairsqg-service listening on {bound}");
-    server.serve().map_err(|e| e.to_string())
+
+    // SIGTERM monitor: drain admissions, let running jobs settle, persist
+    // the manifest, then stop the accept loop. Queued jobs were answered
+    // `drained` — clients replay them elsewhere via their request keys.
+    sigterm::install();
+    let stop = server.stop_handle();
+    let sig_engine = Arc::clone(&engine);
+    let sig_manifest = manifest.clone();
+    std::thread::Builder::new()
+        .name("fairsqg-sigterm".to_string())
+        .spawn(move || loop {
+            if sigterm::triggered() {
+                let (bounced, running) = sig_engine.begin_drain();
+                eprintln!("SIGTERM: draining ({bounced} queued jobs bounced, {running} running)");
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                while !sig_engine.drain_complete() && std::time::Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                if let Some(path) = &sig_manifest {
+                    match sig_engine.registry().write_manifest(path) {
+                        Ok(n) => eprintln!("SIGTERM: wrote manifest {path} ({n} graphs)"),
+                        Err(e) => eprintln!("SIGTERM: manifest write failed: {e}"),
+                    }
+                }
+                stop.stop();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .map_err(|e| format!("spawn sigterm monitor: {e}"))?;
+
+    let served = server.serve().map_err(|e| e.to_string());
+    // Any exit path (shutdown op, SIGTERM) leaves a fresh manifest behind
+    // so the next start recovers the same graph set.
+    if let Some(path) = &manifest {
+        match engine.registry().write_manifest(path) {
+            Ok(n) => eprintln!("wrote manifest {path} ({n} graphs)"),
+            Err(e) => eprintln!("manifest write failed: {e}"),
+        }
+    }
+    served
 }
 
 fn cmd_client(args: &Args) -> Result<(), String> {
@@ -396,6 +514,11 @@ fn cmd_client(args: &Args) -> Result<(), String> {
         let t = (ms > 0).then(|| Duration::from_millis(ms));
         policy.read_timeout = t;
         policy.write_timeout = t;
+    }
+    if let Some(ms) = args.get_opt_u64("retry-budget-ms")? {
+        // Wall-clock cap across ALL retries (including server-suggested
+        // `retry_after_ms` waits); 0 disables retry sleeps entirely.
+        policy.retry_budget = Some(Duration::from_millis(ms));
     }
     let mut client = Client::connect_with(addr, policy).map_err(|e| e.to_string())?;
     let id_arg = || -> Result<u64, String> {
@@ -417,6 +540,14 @@ fn cmd_client(args: &Args) -> Result<(), String> {
             let id = id_arg()?;
             client.cancel(id).map_err(|e| e.to_string())?;
             Value::object([("cancelled", Value::from(id))])
+        }
+        "drain" => {
+            let (bounced, running) = client.drain().map_err(|e| e.to_string())?;
+            Value::object([
+                ("draining", Value::from(true)),
+                ("bounced", Value::from(bounced)),
+                ("running", Value::from(running)),
+            ])
         }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;

@@ -61,6 +61,8 @@ fn spec(graph: &str) -> JobSpec {
         deadline_ms: None,
         budget: MatchBudget::UNLIMITED,
         request_key: None,
+        priority: fairsqg::service::DEFAULT_PRIORITY,
+        client: None,
     }
 }
 
@@ -68,10 +70,7 @@ fn wait_settled(engine: &Engine, id: u64) -> JobState {
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
         let state = engine.status(id).unwrap().state;
-        if matches!(
-            state,
-            JobState::Done | JobState::Failed | JobState::Cancelled
-        ) {
+        if state.is_terminal() {
             return state;
         }
         assert!(Instant::now() < deadline, "job {id} never settled");
@@ -336,7 +335,7 @@ fn graph_load_fault_is_typed_and_non_fatal() {
 
     let _fp = Guard::arm("graph.load", "1*error(disk detached)").unwrap();
     match client.load("fresh", &ok_file.to_string_lossy()) {
-        Err(fairsqg::service::ClientError::Server { code, message }) => {
+        Err(fairsqg::service::ClientError::Server { code, message, .. }) => {
             assert_eq!(code, "load_failed");
             assert!(message.contains("disk detached"));
         }
@@ -361,6 +360,264 @@ fn graph_load_fault_is_typed_and_non_fatal() {
     server.join().unwrap().unwrap();
 }
 
+fn engine_counter(engine: &Engine, block: &str, name: &str) -> u64 {
+    engine
+        .stats_value()
+        .get(block)
+        .and_then(|r| r.get(name))
+        .and_then(Value::as_u64)
+        .unwrap()
+}
+
+/// A coalesced follower whose leader panics is promoted to a fresh
+/// leader and requeued: the follower still gets a real answer, and the
+/// leader's failure stays the leader's alone.
+#[test]
+fn leader_panic_promotes_follower_to_fresh_leader() {
+    let _serial = serial();
+    let registry = registry("g", 21);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            cache_entries: 0,
+            coalesce: true,
+            ..EngineConfig::default()
+        },
+    );
+    // Park the single worker inside an injected stall so the leader and
+    // follower can be enqueued (and coalesced) behind it.
+    let _stall = Guard::arm("worker.run", "1*sleep(200)").unwrap();
+    let mut blocker = spec("g");
+    blocker.eps = 0.09; // distinct fingerprint: must not coalesce
+    let _blocker = engine.submit(blocker).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fairsqg::faults::hits("worker.run") < 1 {
+        assert!(Instant::now() < deadline, "blocker never hit the stall");
+        std::thread::yield_now();
+    }
+    // Re-arm: the *next* worker.run firing (the leader) panics.
+    let _fp = Guard::arm("worker.run", "1*panic(leader chaos)").unwrap();
+    let leader = engine.submit(spec("g")).unwrap();
+    let follower = engine.submit(spec("g")).unwrap();
+    assert_ne!(leader, follower);
+    assert_eq!(engine_counter(&engine, "coalescing", "attached"), 1);
+
+    assert_eq!(wait_settled(&engine, leader), JobState::Failed);
+    assert_eq!(
+        wait_settled(&engine, follower),
+        JobState::Done,
+        "the promoted follower reruns the work and completes"
+    );
+    assert!(engine.result(follower).is_some());
+    assert_eq!(engine_counter(&engine, "coalescing", "requeued"), 1);
+    engine.shutdown();
+}
+
+/// Promotion ordering across a brownout change: a follower promoted while
+/// the engine is Degraded runs under the *current* level — its archive is
+/// flagged `stats.brownout` even though it was admitted at Nominal.
+#[test]
+fn promoted_follower_runs_under_current_brownout_level() {
+    let _serial = serial();
+    let registry = registry("g", 22);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            cache_entries: 0,
+            coalesce: true,
+            ..EngineConfig::default()
+        },
+    );
+    let _stall = Guard::arm("worker.run", "1*sleep(200)").unwrap();
+    let mut blocker = spec("g");
+    blocker.eps = 0.09;
+    let _blocker = engine.submit(blocker).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fairsqg::faults::hits("worker.run") < 1 {
+        assert!(Instant::now() < deadline, "blocker never hit the stall");
+        std::thread::yield_now();
+    }
+    let _fp = Guard::arm("worker.run", "1*panic(leader chaos)").unwrap();
+    // Admitted at Nominal...
+    let leader = engine.submit(spec("g")).unwrap();
+    let follower = engine.submit(spec("g")).unwrap();
+    // ...but by the time the leader fails and the follower is promoted,
+    // the controller has been forced Degraded.
+    let _level = Guard::arm("brownout.level", "error(degraded)").unwrap();
+    let mut probe = spec("g");
+    probe.eps = 0.08; // distinct fingerprint: only drives a gate evaluation
+    let probe_id = engine.submit(probe).unwrap();
+
+    assert_eq!(wait_settled(&engine, leader), JobState::Failed);
+    assert_eq!(wait_settled(&engine, follower), JobState::Done);
+    wait_settled(&engine, probe_id);
+    let result = engine.result(follower).unwrap();
+    let brownout = result
+        .get("stats")
+        .and_then(|s| s.get("brownout"))
+        .cloned()
+        .unwrap_or(Value::Null);
+    assert!(
+        !matches!(brownout, Value::Null),
+        "the promoted rerun carries the brownout mark: {result}"
+    );
+    assert_eq!(
+        brownout.get("level").and_then(Value::as_str),
+        Some("degraded")
+    );
+    engine.shutdown();
+}
+
+/// Watchdog escalation: a worker wedged far past the job's deadline is
+/// hard-stopped, then declared lost — the job settles with a structured
+/// watchdog failure (never hangs) and a replacement worker serves the
+/// next job.
+#[test]
+fn watchdog_escalates_wedged_worker_and_recovers() {
+    let _serial = serial();
+    let registry = registry("g", 23);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            watchdog_grace: Some(Duration::from_millis(40)),
+            ..EngineConfig::default()
+        },
+    );
+    // The stall ignores cooperative cancellation AND the hard-stop flag —
+    // exactly the wedge the watchdog exists for.
+    let _fp = Guard::arm("worker.run", "1*sleep(700)").unwrap();
+    let mut wedged = spec("g");
+    wedged.deadline_ms = Some(1);
+    let id = engine.submit(wedged).unwrap();
+    let state = wait_settled(&engine, id);
+    assert_eq!(state, JobState::Failed);
+    assert!(
+        engine
+            .status(id)
+            .unwrap()
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("watchdog"),
+        "the settlement names the watchdog"
+    );
+    assert!(engine_counter(&engine, "watchdog", "hard_stops") >= 1);
+    assert!(engine_counter(&engine, "watchdog", "lost_workers") >= 1);
+
+    // The replacement worker serves the next job; the woken straggler's
+    // own settlement is a no-op (double-settle guard).
+    let id2 = engine.submit(spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id2), JobState::Done);
+    engine.shutdown();
+}
+
+/// Forced shedding (deterministic `brownout.level` fail point): priority
+/// below the threshold is rejected with a typed `Shed` and a retry hint;
+/// default-priority work is still admitted.
+#[test]
+fn forced_shedding_rejects_low_priority_only() {
+    let _serial = serial();
+    let registry = registry("g", 24);
+    let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+    let _level = Guard::arm("brownout.level", "error(shedding)").unwrap();
+    let mut low = spec("g");
+    low.priority = 0;
+    match engine.submit(low) {
+        Err(SubmitError::Shed { retry_after_ms }) => assert!(retry_after_ms > 0),
+        other => panic!("expected Shed, got {other:?}"),
+    }
+    assert!(engine_counter(&engine, "pressure", "shed") >= 1);
+    let id = engine.submit(spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Done);
+    engine.shutdown();
+}
+
+/// The `admission.reject` fail point deterministically forces the
+/// deadline-admission path: a deadline-bearing job is refused with the
+/// full typed payload; a deadline-free job passes the same gate.
+#[test]
+fn forced_admission_rejection_is_typed() {
+    let _serial = serial();
+    let registry = registry("g", 25);
+    let engine = Engine::start(Arc::clone(&registry), EngineConfig::default());
+    let _fp = Guard::arm("admission.reject", "1*error(forced)").unwrap();
+    let mut dl = spec("g");
+    dl.deadline_ms = Some(5_000);
+    match engine.submit(dl) {
+        Err(SubmitError::DeadlineUnmeetable {
+            deadline_ms,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(deadline_ms, 5_000);
+            assert!(retry_after_ms > 0);
+        }
+        other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+    }
+    assert!(engine_counter(&engine, "pressure", "deadline_rejected") >= 1);
+    let id = engine.submit(spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Done);
+    engine.shutdown();
+}
+
+/// Graceful drain with work in flight: the running job completes, every
+/// queued job (and its followers) settles `Drained`, new submissions are
+/// refused with the typed `Draining`, and `drain_complete` turns true.
+#[test]
+fn drain_bounces_queued_work_and_finishes_running_jobs() {
+    let _serial = serial();
+    let registry = registry("g", 26);
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 1,
+            cache_entries: 0,
+            coalesce: true,
+            ..EngineConfig::default()
+        },
+    );
+    let _stall = Guard::arm("worker.run", "1*sleep(150)").unwrap();
+    let running = engine.submit(spec("g")).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while fairsqg::faults::hits("worker.run") < 1 {
+        assert!(Instant::now() < deadline, "running job never started");
+        std::thread::yield_now();
+    }
+    let mut queued = spec("g");
+    queued.eps = 0.07;
+    let queued_id = engine.submit(queued.clone()).unwrap();
+    let follower_id = engine.submit(queued).unwrap(); // coalesces onto queued_id
+
+    let (bounced, in_flight) = engine.begin_drain();
+    assert!(bounced >= 1, "the queued leader is bounced");
+    assert!(in_flight >= 1, "the running job is not bounced");
+    assert_eq!(wait_settled(&engine, queued_id), JobState::Drained);
+    assert_eq!(
+        wait_settled(&engine, follower_id),
+        JobState::Drained,
+        "followers drain with their leader; promotion would be wrong"
+    );
+    assert!(matches!(
+        engine.submit(spec("g")),
+        Err(SubmitError::Draining)
+    ));
+    assert_eq!(
+        wait_settled(&engine, running),
+        JobState::Done,
+        "in-flight work still completes during a drain"
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !engine.drain_complete() {
+        assert!(Instant::now() < deadline, "drain never completed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(engine_counter(&engine, "drain", "drained") >= 2);
+    engine.shutdown();
+}
+
 /// A slow worker (injected stall) plus a short deadline degrades to a
 /// truncated partial archive — not a hang, not a failure.
 #[test]
@@ -378,4 +635,68 @@ fn slow_worker_with_deadline_degrades_to_truncated() {
         "a lapsed deadline yields a truncated partial, never a hang"
     );
     engine.shutdown();
+}
+
+/// Manifest crash drills: an injected `manifest.write` fault surfaces as
+/// a typed I/O error (and `return_early` silently loses the write — the
+/// kill-before-flush case); after a real write, a fresh registry (the
+/// restarted process) recovers every file-backed graph, and a
+/// `manifest.read` fault degrades the restart to an empty registry
+/// instead of a crash.
+#[test]
+fn manifest_faults_are_typed_and_recovery_survives_a_kill() {
+    let _serial = serial();
+    let dir = std::env::temp_dir().join(format!("fairsqg-chaos-man-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fsg = dir.join("g.fsg");
+    fairsqg::store::write_graph_to_path(
+        &social_graph(SocialConfig {
+            directors: 40,
+            majority_share: 0.6,
+            seed: 27,
+        }),
+        &fsg,
+    )
+    .unwrap();
+    let manifest = dir.join("manifest.json");
+    let manifest_path = manifest.to_str().unwrap();
+
+    let registry = GraphRegistry::new();
+    registry.load_path("g", fsg.to_str().unwrap()).unwrap();
+
+    // Injected write failure: typed, nothing half-written.
+    {
+        let _fp = Guard::arm("manifest.write", "1*error(disk full)").unwrap();
+        let err = registry.write_manifest(manifest_path).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "typed: {err}");
+        assert!(!manifest.exists(), "a failed write leaves no manifest");
+    }
+    // Injected lost write (killed before flush): silently absent.
+    {
+        let _fp = Guard::arm("manifest.write", "1*return_early").unwrap();
+        registry.write_manifest(manifest_path).unwrap();
+        assert!(!manifest.exists(), "a lost write leaves no manifest");
+    }
+    // Real write, then "kill": a brand-new registry recovers the graph.
+    registry.write_manifest(manifest_path).unwrap();
+    drop(registry);
+    let restarted = GraphRegistry::new();
+    let report = restarted.load_manifest(manifest_path).unwrap();
+    assert_eq!(report.loaded, vec!["g".to_string()]);
+    assert!(restarted.get("g").is_some());
+
+    // A read fault on the next restart degrades to "no graphs", typed.
+    {
+        let _fp = Guard::arm("manifest.read", "1*error(manifest unreadable)").unwrap();
+        let err = GraphRegistry::new()
+            .load_manifest(manifest_path)
+            .unwrap_err();
+        assert!(err.to_string().contains("manifest unreadable"));
+    }
+    {
+        let _fp = Guard::arm("manifest.read", "1*return_early").unwrap();
+        let empty = GraphRegistry::new().load_manifest(manifest_path).unwrap();
+        assert!(empty.loaded.is_empty() && empty.skipped.is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -6,7 +6,7 @@ use fairsqg::algo::MatchBudget;
 use fairsqg::datagen::{social_graph, SocialConfig};
 use fairsqg::service::{
     AlgoKind, Client, Engine, EngineConfig, GraphRegistry, JobSpec, JobState, RetryPolicy,
-    ServerOptions,
+    ServerOptions, SubmitError,
 };
 use fairsqg::wire::Value;
 use std::io::{BufRead, BufReader, Write};
@@ -47,6 +47,8 @@ fn spec(graph: &str) -> JobSpec {
         deadline_ms: None,
         budget: MatchBudget::UNLIMITED,
         request_key: None,
+        priority: fairsqg::service::DEFAULT_PRIORITY,
+        client: None,
     }
 }
 
@@ -313,4 +315,80 @@ fn load_op_reports_typed_parse_positions() {
     drop(reader);
     stop.stop();
     server.join().unwrap().unwrap();
+}
+
+/// Overload soak (CI smoke): 2× the queue capacity of mixed-priority jobs
+/// thrown at a 2-worker engine from concurrent submitters. Every accepted
+/// job settles (zero hangs), every rejection is a *typed* overload
+/// response — never `Internal`, never a panic — and the queue never grows
+/// past its bound.
+#[test]
+fn overload_soak_settles_everything_with_structured_rejections() {
+    let registry = registry("g", 120, 31);
+    let capacity = 8;
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: capacity,
+            cache_entries: 0,
+            coalesce: false,
+            client_quota: 4,
+            ..EngineConfig::default()
+        },
+    ));
+    let total = capacity * 2 * 2; // 2× capacity, from each of 2 submitters
+    let handles: Vec<_> = (0..2u64)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                let mut rejected = 0u64;
+                for i in 0..(total / 2) as u64 {
+                    let mut s = spec("g");
+                    s.eps = 0.03 + (t as f64 * 64.0 + i as f64) * 1e-4; // distinct work
+                    s.priority = (i % 4) as u8;
+                    s.client = Some(format!("soak-{t}"));
+                    s.deadline_ms = Some(5_000);
+                    match engine.submit(s) {
+                        Ok(id) => accepted.push(id),
+                        Err(
+                            SubmitError::Overloaded { .. }
+                            | SubmitError::Shed { .. }
+                            | SubmitError::DeadlineUnmeetable { .. }
+                            | SubmitError::QuotaExceeded { .. },
+                        ) => rejected += 1,
+                        Err(other) => panic!("unstructured rejection under load: {other:?}"),
+                    }
+                }
+                (accepted, rejected)
+            })
+        })
+        .collect();
+    let mut accepted = Vec::new();
+    let mut rejected = 0;
+    for h in handles {
+        let (a, r) = h.join().expect("submitter panicked");
+        accepted.extend(a);
+        rejected += r;
+    }
+    assert_eq!(accepted.len() as u64 + rejected, total as u64);
+    // Zero hangs: every accepted job reaches a terminal state.
+    for id in &accepted {
+        let state = wait_done(&engine, *id);
+        assert!(state.is_terminal(), "job {id} settled as {state:?}");
+    }
+    assert!(
+        engine.queue_depth() <= capacity,
+        "the queue bound held under soak"
+    );
+    // The stats surface stays coherent after the storm.
+    let stats = engine.stats_value();
+    assert!(stats.get("pressure").is_some());
+    assert!(stats.get("submitted").and_then(Value::as_u64).unwrap() >= accepted.len() as u64);
+    assert!(
+        stats.get("rejected").and_then(Value::as_u64).unwrap() >= rejected,
+        "typed rejections are counted"
+    );
+    engine.shutdown();
 }

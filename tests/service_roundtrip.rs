@@ -38,6 +38,8 @@ fn spec(graph: &str, deadline_ms: Option<u64>) -> JobSpec {
         deadline_ms,
         budget: fairsqg::algo::MatchBudget::UNLIMITED,
         request_key: None,
+        priority: fairsqg::service::DEFAULT_PRIORITY,
+        client: None,
     }
 }
 
@@ -235,7 +237,7 @@ fn engine_overload_is_structured() {
     let mut third = spec("g", None);
     third.eps = 0.09;
     match engine.submit(third) {
-        Err(SubmitError::Overloaded { capacity }) => assert_eq!(capacity, 1),
+        Err(SubmitError::Overloaded { capacity, .. }) => assert_eq!(capacity, 1),
         other => panic!("expected Overloaded, got {other:?}"),
     }
     let stats = engine.stats_value();

@@ -102,7 +102,24 @@ fn existing_presets_survive_the_container_roundtrip() {
             fairsqg::graph::read_tsv(std::io::BufReader::new(file)).unwrap()
         };
         write_graph(&parsed, &mut direct).unwrap();
-        assert_eq!(direct, converted, "{name}: converter bytes diverge");
+        // Identical streams, except the header digest: the streaming
+        // converter patches the whole-file digest into the finished file,
+        // while the in-memory writer targets non-seekable sinks and
+        // leaves the "absent" zero placeholder.
+        let off = fairsqg::store::format::DIGEST_OFFSET;
+        assert_eq!(
+            direct[off..off + 8],
+            [0u8; 8],
+            "{name}: stream writer must leave a zero digest placeholder"
+        );
+        assert_ne!(
+            converted[off..off + 8],
+            [0u8; 8],
+            "{name}: converter must stamp a digest"
+        );
+        let mut unstamped = converted.clone();
+        unstamped[off..off + 8].fill(0);
+        assert_eq!(direct, unstamped, "{name}: converter bytes diverge");
 
         let loaded = open_path(&fsg).unwrap();
         assert!(loaded.mapped, "{name}: expected an mmap load");
@@ -138,6 +155,8 @@ fn run_jobs(registry: Arc<GraphRegistry>, lambdas: &[f64]) -> Vec<String> {
                     deadline_ms: None,
                     budget: fairsqg::algo::MatchBudget::UNLIMITED,
                     request_key: None,
+                    priority: fairsqg::service::DEFAULT_PRIORITY,
+                    client: None,
                 })
                 .unwrap();
             let result = loop {
