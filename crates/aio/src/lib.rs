@@ -1,0 +1,23 @@
+//! Minimal readiness-driven I/O primitives without external crates.
+//!
+//! The build environment has no `mio`/`tokio`, so the multiplexed server
+//! core ([`fairsqg-service`]'s mux module) drives nonblocking sockets off
+//! this crate's [`Poller`]: a level-triggered readiness queue backed by
+//! `epoll(7)` on Linux and `poll(2)` on other Unix, reached through the
+//! same two-symbol `extern "C"` idiom as `fairsqg-store`'s mmap loader.
+//! [`Waker`] is a nonblocking `UnixStream` pair whose read end registers
+//! with the poller like any other source, so worker threads can interrupt
+//! a blocked [`Poller::wait`].
+//!
+//! Level-triggered semantics are deliberate: a readable/writable source is
+//! reported on every wait until drained, so partial reads/writes (the
+//! normal case under backpressure) need no readiness re-arming and cannot
+//! be lost. On non-Unix targets [`Poller::new`] returns
+//! `ErrorKind::Unsupported` and the caller falls back to the blocking
+//! thread-per-connection server.
+
+mod poller;
+mod waker;
+
+pub use poller::{Event, Interest, Poller};
+pub use waker::Waker;

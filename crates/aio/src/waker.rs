@@ -1,0 +1,119 @@
+//! Cross-thread wakeups for a blocked [`Poller::wait`](crate::Poller::wait).
+
+#[cfg(not(unix))]
+use std::io;
+
+#[cfg(unix)]
+mod unix {
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+
+    /// A self-pipe built from a nonblocking `UnixStream` pair.
+    ///
+    /// Register [`fd`](Self::fd) (the read end) with the poller under a
+    /// reserved token; any thread may then call [`wake`](Self::wake) to
+    /// make the event loop's wait return. Wakes coalesce: once the pipe
+    /// holds a byte further writes hit `WouldBlock`, which is success —
+    /// the loop is already due to wake.
+    #[derive(Debug)]
+    pub struct Waker {
+        tx: UnixStream,
+        rx: UnixStream,
+    }
+
+    impl Waker {
+        /// Builds the pair; both ends nonblocking.
+        pub fn new() -> io::Result<Self> {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok(Self { tx, rx })
+        }
+
+        /// The fd to register with [`Interest::READABLE`](crate::Interest).
+        pub fn fd(&self) -> RawFd {
+            self.rx.as_raw_fd()
+        }
+
+        /// Makes the next (or current) `wait` return. Callable from any
+        /// thread; never blocks.
+        pub fn wake(&self) {
+            // A full pipe means a wake is already pending — coalesce.
+            let _ = (&self.tx).write(&[1u8]);
+        }
+
+        /// Drains pending wake bytes. The event loop calls this whenever
+        /// the waker token surfaces, before processing work queues.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use unix::Waker;
+
+/// Non-Unix stub (the poller is unsupported there too).
+#[cfg(not(unix))]
+#[derive(Debug)]
+pub struct Waker;
+
+#[cfg(not(unix))]
+impl Waker {
+    pub fn new() -> io::Result<Self> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "waker requires a Unix target",
+        ))
+    }
+    pub fn fd(&self) -> i32 {
+        unreachable!("stub Waker cannot be constructed")
+    }
+    pub fn wake(&self) {}
+    pub fn drain(&self) {}
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::{Interest, Poller};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_interrupts_wait() {
+        let p = Poller::new().unwrap();
+        let w = Arc::new(Waker::new().unwrap());
+        p.register(w.fd(), u64::MAX, Interest::READABLE).unwrap();
+
+        let w2 = Arc::clone(&w);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.wake();
+        });
+
+        let mut events = Vec::new();
+        let n = p.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == u64::MAX && e.readable));
+        w.drain();
+
+        // Drained: no residual readiness.
+        events.clear();
+        assert_eq!(p.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+        t.join().unwrap();
+
+        // Coalescing: many wakes, one drain.
+        for _ in 0..1000 {
+            w.wake();
+        }
+        events.clear();
+        assert!(p.wait(&mut events, Some(Duration::from_secs(5))).unwrap() >= 1);
+        w.drain();
+        events.clear();
+        assert_eq!(p.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+        p.deregister(w.fd()).unwrap();
+    }
+}

@@ -69,11 +69,45 @@ impl UpdateOutcome {
     }
 }
 
+/// The exact mutation one accepted `Update` applied to the archive.
+///
+/// Streams of deltas are lossless: replaying `added`/`removed` in version
+/// order against an empty set reconstructs the archive's entry set exactly
+/// (order-insensitively), which is what the service layer's subscription
+/// frames rely on.
+#[derive(Debug, Clone)]
+pub struct ArchiveDelta {
+    /// Archive version *after* this mutation (see
+    /// [`EpsParetoArchive::version`]).
+    pub version: u64,
+    /// Entries the mutation inserted (one per accepted update).
+    pub added: Vec<ArchiveEntry>,
+    /// Entries the mutation evicted (Case 1) or replaced (Case 2).
+    pub removed: Vec<ArchiveEntry>,
+}
+
+/// A sink for in-run archive mutations, threaded through
+/// [`Configuration::progress`](crate::Configuration::progress).
+///
+/// Called synchronously on the generation thread, once per accepted
+/// update, *after* the archive has been mutated — so
+/// `delta.version == archive.version()` at call time. Implementations must
+/// be cheap (the hook sits between verifications on the hot loop) and use
+/// interior mutability: the service layer's subscription sink renders the
+/// delta to wire form and hands it to a channel. `Sync` is required
+/// because [`Configuration`](crate::Configuration) is shared across
+/// parallel workers.
+pub trait ArchiveObserver: Sync {
+    /// One accepted archive mutation.
+    fn archive_updated(&self, delta: &ArchiveDelta);
+}
+
 /// An ε-Pareto archive of feasible instances.
 #[derive(Debug, Clone)]
 pub struct EpsParetoArchive {
     eps: f64,
     entries: Vec<ArchiveEntry>,
+    version: u64,
 }
 
 impl EpsParetoArchive {
@@ -83,6 +117,7 @@ impl EpsParetoArchive {
         Self {
             eps,
             entries: Vec::new(),
+            version: 0,
         }
     }
 
@@ -90,6 +125,15 @@ impl EpsParetoArchive {
     #[inline]
     pub fn eps(&self) -> f64 {
         self.eps
+    }
+
+    /// Monotonic mutation counter: incremented once per accepted update,
+    /// removal, or rescale. Two archives built by the same offer sequence
+    /// have equal versions, and a subscriber that has applied deltas up to
+    /// version `v` holds exactly the entry set of the archive at `v`.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Archived entries (unspecified order).
@@ -117,11 +161,44 @@ impl EpsParetoArchive {
 
     /// Procedure `Update` (Fig. 5). Only feasible instances may be offered.
     pub fn update(&mut self, inst: &Instantiation, result: &Rc<EvalResult>) -> UpdateOutcome {
+        self.update_collect(inst, result, false).0
+    }
+
+    /// [`update`](Self::update), additionally reporting the exact mutation
+    /// as an [`ArchiveDelta`] when the offer was accepted (`None` on
+    /// `KeptIncumbent`/`Rejected`). The delta is what the service layer
+    /// streams to `subscribe`d clients.
+    pub fn update_observed(
+        &mut self,
+        inst: &Instantiation,
+        result: &Rc<EvalResult>,
+    ) -> (UpdateOutcome, Option<ArchiveDelta>) {
+        self.update_collect(inst, result, true)
+    }
+
+    fn update_collect(
+        &mut self,
+        inst: &Instantiation,
+        result: &Rc<EvalResult>,
+        collect: bool,
+    ) -> (UpdateOutcome, Option<ArchiveDelta>) {
         debug_assert!(
             result.feasible,
             "Update is only defined on feasible instances"
         );
         let bx = result.objectives.boxed(self.eps);
+        let new_entry = || ArchiveEntry {
+            inst: inst.clone(),
+            result: Rc::clone(result),
+            bx,
+        };
+        let delta = |version: u64, added: Vec<ArchiveEntry>, removed: Vec<ArchiveEntry>| {
+            collect.then_some(ArchiveDelta {
+                version,
+                added,
+                removed,
+            })
+        };
 
         // Case 1: box-level dominance over existing boxes.
         let dominated: Vec<usize> = self
@@ -133,45 +210,47 @@ impl EpsParetoArchive {
             .collect();
         if !dominated.is_empty() {
             let n = dominated.len();
+            let mut removed = Vec::with_capacity(if collect { n } else { 0 });
             for &i in dominated.iter().rev() {
-                self.entries.swap_remove(i);
+                let evicted = self.entries.swap_remove(i);
+                if collect {
+                    removed.push(evicted);
+                }
             }
-            self.entries.push(ArchiveEntry {
-                inst: inst.clone(),
-                result: Rc::clone(result),
-                bx,
-            });
-            return UpdateOutcome::ReplacedBoxes(n);
+            let entry = new_entry();
+            self.version += 1;
+            let d = delta(self.version, vec![entry.clone()], removed);
+            self.entries.push(entry);
+            return (UpdateOutcome::ReplacedBoxes(n), d);
         }
 
         // Case 2: same box as an incumbent — keep the dominating one.
         if let Some(i) = self.entries.iter().position(|e| e.bx == bx) {
             if result.objectives.dominates(&self.entries[i].objectives()) {
-                self.entries[i] = ArchiveEntry {
-                    inst: inst.clone(),
-                    result: Rc::clone(result),
-                    bx,
-                };
-                return UpdateOutcome::ReplacedInstance;
+                let entry = new_entry();
+                self.version += 1;
+                let old = std::mem::replace(&mut self.entries[i], entry.clone());
+                let d = delta(self.version, vec![entry], vec![old]);
+                return (UpdateOutcome::ReplacedInstance, d);
             }
-            return UpdateOutcome::KeptIncumbent;
+            return (UpdateOutcome::KeptIncumbent, None);
         }
 
         // Case 3: add if no existing box dominates-or-equals the new box.
         if self.entries.iter().all(|e| !e.bx.dominates_or_eq(&bx)) {
-            self.entries.push(ArchiveEntry {
-                inst: inst.clone(),
-                result: Rc::clone(result),
-                bx,
-            });
-            return UpdateOutcome::AddedNewBox;
+            let entry = new_entry();
+            self.version += 1;
+            let d = delta(self.version, vec![entry.clone()], Vec::new());
+            self.entries.push(entry);
+            return (UpdateOutcome::AddedNewBox, d);
         }
-        UpdateOutcome::Rejected
+        (UpdateOutcome::Rejected, None)
     }
 
     /// Removes and returns the entry at `idx` (used by the online
     /// algorithm's nearest-neighbor replacement).
     pub fn remove(&mut self, idx: usize) -> ArchiveEntry {
+        self.version += 1;
         self.entries.swap_remove(idx)
     }
 
@@ -185,6 +264,7 @@ impl EpsParetoArchive {
         }
         let old = std::mem::take(&mut self.entries);
         self.eps = new_eps;
+        self.version += 1;
         for e in old {
             self.update(&e.inst, &e.result);
         }
@@ -365,5 +445,66 @@ mod tests {
     fn rescale_rejects_shrinking() {
         let mut a = EpsParetoArchive::new(0.5);
         a.rescale(0.1);
+    }
+
+    #[test]
+    fn version_counts_accepted_mutations_only() {
+        let mut a = EpsParetoArchive::new(0.1);
+        assert_eq!(a.version(), 0);
+        let (i1, r1) = entry(10.0, 10.0);
+        a.update(&i1, &r1);
+        assert_eq!(a.version(), 1);
+        // Rejected offer: version unchanged.
+        let (i2, r2) = entry(1.0, 1.0);
+        assert_eq!(a.update(&i2, &r2), UpdateOutcome::Rejected);
+        assert_eq!(a.version(), 1);
+        // Re-offering the incumbent's coordinates keeps it: unchanged.
+        assert_eq!(a.update(&i1, &r1), UpdateOutcome::KeptIncumbent);
+        assert_eq!(a.version(), 1);
+    }
+
+    #[test]
+    fn observed_updates_replay_to_identical_entry_set() {
+        use std::collections::BTreeSet;
+        // Replay every delta against a bag keyed by instantiation and
+        // check it converges to the archive's final entry set.
+        let offers = [
+            (0.0, 1.0),
+            (1.0, 1.0),
+            (0.75, 2.0),
+            (0.5, 3.0),
+            (2.0, 0.5),
+            (10.0, 10.0), // dominates everything so far: Case 1 eviction
+            (10.5, 10.5), // same box under eps=0.3: Case 2 replacement
+            (1.5, 1.5),   // dominated: rejected, no delta
+        ];
+        let mut a = EpsParetoArchive::new(0.3);
+        let mut replayed: BTreeSet<Vec<u16>> = BTreeSet::new();
+        let mut last_version = 0;
+        for &(d, f) in &offers {
+            let (i, r) = entry(d, f);
+            let (outcome, delta) = a.update_observed(&i, &r);
+            match delta {
+                Some(delta) => {
+                    assert!(outcome.accepted());
+                    assert_eq!(delta.version, a.version());
+                    assert!(delta.version > last_version, "versions must advance");
+                    last_version = delta.version;
+                    for e in &delta.removed {
+                        assert!(replayed.remove(e.inst.indices()), "removed unknown entry");
+                    }
+                    for e in &delta.added {
+                        assert!(replayed.insert(e.inst.indices().to_vec()), "double add");
+                    }
+                }
+                None => assert!(!outcome.accepted()),
+            }
+        }
+        let final_set: BTreeSet<Vec<u16>> = a
+            .entries()
+            .iter()
+            .map(|e| e.inst.indices().to_vec())
+            .collect();
+        assert_eq!(replayed, final_set);
     }
 }

@@ -164,7 +164,7 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
                     if !r.feasible {
                         stats.pruned_infeasible += 1;
                     } else {
-                        archive.update(&q, &r);
+                        cfg.offer(&mut archive, &q, &r);
                         if opts.collect_anytime {
                             record(&archive, &ev, &mut anytime);
                         }
@@ -230,7 +230,7 @@ pub fn biqgen(cfg: Configuration<'_>, opts: BiQGenOptions) -> Generated {
                 } else {
                     let r = ev.verify_with_best_parent(&q);
                     if r.feasible {
-                        archive.update(&q, &r);
+                        cfg.offer(&mut archive, &q, &r);
                         if opts.collect_anytime {
                             record(&archive, &ev, &mut anytime);
                         }

@@ -1,10 +1,14 @@
 //! The query-generation configuration `C = (G, Q(u_o), P, ε)` (Section III).
 
+use crate::archive::{ArchiveObserver, EpsParetoArchive, UpdateOutcome};
 use crate::cancel::CancelToken;
+use crate::evaluator::EvalResult;
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
 use fairsqg_matcher::{BudgetExceeded, MatchBudget, MatcherStats};
 use fairsqg_measures::{DiversityConfig, MeasureCacheStats, SharedDiversityCache};
+use fairsqg_query::Instantiation;
 use fairsqg_query::{QueryTemplate, RefinementDomains};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// Everything a generation algorithm needs: the graph, the template with its
@@ -59,6 +63,13 @@ pub struct Configuration<'a> {
     /// bit-identical to a cold run. Ignored on the reference path and
     /// when distance caching is disabled.
     pub shared_diversity: Option<&'a Arc<SharedDiversityCache>>,
+    /// Optional in-run archive-mutation observer. When set, the anytime
+    /// loops offer instances via [`offer`](Self::offer), which reports each
+    /// accepted update's exact added/removed entries — the service layer's
+    /// streaming subscriptions hang off this hook. `None` (the default)
+    /// keeps the non-collecting fast path; results are bit-identical
+    /// either way.
+    pub progress: Option<&'a dyn ArchiveObserver>,
 }
 
 impl<'a> Configuration<'a> {
@@ -100,6 +111,7 @@ impl<'a> Configuration<'a> {
             budget: MatchBudget::UNLIMITED,
             reference_path: false,
             shared_diversity: None,
+            progress: None,
         }
     }
 
@@ -150,6 +162,36 @@ impl<'a> Configuration<'a> {
     pub fn with_shared_diversity(mut self, shared: &'a Arc<SharedDiversityCache>) -> Self {
         self.shared_diversity = Some(shared);
         self
+    }
+
+    /// Attaches an in-run archive observer (see
+    /// [`progress`](Self::progress)).
+    pub fn with_progress(mut self, observer: &'a dyn ArchiveObserver) -> Self {
+        self.progress = Some(observer);
+        self
+    }
+
+    /// Offers an instance to `archive`, routing the exact mutation to the
+    /// attached [`progress`](Self::progress) observer when one is set.
+    /// Every anytime loop funnels its `Update` calls through here so a
+    /// subscription sees each front improvement as it lands; without an
+    /// observer this is exactly [`EpsParetoArchive::update`].
+    pub fn offer(
+        &self,
+        archive: &mut EpsParetoArchive,
+        inst: &Instantiation,
+        result: &Rc<EvalResult>,
+    ) -> UpdateOutcome {
+        match self.progress {
+            None => archive.update(inst, result),
+            Some(obs) => {
+                let (outcome, delta) = archive.update_observed(inst, result);
+                if let Some(d) = delta {
+                    obs.archive_updated(&d);
+                }
+                outcome
+            }
+        }
     }
 
     /// Whether the attached token (if any) has fired.

@@ -58,7 +58,7 @@ pub fn enum_qgen(cfg: Configuration<'_>, collect_anytime: bool) -> Generated {
         spawned += 1;
         let r = ev.verify_with_best_parent(&inst);
         if r.feasible {
-            archive.update(&inst, &r);
+            cfg.offer(&mut archive, &inst, &r);
             if collect_anytime {
                 anytime.push(AnytimePoint {
                     verified: ev.verified_count(),

@@ -41,7 +41,7 @@ mod wsm;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use archive::{ArchiveEntry, EpsParetoArchive, UpdateOutcome};
+pub use archive::{ArchiveDelta, ArchiveEntry, ArchiveObserver, EpsParetoArchive, UpdateOutcome};
 pub use biqgen::{biqgen, BiQGenOptions};
 pub use cancel::CancelToken;
 pub use cbm::{cbm, CbmOptions};

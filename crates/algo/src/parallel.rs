@@ -220,7 +220,7 @@ fn run_par_enum(cfg: Configuration<'_>, threads: usize) -> Generated {
     for (i, result) in results {
         if result.feasible {
             let rc = Rc::new(result);
-            archive.update(&all[i], &rc);
+            cfg.offer(&mut archive, &all[i], &rc);
         }
     }
 

@@ -75,7 +75,7 @@ pub fn rfqgen(cfg: Configuration<'_>, opts: RfQGenOptions) -> Generated {
             stats.pruned_infeasible += 1;
             continue;
         }
-        archive.update(&inst, &result);
+        cfg.offer(&mut archive, &inst, &result);
         if opts.collect_anytime {
             anytime.push(AnytimePoint {
                 verified: ev.verified_count(),

@@ -149,7 +149,8 @@ fn thread_sweep(cfg: Configuration<'_>, seq: &Generated, hw: usize) -> (Vec<Valu
             // A clamped row measured a smaller pool than requested (the
             // scheduler never oversubscribes the hardware); its efficiency
             // figures describe the clamped pool, not the requested one.
-            ("clamped", Value::from(used < threads)),
+            // Derived from `available_parallelism`, never hand-set.
+            ("clamped", Value::from(crate::common::clamped(threads))),
             ("ms", Value::from(secs * 1e3)),
             ("efficiency_raw", Value::from(raw)),
             ("efficiency_vs_hardware", Value::from(normalized)),
@@ -161,7 +162,7 @@ fn thread_sweep(cfg: Configuration<'_>, seq: &Generated, hw: usize) -> (Vec<Valu
 /// Runs the full hot-path benchmark at `scale` and returns the report.
 pub fn run_hotpath(scale: &ExpScale, scale_name: &str) -> Value {
     let eps = 0.01;
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let hw = crate::common::available_parallelism();
     let mut datasets = Vec::new();
     let mut speedups: Vec<f64> = Vec::new();
     let mut eff8_all: Vec<f64> = Vec::new();
@@ -194,6 +195,7 @@ pub fn run_hotpath(scale: &ExpScale, scale_name: &str) -> Value {
     Value::object([
         ("bench", Value::from("hotpath-pr4")),
         ("scale", Value::from(scale_name)),
+        ("available_parallelism", Value::from(hw as i64)),
         ("hardware_threads", Value::from(hw as i64)),
         ("reps_best_of", Value::from(REPS as i64)),
         ("datasets", Value::Array(datasets)),

@@ -23,6 +23,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod hotpath;
+pub mod mplex;
 pub mod overload;
 pub mod pruning;
 pub mod render;

@@ -121,6 +121,7 @@ fn spec(salt: usize, i: usize, deadline_ms: Option<u64>) -> JobSpec {
         request_key: None,
         priority: (i % 4) as u8,
         client: None,
+        subscribe: false,
     }
 }
 
@@ -208,7 +209,7 @@ fn run_phase(
     // workers time-share a core and the parallelism term is the core
     // count, not the worker count — otherwise "0.5×" load is already
     // saturation and the whole sweep is mislabeled.
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let hw = crate::common::available_parallelism();
     let capacity_jobs_per_sec = opts.workers.min(hw) as f64 * 1e3 / base_service_ms;
     let offered_jobs_per_sec = capacity_jobs_per_sec * multiplier;
     let interval = Duration::from_secs_f64(1.0 / offered_jobs_per_sec);
@@ -358,7 +359,7 @@ fn phase_value(p: &Phase) -> Value {
 /// Runs the full benchmark and returns the `BENCH_PR7.json` report.
 pub fn run_overload(opts: &OverloadOptions) -> Value {
     let base_service_ms = calibrate(opts);
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let hw = crate::common::available_parallelism();
 
     let mut sweep = Vec::new();
     let mut baseline_p99 = None; // brownout on, lowest multiplier
@@ -389,7 +390,12 @@ pub fn run_overload(opts: &OverloadOptions) -> Value {
     Value::object([
         ("bench", Value::from("overload-pr7")),
         ("preset", Value::from(opts.preset.as_str())),
+        ("available_parallelism", Value::from(hw as i64)),
         ("hardware_threads", Value::from(hw as i64)),
+        (
+            "workers_clamped",
+            Value::from(crate::common::clamped(opts.workers)),
+        ),
         ("workers", Value::from(opts.workers as i64)),
         ("queue_capacity", Value::from(opts.queue_capacity as i64)),
         ("directors", Value::from(opts.directors as i64)),

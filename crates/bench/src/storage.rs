@@ -189,6 +189,7 @@ fn spec(lambda: f64, budget: fairsqg_algo::MatchBudget) -> JobSpec {
         request_key: None,
         priority: fairsqg_service::DEFAULT_PRIORITY,
         client: None,
+        subscribe: false,
     }
 }
 
@@ -297,10 +298,12 @@ pub fn run_storage(opts: &StorageOptions) -> Value {
         ("bench", Value::from("storage-pr6")),
         ("preset", Value::from(opts.preset.as_str())),
         (
+            "available_parallelism",
+            Value::from(crate::common::available_parallelism() as i64),
+        ),
+        (
             "hardware_threads",
-            Value::from(
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as i64,
-            ),
+            Value::from(crate::common::available_parallelism() as i64),
         ),
         (
             "datasets",

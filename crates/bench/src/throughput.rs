@@ -103,6 +103,7 @@ fn spec(lambda: f64) -> JobSpec {
         request_key: None,
         priority: fairsqg_service::DEFAULT_PRIORITY,
         client: None,
+        subscribe: false,
     }
 }
 
@@ -318,7 +319,7 @@ fn phase_value(p: &Phase, warm: bool) -> Value {
 /// Runs the full benchmark and returns the `BENCH_PR5.json` report.
 pub fn run_throughput(opts: &ThroughputOptions) -> Value {
     let equivalence_specs = assert_warm_equals_cold(opts);
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let hw = crate::common::available_parallelism();
     let mut sweep = Vec::new();
     let mut speedup_at_8 = None;
     let mut max_clients_speedup = (0usize, 0.0f64);
@@ -346,7 +347,12 @@ pub fn run_throughput(opts: &ThroughputOptions) -> Value {
     Value::object([
         ("bench", Value::from("throughput-pr5")),
         ("preset", Value::from(opts.preset.as_str())),
+        ("available_parallelism", Value::from(hw as i64)),
         ("hardware_threads", Value::from(hw as i64)),
+        (
+            "workers_clamped",
+            Value::from(crate::common::clamped(opts.workers)),
+        ),
         ("workers", Value::from(opts.workers as i64)),
         ("directors", Value::from(opts.directors as i64)),
         ("jobs_per_client", Value::from(opts.jobs_per_client as i64)),

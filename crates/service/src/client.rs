@@ -37,6 +37,11 @@ pub enum ClientError {
     },
     /// `wait` ran out of budget before the job settled.
     Timeout,
+    /// A multiplexed frame arrived with an unknown correlation id
+    /// (`rid`), or its job `id` contradicts the subscription it was
+    /// routed to — the stream is desynchronized and the connection
+    /// should be abandoned.
+    UnexpectedFrame(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -56,6 +61,7 @@ impl std::fmt::Display for ClientError {
                 Ok(())
             }
             ClientError::Timeout => write!(f, "timed out waiting for the job"),
+            ClientError::UnexpectedFrame(m) => write!(f, "unexpected frame: {m}"),
         }
     }
 }
@@ -65,6 +71,38 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Maps a reply to `Ok(value)` when it carries `"ok": true`, otherwise to
+/// the typed [`ClientError::Server`] (shared by the blocking and
+/// multiplexed clients so both surface identical errors).
+pub(crate) fn check_ok(value: Value) -> Result<Value, ClientError> {
+    match value.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(value),
+        _ => {
+            let code = value
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str)
+                .unwrap_or("internal")
+                .to_string();
+            let message = value
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            let retry_after_ms = value
+                .get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Value::as_u64);
+            Err(ClientError::Server {
+                code,
+                message,
+                retry_after_ms,
+            })
+        }
     }
 }
 
@@ -287,32 +325,7 @@ impl Client {
         }
         let value =
             fairsqg_wire::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
-        match value.get("ok").and_then(Value::as_bool) {
-            Some(true) => Ok(value),
-            _ => {
-                let code = value
-                    .get("error")
-                    .and_then(|e| e.get("code"))
-                    .and_then(Value::as_str)
-                    .unwrap_or("internal")
-                    .to_string();
-                let message = value
-                    .get("error")
-                    .and_then(|e| e.get("message"))
-                    .and_then(Value::as_str)
-                    .unwrap_or("unknown error")
-                    .to_string();
-                let retry_after_ms = value
-                    .get("error")
-                    .and_then(|e| e.get("retry_after_ms"))
-                    .and_then(Value::as_u64);
-                Err(ClientError::Server {
-                    code,
-                    message,
-                    retry_after_ms,
-                })
-            }
-        }
+        check_ok(value)
     }
 
     /// Liveness probe.
@@ -397,6 +410,16 @@ impl Client {
     /// Registered graphs.
     pub fn graphs(&mut self) -> Result<Value, ClientError> {
         self.request_idempotent(&Value::object([("op", Value::from("graphs"))]))
+    }
+
+    /// Engine statistics rendered as Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.request_idempotent(&Value::object([("op", Value::from("metrics"))]))?;
+        reply
+            .get("metrics")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics reply missing 'metrics'".into()))
     }
 
     /// Loads a TSV graph file server-side under `name`.

@@ -31,18 +31,18 @@
 
 use crate::cache::{CacheStats, LruCache};
 use crate::job::{
-    diversity_for_spec_with, generated_to_value_with, plan_key, plan_spec, plan_spec_cached,
-    run_plan_overridden, BrownoutMark, JobSpec, RunOverrides,
+    diversity_for_spec_with, entry_bindings, entry_to_value, generated_to_value_with, plan_key,
+    plan_spec, plan_spec_cached, run_plan_observed, BrownoutMark, JobSpec, Plan, RunOverrides,
 };
 use crate::overload::{
     BrownoutConfig, Ewma, PressureController, PressureInputs, PressureLevel, ServiceModel,
 };
 use crate::registry::{GraphEntry, GraphRegistry, DEFAULT_WARM_BUDGET_BYTES};
 use crate::sync;
-use fairsqg_algo::{CancelToken, MatchBudget};
+use fairsqg_algo::{ArchiveDelta, ArchiveObserver, CancelToken, MatchBudget};
 use fairsqg_faults::Fault;
 use fairsqg_wire::Value;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -225,6 +225,63 @@ struct JobRecord {
     followers: Vec<u64>,
 }
 
+/// A streamed job event, delivered to [`EventSink`]s registered via
+/// [`Engine::subscribe`] / [`Engine::submit_streaming`].
+///
+/// Delivery contract: zero or more `Delta` events (each an incremental
+/// change to the job's Pareto archive, in version order), then exactly
+/// one `Settled`. For a sink attached before the job starts running, the
+/// union of all deltas reconstructs the final result's entry set exactly
+/// — the engine emits a catch-up delta at settlement covering anything
+/// the anytime loop never streamed (cache hits, coalesced followers,
+/// archive rescales, algorithms that build their archive at the end).
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job's archive changed: `added` entries entered the front (in
+    /// their rendered wire form, identical to the final result's
+    /// `entries` elements) and `removed` (identified by their `bindings`
+    /// strings) were dominated out.
+    Delta {
+        /// The job id.
+        id: u64,
+        /// The archive's monotonic version after this change.
+        version: u64,
+        /// Rendered entries that entered the archive.
+        added: Vec<Value>,
+        /// `bindings` keys of entries that left the archive.
+        removed: Vec<String>,
+    },
+    /// The job reached a terminal state; no further events follow.
+    Settled {
+        /// The job id.
+        id: u64,
+        /// The terminal state.
+        state: JobState,
+        /// Whether the result is a deadline/cancellation partial.
+        truncated: bool,
+        /// Whether the result came from the cross-request cache.
+        from_cache: bool,
+        /// Error message (`Failed` only).
+        error: Option<String>,
+        /// The full rendered result (`Done` only).
+        result: Option<Arc<Value>>,
+    },
+}
+
+/// A subscriber callback. Called from engine worker threads — it must be
+/// cheap and must **not** call back into the [`Engine`] (the engine may
+/// hold internal locks while delivering).
+pub type EventSink = Arc<dyn Fn(&JobEvent) + Send + Sync>;
+
+/// Per-job streaming state: the registered sinks plus the set of entry
+/// keys already delivered via deltas (what the settlement catch-up diffs
+/// the final result against).
+struct StreamState {
+    sinks: Vec<EventSink>,
+    streamed: BTreeSet<String>,
+    last_version: u64,
+}
+
 /// Point-in-time view of one job, as reported by `status`.
 #[derive(Debug, Clone)]
 pub struct JobStatus {
@@ -310,6 +367,11 @@ struct Counters {
     watchdog_hard_stops: AtomicU64,
     watchdog_lost_workers: AtomicU64,
     drained: AtomicU64,
+    // Streaming: live delta events published, settlement catch-up deltas
+    // emitted, and subscriptions that reached their Settled event.
+    stream_deltas: AtomicU64,
+    stream_catchups: AtomicU64,
+    stream_settled: AtomicU64,
 }
 
 struct QueueState {
@@ -388,6 +450,9 @@ struct Shared {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     worker_seq: AtomicU64,
     workers_alive: AtomicU64,
+    /// Streaming subscriptions by job id. Leaf-ish: taken after `jobs`
+    /// where both are needed ([`flush_settled`]), never the other way.
+    subscriptions: Mutex<HashMap<u64, StreamState>>,
     /// Leaf lock (see [`OverloadState`]).
     overload: Mutex<OverloadState>,
     /// Mirror of the controller's level for lock-free reads on the worker
@@ -452,6 +517,7 @@ impl Engine {
             counters: Counters::default(),
             latencies: Mutex::new(Latencies::default()),
             next_id: AtomicU64::new(1),
+            subscriptions: Mutex::new(HashMap::new()),
             workers: Mutex::new(Vec::new()),
             worker_seq: AtomicU64::new(pool),
             workers_alive: AtomicU64::new(0),
@@ -744,8 +810,12 @@ impl Engine {
         q.queue.push_back(id);
         drop(q);
         drop(inflight);
-        if let Some((_, victim_client)) = evicted {
+        if let Some((victim, victim_client)) = evicted {
             self.release_quota(victim_client.as_deref());
+            // The evicted job settled Failed inline above; deliver its
+            // streaming events (if anyone subscribed) now that every
+            // lock is released.
+            flush_settled(&self.shared, victim);
         }
         self.shared.work_ready.notify_one();
         Ok(id)
@@ -925,6 +995,45 @@ impl Engine {
             }
             None => false,
         }
+    }
+
+    /// Registers `sink` for a job's [`JobEvent`] stream. Returns `false`
+    /// for unknown ids. If the job has already settled, the sink receives
+    /// its catch-up delta (for `Done` jobs) and `Settled` event
+    /// synchronously before this returns. A sink attached while the job
+    /// is mid-run misses nothing material: entries it never saw as live
+    /// deltas arrive in the settlement catch-up.
+    pub fn subscribe(&self, id: u64, sink: EventSink) -> bool {
+        if !sync::lock(&self.shared.jobs).contains_key(&id) {
+            return false;
+        }
+        {
+            let mut subs = sync::lock(&self.shared.subscriptions);
+            let st = subs.entry(id).or_insert_with(|| StreamState {
+                sinks: Vec::new(),
+                streamed: BTreeSet::new(),
+                last_version: 0,
+            });
+            st.sinks.push(sink);
+        }
+        // The job may have settled between the existence check and the
+        // registration; flushing here makes the race benign (the flush
+        // removes the subscription atomically, so events fire once).
+        flush_settled(&self.shared, id);
+        true
+    }
+
+    /// [`Self::submit`] with a [`JobEvent`] subscription attached before
+    /// the job can settle: forces `spec.subscribe` on (so the worker
+    /// streams archive deltas as the front improves) and registers `sink`
+    /// for the job's event stream. Cache hits and coalesced followers
+    /// stream too — their entire entry set arrives as one settlement
+    /// catch-up delta.
+    pub fn submit_streaming(&self, mut spec: JobSpec, sink: EventSink) -> Result<u64, SubmitError> {
+        spec.subscribe = true;
+        let id = self.submit(spec)?;
+        self.subscribe(id, sink);
+        Ok(id)
     }
 
     /// Current queue depth (admitted, not yet picked up).
@@ -1163,6 +1272,27 @@ impl Engine {
                     ),
                 ]),
             ),
+            (
+                "streaming",
+                Value::object([
+                    (
+                        "deltas",
+                        Value::from(c.stream_deltas.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "catchups",
+                        Value::from(c.stream_catchups.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "settled",
+                        Value::from(c.stream_settled.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "active",
+                        Value::from(sync::lock(&self.shared.subscriptions).len() as u64),
+                    ),
+                ]),
+            ),
             ("warm_state", warm),
             ("registry", {
                 let r = self.shared.registry.stats();
@@ -1370,6 +1500,156 @@ fn watchdog_loop(shared: &Arc<Shared>, grace: Duration) {
     }
 }
 
+/// The worker-side [`ArchiveObserver`]: renders each accepted archive
+/// mutation on the generation thread (entries hold `Rc`s and must not
+/// cross threads un-rendered) and publishes it as a [`JobEvent::Delta`].
+struct StreamObs<'a, 'g> {
+    shared: &'a Shared,
+    id: u64,
+    plan: &'a Plan<'g>,
+}
+
+impl ArchiveObserver for StreamObs<'_, '_> {
+    fn archive_updated(&self, delta: &ArchiveDelta) {
+        // Render only while someone is listening — an unsubscribed (or
+        // already-flushed) job skips the render cost entirely, and the
+        // settlement catch-up covers whatever is skipped.
+        if !sync::lock(&self.shared.subscriptions).contains_key(&self.id) {
+            return;
+        }
+        let added: Vec<Value> = delta
+            .added
+            .iter()
+            .map(|e| entry_to_value(self.plan, e))
+            .collect();
+        let removed: Vec<String> = delta
+            .removed
+            .iter()
+            .map(|e| entry_bindings(self.plan, e))
+            .collect();
+        publish_delta(self.shared, self.id, delta.version, added, removed);
+    }
+}
+
+/// Delivers one live delta to a job's sinks, recording the delivered entry
+/// keys so the settlement catch-up knows what the stream already carries.
+/// Sinks fire after the subscription lock is released.
+fn publish_delta(shared: &Shared, id: u64, version: u64, added: Vec<Value>, removed: Vec<String>) {
+    let sinks: Vec<EventSink> = {
+        let mut subs = sync::lock(&shared.subscriptions);
+        let Some(st) = subs.get_mut(&id) else { return };
+        for b in &removed {
+            st.streamed.remove(b);
+        }
+        for v in &added {
+            if let Some(b) = v.get("bindings").and_then(Value::as_str) {
+                st.streamed.insert(b.to_string());
+            }
+        }
+        st.last_version = version;
+        st.sinks.clone()
+    };
+    shared
+        .counters
+        .stream_deltas
+        .fetch_add(1, Ordering::Relaxed);
+    let ev = JobEvent::Delta {
+        id,
+        version,
+        added,
+        removed,
+    };
+    for sink in &sinks {
+        sink(&ev);
+    }
+}
+
+/// Fires a settled job's terminal events: a catch-up [`JobEvent::Delta`]
+/// reconciling the stream with the final entry set (covers cache hits,
+/// coalesced followers, rescales, and end-built archives), then the
+/// [`JobEvent::Settled`]. Removing the subscription under its lock makes
+/// the function idempotent — concurrent callers (a settling worker and a
+/// racing [`Engine::subscribe`]) deliver the events exactly once.
+fn flush_settled(shared: &Shared, id: u64) {
+    let snapshot = {
+        let jobs = sync::lock(&shared.jobs);
+        match jobs.get(&id) {
+            Some(r) if r.state.is_terminal() => Some((
+                r.state,
+                r.truncated,
+                r.from_cache,
+                r.error.clone(),
+                r.result.clone(),
+            )),
+            _ => None,
+        }
+    };
+    let Some((state, truncated, from_cache, error, result)) = snapshot else {
+        return;
+    };
+    let Some(st) = sync::lock(&shared.subscriptions).remove(&id) else {
+        return;
+    };
+    if state == JobState::Done {
+        if let Some(result) = &result {
+            let final_entries: Vec<&Value> = result
+                .get("entries")
+                .and_then(Value::as_array)
+                .map(|a| a.iter().collect())
+                .unwrap_or_default();
+            let final_keys: BTreeSet<&str> = final_entries
+                .iter()
+                .filter_map(|e| e.get("bindings").and_then(Value::as_str))
+                .collect();
+            let added: Vec<Value> = final_entries
+                .iter()
+                .filter(|e| {
+                    e.get("bindings")
+                        .and_then(Value::as_str)
+                        .is_some_and(|b| !st.streamed.contains(b))
+                })
+                .map(|e| (*e).clone())
+                .collect();
+            let removed: Vec<String> = st
+                .streamed
+                .iter()
+                .filter(|b| !final_keys.contains(b.as_str()))
+                .cloned()
+                .collect();
+            if !added.is_empty() || !removed.is_empty() {
+                shared
+                    .counters
+                    .stream_catchups
+                    .fetch_add(1, Ordering::Relaxed);
+                let ev = JobEvent::Delta {
+                    id,
+                    version: st.last_version + 1,
+                    added,
+                    removed,
+                };
+                for sink in &st.sinks {
+                    sink(&ev);
+                }
+            }
+        }
+    }
+    shared
+        .counters
+        .stream_settled
+        .fetch_add(1, Ordering::Relaxed);
+    let ev = JobEvent::Settled {
+        id,
+        state,
+        truncated,
+        from_cache,
+        error,
+        result,
+    };
+    for sink in &st.sinks {
+        sink(&ev);
+    }
+}
+
 /// Terminal outcome of a leader job, consumed by [`settle_job`].
 enum Settled {
     Done {
@@ -1489,12 +1769,21 @@ fn run_job(shared: &Shared, id: u64) {
         let shared_div = warm
             .as_ref()
             .map(|w| w.diversity_cache(&entry.graph, plan.template.output_label(), &effective_div));
-        let out = run_plan_overridden(
+        // Streaming jobs watch the anytime loop's archive; observation is
+        // passive, so the archive (and the rendered result) stays
+        // bit-identical to an unobserved run.
+        let observer = spec.subscribe.then_some(StreamObs {
+            shared,
+            id,
+            plan: &plan,
+        });
+        let out = run_plan_observed(
             &plan,
             &spec,
             &cancel,
             shared_div.as_ref(),
             overrides.as_ref(),
+            observer.as_ref().map(|o| o as &dyn ArchiveObserver),
         );
         let generated = Instant::now();
         let rendered = generated_to_value_with(&plan, &out, mark.as_ref());
@@ -1604,6 +1893,9 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
     // Client identities whose quota slots free up here; released after the
     // job locks are dropped (the overload mutex is a leaf).
     let mut released: Vec<String> = Vec::new();
+    // Jobs that reached a terminal state in this pass; their streaming
+    // events fire after every lock is dropped.
+    let mut settled_ids: Vec<u64> = Vec::new();
     {
         let mut inflight = sync::lock(&shared.inflight);
         let mut jobs = sync::lock(&shared.jobs);
@@ -1645,6 +1937,7 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                         shared.counters.drained.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                settled_ids.push(id);
                 (fp, fw)
             }
             None => (None, Vec::new()),
@@ -1669,6 +1962,7 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                             .coalesced_served
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                    settled_ids.push(f);
                 }
             }
         } else if draining {
@@ -1680,6 +1974,7 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                         released.push(c.clone());
                     }
                     shared.counters.drained.fetch_add(1, Ordering::Relaxed);
+                    settled_ids.push(f);
                 }
             }
         } else {
@@ -1691,6 +1986,7 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                         fr.entry = None;
                         freed = fr.spec.client.clone();
                         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        settled_ids.push(f);
                         false
                     } else {
                         true
@@ -1736,6 +2032,9 @@ fn settle_job(shared: &Shared, id: u64, outcome: Settled) {
                 }
             }
         }
+    }
+    for sid in settled_ids {
+        flush_settled(shared, sid);
     }
     if let Some(nl) = promoted {
         let mut q = sync::lock(&shared.queue);

@@ -9,8 +9,8 @@
 
 use crate::warm::{WarmPlan, WarmState};
 use fairsqg_algo::{
-    biqgen, cbm, enum_qgen, kungs, par_enum_qgen, rfqgen, BiQGenOptions, CancelToken, CbmOptions,
-    Configuration, Generated, MatchBudget, RfQGenOptions,
+    biqgen, cbm, enum_qgen, kungs, par_enum_qgen, rfqgen, ArchiveEntry, ArchiveObserver,
+    BiQGenOptions, CancelToken, CbmOptions, Configuration, Generated, MatchBudget, RfQGenOptions,
 };
 use fairsqg_graph::{AttrValue, CoverageSpec, Graph, GroupSet};
 use fairsqg_measures::{DiversityConfig, SharedDiversityCache};
@@ -107,6 +107,11 @@ pub struct JobSpec {
     /// unset — the server stamps each connection's identity — but an
     /// explicit value lets a proxy attribute jobs to its own tenants.
     pub client: Option<String>,
+    /// Stream Pareto-archive deltas while the job runs (multiplexed
+    /// server only). Delivery-layer metadata: the computed archive is
+    /// identical either way, so like deadlines this is excluded from
+    /// the cache fingerprint.
+    pub subscribe: bool,
 }
 
 /// The highest admissible [`JobSpec::priority`]; wire values above it are
@@ -159,6 +164,7 @@ impl JobSpec {
                 .and_then(Value::as_u64)
                 .map_or(DEFAULT_PRIORITY, |p| p.min(MAX_PRIORITY as u64) as u8),
             client: v.get("client").and_then(Value::as_str).map(str::to_string),
+            subscribe: v.get("subscribe").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 
@@ -197,13 +203,16 @@ impl JobSpec {
         if let Some(c) = &self.client {
             pairs.push(("client", Value::from(c.as_str())));
         }
+        if self.subscribe {
+            pairs.push(("subscribe", Value::from(true)));
+        }
         Value::object(pairs)
     }
 
     /// Cache fingerprint: graph epoch + template hash + every parameter
     /// that affects the result. Deadlines, the idempotency key, the
-    /// thread count, the priority, and the client identity are
-    /// deliberately excluded — a completed (non-truncated) result is
+    /// thread count, the priority, the client identity, and the
+    /// `subscribe` flag are deliberately excluded — a completed (non-truncated) result is
     /// valid whatever deadline, priority, or submitter produced it, and
     /// `parenum`'s archive is identical at any thread count — but the
     /// resource caps are included because a tripped budget changes the
@@ -388,6 +397,21 @@ pub fn run_plan_overridden(
     shared: Option<&Arc<SharedDiversityCache>>,
     overrides: Option<&RunOverrides>,
 ) -> Generated {
+    run_plan_observed(plan, spec, cancel, shared, overrides, None)
+}
+
+/// Like [`run_plan_overridden`], with an optional [`ArchiveObserver`]
+/// watching the anytime loop's archive — the streaming path. Observation
+/// is passive: the archive, and therefore the final result, is
+/// bit-identical with or without an observer attached.
+pub fn run_plan_observed(
+    plan: &Plan<'_>,
+    spec: &JobSpec,
+    cancel: &CancelToken,
+    shared: Option<&Arc<SharedDiversityCache>>,
+    overrides: Option<&RunOverrides>,
+    observer: Option<&dyn ArchiveObserver>,
+) -> Generated {
     let budget = overrides.map_or(spec.budget, |o| o.budget);
     let diversity = diversity_for_spec_with(spec, overrides.and_then(|o| o.pair_cap));
     let mut cfg = Configuration::new(
@@ -403,6 +427,9 @@ pub fn run_plan_overridden(
     .with_budget(budget);
     if let Some(shared) = shared {
         cfg = cfg.with_shared_diversity(shared);
+    }
+    if let Some(obs) = observer {
+        cfg = cfg.with_progress(obs);
     }
     match spec.algo {
         AlgoKind::EnumQGen => enum_qgen(cfg, false),
@@ -444,6 +471,44 @@ impl BrownoutMark {
     }
 }
 
+/// Renders one archive entry into its wire form — the single renderer
+/// shared by [`generated_to_value_with`] and the streaming delta path,
+/// so a delta-reconstructed archive is byte-identical to the final
+/// result's `entries`. The `bindings` string doubles as the entry's
+/// identity key across delta frames (it is injective in the
+/// instantiation).
+pub fn entry_to_value(plan: &Plan<'_>, e: &ArchiveEntry) -> Value {
+    let schema = plan.graph.schema();
+    let counts: Vec<Value> = e
+        .result
+        .counts
+        .iter()
+        .map(|&c| Value::from(c as i64))
+        .collect();
+    let q = ConcreteQuery::materialize(&plan.template, &plan.domains, &e.inst);
+    Value::object([
+        ("delta", Value::from(e.result.objectives.delta)),
+        ("fcov", Value::from(e.result.objectives.fcov)),
+        ("matches", Value::from(e.result.matches.len() as i64)),
+        ("group_counts", Value::Array(counts)),
+        (
+            "bindings",
+            Value::from(render_instance(schema, &plan.template, &plan.domains, &e.inst).as_str()),
+        ),
+        (
+            "query",
+            Value::from(render_concrete_query(schema, &q).as_str()),
+        ),
+    ])
+}
+
+/// The identity key of an archive entry across streamed delta frames:
+/// its rendered `bindings` string (injective in the instantiation, and
+/// exactly what [`entry_to_value`] stamps on the wire form).
+pub fn entry_bindings(plan: &Plan<'_>, e: &ArchiveEntry) -> String {
+    render_instance(plan.graph.schema(), &plan.template, &plan.domains, &e.inst)
+}
+
 /// Renders a generation result into its wire form. Entries are sorted by
 /// descending coverage, then descending diversity (the CLI's order).
 pub fn generated_to_value(plan: &Plan<'_>, out: &Generated) -> Value {
@@ -458,7 +523,6 @@ pub fn generated_to_value_with(
     out: &Generated,
     brownout: Option<&BrownoutMark>,
 ) -> Value {
-    let schema = plan.graph.schema();
     let mut entries = out.entries.clone();
     entries.sort_by(|a, b| {
         b.objectives()
@@ -472,34 +536,7 @@ pub fn generated_to_value_with(
                     .unwrap(),
             )
     });
-    let rendered: Vec<Value> = entries
-        .iter()
-        .map(|e| {
-            let counts: Vec<Value> = e
-                .result
-                .counts
-                .iter()
-                .map(|&c| Value::from(c as i64))
-                .collect();
-            let q = ConcreteQuery::materialize(&plan.template, &plan.domains, &e.inst);
-            Value::object([
-                ("delta", Value::from(e.result.objectives.delta)),
-                ("fcov", Value::from(e.result.objectives.fcov)),
-                ("matches", Value::from(e.result.matches.len() as i64)),
-                ("group_counts", Value::Array(counts)),
-                (
-                    "bindings",
-                    Value::from(
-                        render_instance(schema, &plan.template, &plan.domains, &e.inst).as_str(),
-                    ),
-                ),
-                (
-                    "query",
-                    Value::from(render_concrete_query(schema, &q).as_str()),
-                ),
-            ])
-        })
-        .collect();
+    let rendered: Vec<Value> = entries.iter().map(|e| entry_to_value(plan, e)).collect();
     Value::object([
         ("eps", Value::from(out.eps)),
         ("truncated", Value::from(out.truncated)),
@@ -599,6 +636,7 @@ mod tests {
             request_key: None,
             priority: DEFAULT_PRIORITY,
             client: None,
+            subscribe: false,
         }
     }
 
@@ -609,6 +647,11 @@ mod tests {
         assert_eq!(back.graph, "g");
         assert_eq!(back.algo, AlgoKind::BiQGen);
         assert_eq!(back.cover, 5);
+        assert!(!back.subscribe, "subscribe defaults off");
+        let mut sub = spec();
+        sub.subscribe = true;
+        let back = JobSpec::from_value(&sub.to_value()).unwrap();
+        assert!(back.subscribe, "subscribe survives the round trip");
     }
 
     #[test]
@@ -662,6 +705,11 @@ mod tests {
         let mut sc = s.clone();
         sc.client = Some("tenant-7".into());
         assert_eq!(a, sc.fingerprint(1), "client must not affect the key");
+        // Streaming delivery of the same archive is still the same
+        // archive: `subscribe` must never partition the cache either.
+        let mut ss = s.clone();
+        ss.subscribe = true;
+        assert_eq!(a, ss.fingerprint(1), "subscribe must not affect the key");
     }
 
     #[test]

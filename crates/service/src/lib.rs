@@ -38,6 +38,7 @@
 //!     request_key: None,
 //!     priority: fairsqg_service::job::DEFAULT_PRIORITY,
 //!     client: None,
+//!     subscribe: false,
 //! }).unwrap();
 //! while engine.status(id).unwrap().state != JobState::Done {
 //!     std::thread::yield_now();
@@ -52,6 +53,9 @@ mod cache;
 mod client;
 mod engine;
 pub mod job;
+#[cfg(unix)]
+pub mod mux;
+mod mux_client;
 pub mod overload;
 pub mod proto;
 mod registry;
@@ -61,12 +65,16 @@ pub mod warm;
 
 pub use cache::{CacheStats, LruCache};
 pub use client::{Client, ClientError, RetryPolicy};
-pub use engine::{Engine, EngineConfig, JobState, JobStatus, SubmitError};
+pub use engine::{Engine, EngineConfig, EventSink, JobEvent, JobState, JobStatus, SubmitError};
 pub use job::{
-    diversity_for_spec, diversity_for_spec_with, generated_to_value, generated_to_value_with,
-    plan_key, plan_spec, plan_spec_cached, run_plan, run_plan_overridden, run_plan_shared,
-    AlgoKind, BrownoutMark, JobSpec, Plan, RunOverrides, DEFAULT_PRIORITY, MAX_PRIORITY,
+    diversity_for_spec, diversity_for_spec_with, entry_bindings, entry_to_value,
+    generated_to_value, generated_to_value_with, plan_key, plan_spec, plan_spec_cached, run_plan,
+    run_plan_observed, run_plan_overridden, run_plan_shared, AlgoKind, BrownoutMark, JobSpec, Plan,
+    RunOverrides, DEFAULT_PRIORITY, MAX_PRIORITY,
 };
+#[cfg(unix)]
+pub use mux::{spawn_mux, spawn_mux_with, MuxOptions, MuxServer, MuxStopHandle};
+pub use mux_client::{MuxClient, StreamedResult, Subscription};
 pub use overload::{
     BrownoutConfig, Ewma, PressureController, PressureInputs, PressureLevel, ServiceModel,
 };

@@ -1,0 +1,528 @@
+//! Blocking client for the multiplexed server: many in-flight requests
+//! and streaming subscriptions over one connection.
+//!
+//! A background reader thread demultiplexes every inbound frame by its
+//! `rid` echo: plain responses complete the matching pending request,
+//! `event` frames feed their subscription's accumulator. Frames that fit
+//! neither — an unknown `rid`, or an event whose job `id` contradicts its
+//! subscription — poison the connection with the typed
+//! [`ClientError::UnexpectedFrame`], which every subsequent call then
+//! returns: a desynchronized multiplexed stream cannot be trusted for
+//! any correlation.
+//!
+//! Delta frames arriving after their subscription settled (the server
+//! sheds none after the settled frame, but a lossy reorder across a
+//! refetch can look like one) are dropped, not errors; see
+//! [`MuxClient::stale_deltas`].
+
+use crate::client::{check_ok, ClientError};
+use crate::job::JobSpec;
+use fairsqg_wire::{FrameDecoder, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::Read;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Outcome of one streamed job, assembled from its delta frames.
+#[derive(Debug)]
+pub struct StreamedResult {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Terminal state name (`done`, `failed`, `cancelled`, `drained`).
+    pub state: String,
+    /// The job hit its deadline and the result is the best-so-far.
+    pub truncated: bool,
+    /// Served from the warm result cache.
+    pub from_cache: bool,
+    /// The server shed delta frames under backpressure; `result` is
+    /// `None` and must be refetched via [`MuxClient::result`].
+    pub lossy: bool,
+    /// Delta frames applied to build `result`.
+    pub deltas: u64,
+    /// Failure detail for non-`done` states.
+    pub error_message: Option<String>,
+    /// The full result value reconstructed from the deltas — built to be
+    /// byte-identical (after canonical serialization) to what the
+    /// `result` op returns for the same job. `None` unless `state` is
+    /// `done` and the stream was lossless.
+    pub result: Option<Value>,
+}
+
+/// Accumulates one subscription's deltas until it settles.
+struct SubState {
+    job_id: Option<u64>,
+    entries: BTreeMap<String, Value>,
+    deltas: u64,
+    done: mpsc::Sender<Result<StreamedResult, ClientError>>,
+}
+
+/// What the reader thread shares with request threads.
+struct Router {
+    pending: Mutex<HashMap<u64, mpsc::Sender<Result<Value, ClientError>>>>,
+    subs: Mutex<HashMap<u64, SubState>>,
+    /// Subscriptions that already settled: late deltas for these are
+    /// stale, dropped and counted rather than treated as protocol errors.
+    settled: Mutex<HashSet<u64>>,
+    stale_deltas: AtomicU64,
+    /// First fatal protocol violation; sticky for the connection's life.
+    poison: Mutex<Option<String>>,
+}
+
+impl Router {
+    /// Records the violation and fails every waiter, present and future.
+    fn poison(&self, detail: String) {
+        {
+            let mut p = crate::sync::lock(&self.poison);
+            if p.is_none() {
+                *p = Some(detail.clone());
+            }
+        }
+        let pending: Vec<_> = crate::sync::lock(&self.pending).drain().collect();
+        for (_, tx) in pending {
+            let _ = tx.send(Err(ClientError::UnexpectedFrame(detail.clone())));
+        }
+        let subs: Vec<_> = crate::sync::lock(&self.subs).drain().collect();
+        for (_, sub) in subs {
+            let _ = sub
+                .done
+                .send(Err(ClientError::UnexpectedFrame(detail.clone())));
+        }
+    }
+
+    fn poisoned(&self) -> Option<ClientError> {
+        crate::sync::lock(&self.poison)
+            .as_ref()
+            .map(|d| ClientError::UnexpectedFrame(d.clone()))
+    }
+}
+
+/// A handle to one streaming submission; consume with
+/// [`Subscription::wait`].
+pub struct Subscription {
+    /// The job id from the submit acknowledgement.
+    pub id: u64,
+    rx: mpsc::Receiver<Result<StreamedResult, ClientError>>,
+}
+
+impl Subscription {
+    /// Blocks until the job settles (or `timeout` elapses) and returns
+    /// the assembled outcome.
+    pub fn wait(self, timeout: Duration) -> Result<StreamedResult, ClientError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ClientError::Protocol(
+                "connection closed before the job settled".into(),
+            )),
+        }
+    }
+}
+
+/// Blocking multiplexed client; cheap to share behind an `Arc` — every
+/// method takes `&self`, so many threads can drive one connection.
+pub struct MuxClient {
+    stream: Mutex<TcpStream>,
+    router: Arc<Router>,
+    next_rid: AtomicU64,
+    /// Per-request reply timeout (generous: replies are acks, not job
+    /// completions — those arrive via subscriptions).
+    pub reply_timeout: Duration,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MuxClient {
+    /// Connects and starts the demultiplexing reader thread.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let router = Arc::new(Router {
+            pending: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            settled: Mutex::new(HashSet::new()),
+            stale_deltas: AtomicU64::new(0),
+            poison: Mutex::new(None),
+        });
+        let read_half = stream.try_clone()?;
+        let r = Arc::clone(&router);
+        let reader = std::thread::Builder::new()
+            .name("fairsqg-mux-client".to_string())
+            .spawn(move || reader_loop(read_half, &r))
+            .map_err(ClientError::Io)?;
+        Ok(Self {
+            stream: Mutex::new(stream),
+            router,
+            next_rid: AtomicU64::new(1),
+            reply_timeout: Duration::from_secs(60),
+            reader: Some(reader),
+        })
+    }
+
+    /// Deltas dropped because their subscription had already settled.
+    pub fn stale_deltas(&self) -> u64 {
+        self.router.stale_deltas.load(Ordering::Relaxed)
+    }
+
+    fn send(&self, frame: &Value) -> Result<(), ClientError> {
+        let mut line = frame.to_string();
+        line.push('\n');
+        let mut stream = crate::sync::lock(&self.stream);
+        stream.write_all(line.as_bytes())?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    /// Sends one tagged request and blocks for its (demultiplexed)
+    /// reply. Other threads' requests interleave freely meanwhile.
+    pub fn request(&self, mut request: Value) -> Result<Value, ClientError> {
+        if let Some(err) = self.router.poisoned() {
+            return Err(err);
+        }
+        let rid = self.next_rid.fetch_add(1, Ordering::Relaxed);
+        if let Value::Object(map) = &mut request {
+            map.insert("rid".to_string(), Value::from(rid));
+        }
+        let (tx, rx) = mpsc::channel();
+        crate::sync::lock(&self.router.pending).insert(rid, tx);
+        if let Err(e) = self.send(&request) {
+            crate::sync::lock(&self.router.pending).remove(&rid);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.reply_timeout) {
+            Ok(reply) => reply.and_then(check_ok),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                crate::sync::lock(&self.router.pending).remove(&rid);
+                Err(ClientError::Timeout)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(self
+                .router
+                .poisoned()
+                .unwrap_or_else(|| ClientError::Protocol("connection closed".into()))),
+        }
+    }
+
+    fn op(&self, op: &str, fields: Vec<(&'static str, Value)>) -> Result<Value, ClientError> {
+        let mut pairs = vec![("op", Value::from(op))];
+        pairs.extend(fields);
+        self.request(Value::object(pairs))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        self.op("ping", Vec::new()).map(|_| ())
+    }
+
+    /// Plain (non-streaming) submit; returns the job id.
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, ClientError> {
+        let mut spec = spec.clone();
+        spec.subscribe = false;
+        let reply = self.op("submit", vec![("job", spec.to_value())])?;
+        reply
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("submit reply missing 'id'".into()))
+    }
+
+    /// Streaming submit: the job runs with `subscribe: true` and its
+    /// archive deltas flow back over this connection. Returns once the
+    /// acknowledgement arrives; the [`Subscription`] settles later.
+    pub fn submit_streaming(&self, spec: &JobSpec) -> Result<Subscription, ClientError> {
+        if let Some(err) = self.router.poisoned() {
+            return Err(err);
+        }
+        let mut spec = spec.clone();
+        spec.subscribe = true;
+        let rid = self.next_rid.fetch_add(1, Ordering::Relaxed);
+        let request = Value::object([
+            ("op", Value::from("submit")),
+            ("job", spec.to_value()),
+            ("rid", Value::from(rid)),
+        ]);
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        crate::sync::lock(&self.router.pending).insert(rid, ack_tx);
+        crate::sync::lock(&self.router.subs).insert(
+            rid,
+            SubState {
+                job_id: None,
+                entries: BTreeMap::new(),
+                deltas: 0,
+                done: done_tx,
+            },
+        );
+        if let Err(e) = self.send(&request) {
+            crate::sync::lock(&self.router.pending).remove(&rid);
+            crate::sync::lock(&self.router.subs).remove(&rid);
+            return Err(e);
+        }
+        let ack = match ack_rx.recv_timeout(self.reply_timeout) {
+            Ok(reply) => reply.and_then(check_ok),
+            Err(_) => Err(self.router.poisoned().unwrap_or(ClientError::Timeout)),
+        };
+        match ack {
+            Ok(reply) => {
+                let id = reply
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ClientError::Protocol("submit reply missing 'id'".into()))?;
+                if let Some(sub) = crate::sync::lock(&self.router.subs).get_mut(&rid) {
+                    sub.job_id.get_or_insert(id);
+                }
+                Ok(Subscription { id, rx: done_rx })
+            }
+            Err(e) => {
+                // Rejected submits never stream; drop the accumulator.
+                crate::sync::lock(&self.router.subs).remove(&rid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetches a settled job's full result (the lossy-stream fallback).
+    pub fn result(&self, id: u64) -> Result<Value, ClientError> {
+        let reply = self.op("result", vec![("id", Value::from(id))])?;
+        reply
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("result reply missing 'result'".into()))
+    }
+
+    /// Engine statistics (the `stats` op).
+    pub fn stats(&self) -> Result<Value, ClientError> {
+        self.op("stats", Vec::new())
+    }
+
+    /// Prometheus text exposition of the engine statistics.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let reply = self.op("metrics", Vec::new())?;
+        reply
+            .get("metrics")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics reply missing 'metrics'".into()))
+    }
+
+    /// Asks the server to stop accepting new jobs.
+    pub fn drain(&self) -> Result<Value, ClientError> {
+        self.op("drain", Vec::new())
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.op("shutdown", Vec::new()).map(|_| ())
+    }
+}
+
+impl Drop for MuxClient {
+    fn drop(&mut self) {
+        if let Ok(stream) = self.stream.lock() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// The reader thread: demultiplexes frames until EOF or poison.
+fn reader_loop(mut stream: TcpStream, router: &Router) {
+    let mut decoder = FrameDecoder::new(64 * 1024 * 1024);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        decoder.push(&buf[..n]);
+        while let Some(frame) = decoder.next_frame() {
+            let line = match frame {
+                Ok(l) => l,
+                Err(e) => {
+                    router.poison(format!("undecodable frame: {e}"));
+                    return;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = match fairsqg_wire::parse(&line) {
+                Ok(v) => v,
+                Err(e) => {
+                    router.poison(format!("invalid JSON frame: {e}"));
+                    return;
+                }
+            };
+            if !route_frame(router, value) {
+                return;
+            }
+        }
+    }
+    router.poison("connection closed".into());
+}
+
+/// Routes one frame; `false` means the connection is poisoned.
+fn route_frame(router: &Router, value: Value) -> bool {
+    let rid = value.get("rid").and_then(Value::as_u64);
+    match value.get("event").and_then(Value::as_str) {
+        Some(event) => {
+            let Some(rid) = rid else {
+                router.poison(format!("'{event}' event frame without a rid"));
+                return false;
+            };
+            route_event(router, rid, event, &value)
+        }
+        None => {
+            let Some(rid) = rid else {
+                router.poison("response frame without a rid".into());
+                return false;
+            };
+            // Bind before matching: a guard living across the match arms
+            // would deadlock `poison` (which relocks `pending`).
+            let waiter = crate::sync::lock(&router.pending).remove(&rid);
+            match waiter {
+                Some(tx) => {
+                    let _ = tx.send(Ok(value));
+                    true
+                }
+                None => {
+                    router.poison(format!("response for unknown rid {rid}"));
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Applies one `delta`/`settled` event frame to its subscription.
+fn route_event(router: &Router, rid: u64, event: &str, value: &Value) -> bool {
+    let id = value.get("id").and_then(Value::as_u64);
+    let mut subs = crate::sync::lock(&router.subs);
+    let Some(sub) = subs.get_mut(&rid) else {
+        drop(subs);
+        if event == "delta" && crate::sync::lock(&router.settled).contains(&rid) {
+            // Late delta for a settled stream: stale, not a violation.
+            router.stale_deltas.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        router.poison(format!("'{event}' event for unknown rid {rid}"));
+        return false;
+    };
+    match (sub.job_id, id) {
+        (Some(expected), Some(got)) if expected != got => {
+            drop(subs);
+            router.poison(format!(
+                "'{event}' for rid {rid} names job {got}, subscription is job {expected}"
+            ));
+            return false;
+        }
+        (None, Some(got)) => {
+            sub.job_id = Some(got);
+        }
+        _ => {}
+    }
+    match event {
+        "delta" => {
+            sub.deltas += 1;
+            if let Some(added) = value.get("added").and_then(Value::as_array) {
+                for entry in added {
+                    if let Some(bindings) = entry.get("bindings").and_then(Value::as_str) {
+                        sub.entries.insert(bindings.to_string(), entry.clone());
+                    }
+                }
+            }
+            if let Some(removed) = value.get("removed").and_then(Value::as_array) {
+                for bindings in removed {
+                    if let Some(b) = bindings.as_str() {
+                        sub.entries.remove(b);
+                    }
+                }
+            }
+            true
+        }
+        "settled" => {
+            let sub = subs.remove(&rid).expect("sub present");
+            drop(subs);
+            crate::sync::lock(&router.settled).insert(rid);
+            let (done, result) = assemble_settled(sub, value);
+            let _ = done.send(Ok(result));
+            true
+        }
+        other => {
+            drop(subs);
+            router.poison(format!("unknown event kind '{other}' for rid {rid}"));
+            false
+        }
+    }
+}
+
+/// Builds the final [`StreamedResult`] from the accumulator and the
+/// settled frame — reassembling the canonical result value when the
+/// stream was lossless. Returns the channel to deliver it on.
+type DoneSender = mpsc::Sender<Result<StreamedResult, ClientError>>;
+
+fn assemble_settled(sub: SubState, frame: &Value) -> (DoneSender, StreamedResult) {
+    let state = frame
+        .get("state")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let truncated = frame
+        .get("truncated")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let from_cache = frame
+        .get("from_cache")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let lossy = frame.get("lossy").and_then(Value::as_bool).unwrap_or(false);
+    let error_message = frame
+        .get("error_message")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    let mut result = None;
+    if state == "done" && !lossy {
+        let order = frame.get("order").and_then(Value::as_array);
+        let eps = frame.get("eps");
+        let stats = frame.get("stats");
+        if let (Some(order), Some(eps), Some(stats)) = (order, eps, stats) {
+            let mut entries = Vec::with_capacity(order.len());
+            let mut complete = true;
+            for bindings in order {
+                match bindings.as_str().and_then(|b| sub.entries.get(b)) {
+                    Some(entry) => entries.push(entry.clone()),
+                    None => {
+                        // An entry the deltas never delivered: treat the
+                        // stream as lossy rather than invent data.
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete && entries.len() == sub.entries.len() {
+                result = Some(Value::object([
+                    ("eps", eps.clone()),
+                    ("truncated", Value::from(truncated)),
+                    ("entries", Value::Array(entries)),
+                    ("stats", stats.clone()),
+                ]));
+            }
+        }
+    }
+    (
+        sub.done,
+        StreamedResult {
+            id: sub.job_id.unwrap_or(0),
+            state,
+            truncated,
+            from_cache,
+            lossy: lossy || (result.is_none() && frame.get("order").is_some()),
+            deltas: sub.deltas,
+            error_message,
+            result,
+        },
+    )
+}

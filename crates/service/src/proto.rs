@@ -11,6 +11,7 @@
 //! | `result`    | `id`                           | `{"id", "result"}`         |
 //! | `cancel`    | `id`                           | `{"id", "cancelled"}`      |
 //! | `stats`     | —                              | engine statistics          |
+//! | `metrics`   | —                              | `{"metrics": "<text>"}`    |
 //! | `graphs`    | —                              | `{"graphs": [...]}`        |
 //! | `load`      | `name`, `path`                 | `{"name", "epoch"}`        |
 //! | `drain`     | —                              | `{"draining", "bounced"}`  |
@@ -73,6 +74,66 @@ fn ok_response(mut body: Vec<(&'static str, Value)>) -> Value {
     Value::object(pairs)
 }
 
+/// The `ok` response to an accepted submission.
+pub(crate) fn submit_ok_response(engine: &Engine, id: u64) -> Value {
+    let state = engine.status(id).map_or(JobState::Queued, |s| s.state);
+    ok_response(vec![
+        ("id", Value::from(id)),
+        ("state", Value::from(state.name())),
+    ])
+}
+
+/// Maps a [`SubmitError`] to its wire response — shared by the blocking
+/// and multiplexed servers so rejection shapes (codes, `retry_after_ms`
+/// hints) stay identical across transports.
+pub(crate) fn submit_error_response(err: &SubmitError) -> Value {
+    match err {
+        SubmitError::Overloaded {
+            capacity,
+            retry_after_ms,
+        } => retry_response(
+            "overloaded",
+            &format!("queue full ({capacity} jobs); retry later"),
+            *retry_after_ms,
+        ),
+        SubmitError::DeadlineUnmeetable {
+            deadline_ms,
+            predicted_ms,
+            retry_after_ms,
+        } => retry_response(
+            "deadline_unmeetable",
+            &format!(
+                "predicted completion {predicted_ms}ms exceeds the \
+                 {deadline_ms}ms deadline; not admitting"
+            ),
+            *retry_after_ms,
+        ),
+        SubmitError::QuotaExceeded {
+            client,
+            limit,
+            retry_after_ms,
+        } => retry_response(
+            "quota_exceeded",
+            &format!("client '{client}' already has {limit} unsettled jobs"),
+            *retry_after_ms,
+        ),
+        SubmitError::Shed { retry_after_ms } => retry_response(
+            "shed",
+            "shed under overload: priority below the shedding threshold",
+            *retry_after_ms,
+        ),
+        SubmitError::UnknownGraph(name) => {
+            error_response("unknown_graph", &format!("no graph named '{name}'"))
+        }
+        SubmitError::Draining => error_response(
+            "draining",
+            "server is draining; replay via your request key elsewhere",
+        ),
+        SubmitError::ShuttingDown => error_response("shutting_down", "engine is draining"),
+        SubmitError::Internal(m) => error_response("internal", m),
+    }
+}
+
 fn status_body(engine: &Engine, id: u64) -> Option<Vec<(&'static str, Value)>> {
     let s = engine.status(id)?;
     let mut body = vec![
@@ -123,58 +184,8 @@ pub fn handle_request_from(
                         spec.client = client_tag.map(str::to_string);
                     }
                     match engine.submit(spec) {
-                        Ok(id) => {
-                            let state = engine.status(id).map_or(JobState::Queued, |s| s.state);
-                            ok_response(vec![
-                                ("id", Value::from(id)),
-                                ("state", Value::from(state.name())),
-                            ])
-                        }
-                        Err(SubmitError::Overloaded {
-                            capacity,
-                            retry_after_ms,
-                        }) => retry_response(
-                            "overloaded",
-                            &format!("queue full ({capacity} jobs); retry later"),
-                            retry_after_ms,
-                        ),
-                        Err(SubmitError::DeadlineUnmeetable {
-                            deadline_ms,
-                            predicted_ms,
-                            retry_after_ms,
-                        }) => retry_response(
-                            "deadline_unmeetable",
-                            &format!(
-                                "predicted completion {predicted_ms}ms exceeds the \
-                                 {deadline_ms}ms deadline; not admitting"
-                            ),
-                            retry_after_ms,
-                        ),
-                        Err(SubmitError::QuotaExceeded {
-                            client,
-                            limit,
-                            retry_after_ms,
-                        }) => retry_response(
-                            "quota_exceeded",
-                            &format!("client '{client}' already has {limit} unsettled jobs"),
-                            retry_after_ms,
-                        ),
-                        Err(SubmitError::Shed { retry_after_ms }) => retry_response(
-                            "shed",
-                            "shed under overload: priority below the shedding threshold",
-                            retry_after_ms,
-                        ),
-                        Err(SubmitError::UnknownGraph(name)) => {
-                            error_response("unknown_graph", &format!("no graph named '{name}'"))
-                        }
-                        Err(SubmitError::Draining) => error_response(
-                            "draining",
-                            "server is draining; replay via your request key elsewhere",
-                        ),
-                        Err(SubmitError::ShuttingDown) => {
-                            error_response("shutting_down", "engine is draining")
-                        }
-                        Err(SubmitError::Internal(m)) => error_response("internal", &m),
+                        Ok(id) => submit_ok_response(engine, id),
+                        Err(e) => submit_error_response(&e),
                     }
                 }
             }
@@ -228,6 +239,7 @@ pub fn handle_request_from(
             }
             _ => error_response("internal", "stats not an object"),
         },
+        "metrics" => ok_response(vec![("metrics", Value::from(metrics_text(engine)))]),
         "graphs" => {
             let graphs: Vec<Value> = engine
                 .registry()
@@ -294,6 +306,45 @@ pub fn handle_request_from(
         other => error_response("bad_request", &format!("unknown op '{other}'")),
     };
     (response, false)
+}
+
+/// Renders the engine's statistics as Prometheus text-exposition gauges:
+/// every numeric leaf of [`Engine::stats_value`] becomes one
+/// `fairsqg_<path> <value>` line (path components joined with `_`),
+/// booleans become `0`/`1`, and string leaves become a labelled gauge
+/// (`fairsqg_pressure_level{value="nominal"} 1`). Serves the `metrics`
+/// op and the multiplexed server's `GET /metrics` endpoint.
+pub fn metrics_text(engine: &Engine) -> String {
+    let mut out = String::from("# fairsqg engine metrics (all gauges)\n");
+    flatten_metrics(&engine.stats_value(), "fairsqg", &mut out);
+    out
+}
+
+fn flatten_metrics(v: &Value, path: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    match v {
+        Value::Object(map) => {
+            for (k, child) in map {
+                let joined = format!("{path}_{k}");
+                flatten_metrics(child, &joined, out);
+            }
+        }
+        Value::Int(i) => {
+            let _ = writeln!(out, "{path} {i}");
+        }
+        Value::Float(f) if f.is_finite() => {
+            let _ = writeln!(out, "{path} {f}");
+        }
+        Value::Bool(b) => {
+            let _ = writeln!(out, "{path} {}", u8::from(*b));
+        }
+        Value::Str(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(out, "{path}{{value=\"{escaped}\"}} 1");
+        }
+        // Arrays and non-finite floats have no scalar exposition; skip.
+        _ => {}
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ fn spec(lambda: f64) -> JobSpec {
         request_key: None,
         priority: fairsqg_service::DEFAULT_PRIORITY,
         client: None,
+        subscribe: false,
     }
 }
 

@@ -14,10 +14,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod decode;
 mod frame;
 mod parse;
 mod write;
 
+pub use decode::FrameDecoder;
 pub use frame::{read_frame, FrameError};
 pub use parse::{parse, ParseError};
 pub use write::{to_string, to_string_pretty};

@@ -27,8 +27,13 @@
 //! the output path ends in `.fsg`.
 //!
 //! `serve` runs the concurrent generation server (`fairsqg::service`);
-//! `client` speaks its newline-delimited JSON protocol. See
-//! `docs/service.md` for the full protocol.
+//! `client` speaks its newline-delimited JSON protocol. With `--mux on`
+//! both sides switch to the readiness-driven multiplexed core: one
+//! event-loop thread serves every connection, many requests ride one
+//! connection via `rid`-tagged frames, `--subscribe on` streams Pareto
+//! archive deltas as the job runs, and `--op metrics` scrapes the
+//! Prometheus text exposition. See `docs/service.md` for the full
+//! protocol.
 
 use fairsqg::algo::MatchBudget;
 use fairsqg::prelude::*;
@@ -61,8 +66,10 @@ fn usage() -> ExitCode {
          [--warm on|off] [--warm-budget-mb <n>] [--coalesce on|off]\n      \
          [--brownout on|off] [--admission on|off] [--client-quota <n>]\n      \
          [--watchdog-grace-ms <n>  (0 = watchdog off)]\n      \
+         [--mux on|off  (readiness-driven multiplexed core, Unix only)]\n      \
          [--max-candidates <n>] [--max-steps <n>] [--max-matches <n>]\n  \
-         fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|drain|shutdown|submit\n      \
+         fairsqg client --addr <host:port> --op ping|stats|graphs|status|result|cancel|drain|shutdown|submit|metrics\n      \
+         [--mux on|off] [--subscribe on|off  (mux submit: stream archive deltas)]\n      \
          [--id <n>] [--graph <name> --template <dsl> --group-attr <attr> --cover <n>\n      \
          [--algo ...] [--eps <f>] [--lambda <f>] [--deadline-ms <n>] [--wait-ms <n>]\n      \
          [--priority <0..=9>] [--retries <n>] [--retry-budget-ms <n>] [--timeout-ms <n>]\n      \
@@ -281,6 +288,7 @@ fn job_spec_from_args(args: &Args, graph_name: &str) -> Result<JobSpec, String> 
             }
         },
         client: None,
+        subscribe: false,
     })
 }
 
@@ -456,6 +464,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ..EngineConfig::default()
     };
     let engine = Arc::new(Engine::start(registry, config));
+    if args.get_switch("mux", false)? {
+        return serve_mux(addr, engine, manifest);
+    }
     let server = fairsqg::service::Server::bind(addr, Arc::clone(&engine))
         .map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
@@ -503,7 +514,62 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     served
 }
 
+/// `serve --mux on`: the readiness-driven multiplexed core. Same engine,
+/// same graceful-drain SIGTERM story as the thread-per-connection server;
+/// one event-loop thread instead of one thread per connection.
+#[cfg(unix)]
+fn serve_mux(addr: &str, engine: Arc<Engine>, manifest: Option<String>) -> Result<(), String> {
+    let server = fairsqg::service::MuxServer::bind(addr, Arc::clone(&engine))
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("fairsqg-service (mux) listening on {bound}");
+
+    sigterm::install();
+    let stop = server.stop_handle();
+    let sig_engine = Arc::clone(&engine);
+    let sig_manifest = manifest.clone();
+    std::thread::Builder::new()
+        .name("fairsqg-sigterm".to_string())
+        .spawn(move || loop {
+            if sigterm::triggered() {
+                let (bounced, running) = sig_engine.begin_drain();
+                eprintln!("SIGTERM: draining ({bounced} queued jobs bounced, {running} running)");
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                while !sig_engine.drain_complete() && std::time::Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                if let Some(path) = &sig_manifest {
+                    match sig_engine.registry().write_manifest(path) {
+                        Ok(n) => eprintln!("SIGTERM: wrote manifest {path} ({n} graphs)"),
+                        Err(e) => eprintln!("SIGTERM: manifest write failed: {e}"),
+                    }
+                }
+                stop.stop();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .map_err(|e| format!("spawn sigterm monitor: {e}"))?;
+
+    let served = server.serve().map_err(|e| e.to_string());
+    if let Some(path) = &manifest {
+        match engine.registry().write_manifest(path) {
+            Ok(n) => eprintln!("wrote manifest {path} ({n} graphs)"),
+            Err(e) => eprintln!("manifest write failed: {e}"),
+        }
+    }
+    served
+}
+
+#[cfg(not(unix))]
+fn serve_mux(_addr: &str, _engine: Arc<Engine>, _manifest: Option<String>) -> Result<(), String> {
+    Err("--mux on requires a Unix platform (epoll/poll readiness)".into())
+}
+
 fn cmd_client(args: &Args) -> Result<(), String> {
+    if args.get_switch("mux", false)? {
+        return cmd_client_mux(args);
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     let op = args.get("op").ok_or("--op is required")?;
     let mut policy = RetryPolicy::default();
@@ -533,6 +599,11 @@ fn cmd_client(args: &Args) -> Result<(), String> {
             Value::object([("pong", Value::from(true))])
         }
         "stats" => client.stats().map_err(|e| e.to_string())?,
+        "metrics" => {
+            // Raw text exposition, not JSON: print as-is for scrapers.
+            print!("{}", client.metrics().map_err(|e| e.to_string())?);
+            return Ok(());
+        }
         "graphs" => client.graphs().map_err(|e| e.to_string())?,
         "status" => client.status(id_arg()?).map_err(|e| e.to_string())?,
         "result" => client.result(id_arg()?).map_err(|e| e.to_string())?,
@@ -569,6 +640,82 @@ fn cmd_client(args: &Args) -> Result<(), String> {
             }
         }
         other => return Err(format!("unknown op '{other}'")),
+    };
+    println!("{}", fairsqg::wire::to_string_pretty(&reply));
+    Ok(())
+}
+
+/// `client --mux on`: drives one multiplexed connection. `--op submit`
+/// with `--subscribe on` streams the Pareto archive as delta frames and
+/// prints the assembled outcome; `--op metrics` scrapes the Prometheus
+/// text exposition.
+fn cmd_client_mux(args: &Args) -> Result<(), String> {
+    use fairsqg::service::MuxClient;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let op = args.get("op").ok_or("--op is required")?;
+    let client = MuxClient::connect(addr).map_err(|e| e.to_string())?;
+    let id_arg = || -> Result<u64, String> {
+        args.get("id")
+            .ok_or("--id is required for this op")?
+            .parse()
+            .map_err(|_| "--id expects an integer".to_string())
+    };
+    let reply = match op {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            Value::object([("pong", Value::from(true))])
+        }
+        "stats" => client.stats().map_err(|e| e.to_string())?,
+        "metrics" => {
+            // Raw Prometheus text, not JSON: print as-is.
+            print!("{}", client.metrics().map_err(|e| e.to_string())?);
+            return Ok(());
+        }
+        "result" => client.result(id_arg()?).map_err(|e| e.to_string())?,
+        "drain" => client.drain().map_err(|e| e.to_string())?,
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            Value::object([("stopping", Value::from(true))])
+        }
+        "submit" => {
+            let graph = args
+                .get("graph")
+                .ok_or("--graph (registry name) is required")?;
+            let spec = job_spec_from_args(args, graph)?;
+            let wait_ms = args.get_usize("wait-ms", 60_000)?;
+            if args.get_switch("subscribe", false)? {
+                let sub = client.submit_streaming(&spec).map_err(|e| e.to_string())?;
+                let streamed = sub
+                    .wait(Duration::from_millis(wait_ms.max(1) as u64))
+                    .map_err(|e| e.to_string())?;
+                let mut pairs = vec![
+                    ("id", Value::from(streamed.id)),
+                    ("state", Value::from(streamed.state.as_str())),
+                    ("truncated", Value::from(streamed.truncated)),
+                    ("from_cache", Value::from(streamed.from_cache)),
+                    ("lossy", Value::from(streamed.lossy)),
+                    ("deltas", Value::from(streamed.deltas)),
+                ];
+                if let Some(msg) = &streamed.error_message {
+                    pairs.push(("error", Value::from(msg.as_str())));
+                }
+                match streamed.result {
+                    Some(result) => pairs.push(("result", result)),
+                    // Backpressure shed deltas: fall back to the result op.
+                    None if streamed.lossy => pairs.push((
+                        "result",
+                        client.result(streamed.id).map_err(|e| e.to_string())?,
+                    )),
+                    None => {}
+                }
+                Value::object(pairs)
+            } else {
+                let id = client.submit(&spec).map_err(|e| e.to_string())?;
+                Value::object([("id", Value::from(id))])
+            }
+        }
+        other => return Err(format!("op '{other}' is not supported over --mux")),
     };
     println!("{}", fairsqg::wire::to_string_pretty(&reply));
     Ok(())

@@ -63,6 +63,7 @@ fn spec(graph: &str) -> JobSpec {
         request_key: None,
         priority: fairsqg::service::DEFAULT_PRIORITY,
         client: None,
+        subscribe: false,
     }
 }
 
@@ -699,4 +700,91 @@ fn manifest_faults_are_typed_and_recovery_survives_a_kill() {
         assert!(empty.loaded.is_empty() && empty.skipped.is_empty());
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A read fault on a multiplexed connection kills only that connection:
+/// the client on it sees a typed stream error, while a fresh connection
+/// to the same event loop works immediately.
+#[cfg(unix)]
+#[test]
+fn mux_read_fault_kills_only_that_connection() {
+    use fairsqg::service::{spawn_mux, MuxClient};
+
+    let _serial = serial();
+    let registry = registry("g", 31);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig::default(),
+    ));
+    let (addr, stop, server) = spawn_mux("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+
+    let victim = MuxClient::connect(&addr.to_string()).unwrap();
+    victim.ping().unwrap();
+
+    let _fp = Guard::arm("server.read", "1*error(read torn down)").unwrap();
+    victim
+        .ping()
+        .expect_err("the poisoned connection surfaces a typed error, not a hang");
+    assert_eq!(fairsqg::faults::hits("server.read"), 1);
+
+    // The event loop is unharmed: a new connection serves jobs end to end.
+    let fresh = MuxClient::connect(&addr.to_string()).unwrap();
+    fresh.ping().unwrap();
+    let id = fresh.submit(&spec("g")).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Done);
+    assert!(fresh.result(id).unwrap().get("entries").is_some());
+
+    drop(victim);
+    drop(fresh);
+    stop.stop();
+    server.join().unwrap().unwrap();
+}
+
+/// A write fault after a keyed submit reached the engine loses only the
+/// ack: replaying the same `request_key` over a fresh multiplexed
+/// connection dedupes to the original job instead of re-executing it —
+/// the PR 2 idempotency contract holds on the async server.
+#[cfg(unix)]
+#[test]
+fn mux_idempotent_submit_survives_a_killed_connection() {
+    use fairsqg::service::{spawn_mux, MuxClient};
+
+    let _serial = serial();
+    let registry = registry("g", 32);
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&registry),
+        EngineConfig::default(),
+    ));
+    let (addr, stop, server) = spawn_mux("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+
+    let mut keyed = spec("g");
+    keyed.request_key = Some("mux-chaos-replay".into());
+
+    // The submit reaches the engine but the ack write is dropped: the
+    // client sees a dead connection mid-request.
+    let _fp = Guard::arm("server.write", "1*error(wire cut)").unwrap();
+    let victim = MuxClient::connect(&addr.to_string()).unwrap();
+    victim
+        .submit(&keyed)
+        .expect_err("the lost ack is a typed error on the dead connection");
+    assert_eq!(
+        fairsqg::faults::hits("server.write"),
+        1,
+        "the fault did fire mid-submit"
+    );
+
+    let replay = MuxClient::connect(&addr.to_string()).unwrap();
+    let id = replay.submit(&keyed).unwrap();
+    assert_eq!(wait_settled(&engine, id), JobState::Done);
+    assert!(replay.result(id).unwrap().get("entries").is_some());
+
+    // Exactly one job ran: the replay was deduped, not re-executed.
+    let stats = engine.stats_value();
+    assert_eq!(stats.get("submitted").and_then(Value::as_u64), Some(1));
+    assert_eq!(robustness_counter(&engine, "dedup_hits"), 1);
+
+    drop(victim);
+    drop(replay);
+    stop.stop();
+    server.join().unwrap().unwrap();
 }

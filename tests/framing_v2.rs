@@ -1,0 +1,169 @@
+//! Property tests for wire framing v2: the push-based [`FrameDecoder`]
+//! that the multiplexed server and client demultiplex with.
+//!
+//! Two invariants carry the whole mux protocol:
+//!
+//! 1. **Lossless demultiplexing** — however many logical streams are
+//!    interleaved into one byte stream, and however the bytes are
+//!    chunked, every tagged frame comes out exactly once, in stream
+//!    order, and regroups to the original streams.
+//! 2. **Resync after garbage** — an oversized or unreadable line yields
+//!    an in-sequence error and decoding resumes at the next newline;
+//!    frames after the garbage are never lost.
+
+use fairsqg::wire::{FrameDecoder, Value};
+use proptest::prelude::*;
+
+/// Builds one tagged frame: `{"rid": stream, "seq": n, "payload": ...}`.
+fn frame(stream: u64, seq: u64, payload: &str) -> String {
+    Value::object([
+        ("rid", Value::from(stream)),
+        ("seq", Value::from(seq)),
+        ("payload", Value::from(payload)),
+    ])
+    .to_string()
+}
+
+/// Interleaves per-stream frame sequences according to `schedule` (each
+/// entry picks the next stream with pending frames, round-robin offset).
+fn interleave(streams: &[Vec<String>], schedule: &[usize]) -> (Vec<u8>, usize) {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut bytes = Vec::new();
+    let mut emitted = 0usize;
+    let mut pick = 0usize;
+    let total: usize = streams.iter().map(Vec::len).sum();
+    while emitted < total {
+        let hint = schedule.get(emitted).copied().unwrap_or(pick);
+        // Find the next stream (from the hint) that still has frames.
+        let s = (0..streams.len())
+            .map(|k| (hint + k) % streams.len())
+            .find(|&s| cursors[s] < streams[s].len())
+            .expect("some stream has frames left");
+        bytes.extend_from_slice(streams[s][cursors[s]].as_bytes());
+        bytes.push(b'\n');
+        cursors[s] += 1;
+        emitted += 1;
+        pick = hint + 1;
+    }
+    (bytes, total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: interleaved tagged frames demultiplex losslessly
+    /// regardless of chunking.
+    #[test]
+    fn interleaved_frames_demultiplex_losslessly(
+        stream_sizes in proptest::collection::vec(0usize..12, 1..5),
+        payload_seed in 0u64..1_000_000_007,
+        schedule in proptest::collection::vec(0usize..5, 0..48),
+        chunk in 1usize..97,
+    ) {
+        let streams: Vec<Vec<String>> = stream_sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| {
+                (0..n as u64)
+                    .map(|i| {
+                        let payload =
+                            format!("p{}-{}", payload_seed.wrapping_mul(s as u64 + 1), i);
+                        frame(s as u64, i, &payload)
+                    })
+                    .collect()
+            })
+            .collect();
+        let (bytes, total) = interleave(&streams, &schedule);
+
+        let mut dec = FrameDecoder::new(1 << 20);
+        let mut lines = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            while let Some(f) = dec.next_frame() {
+                lines.push(f.expect("no garbage injected"));
+            }
+        }
+        dec.finish();
+        while let Some(f) = dec.next_frame() {
+            lines.push(f.expect("no garbage injected"));
+        }
+        prop_assert_eq!(lines.len(), total);
+
+        // Regroup by rid: every stream must come back complete and in
+        // its original order.
+        let mut got: Vec<Vec<String>> = vec![Vec::new(); streams.len()];
+        for line in &lines {
+            let v = fairsqg::wire::parse(line).expect("frames stay valid JSON");
+            let rid = v.get("rid").and_then(Value::as_u64).unwrap() as usize;
+            got[rid].push(line.clone());
+        }
+        for (s, want) in streams.iter().enumerate() {
+            prop_assert_eq!(&got[s], want, "stream {} corrupted", s);
+        }
+    }
+
+    /// Invariant 2: an over-limit line surfaces as an in-sequence error
+    /// and the decoder resumes at the next newline — frames on either
+    /// side are never lost or reordered.
+    #[test]
+    fn oversized_garbage_resyncs_at_next_newline(
+        before in 0usize..6,
+        after in 0usize..6,
+        garbage_extra in 1usize..64,
+        garbage_byte in 1u8..255,
+        chunk in 1usize..97,
+    ) {
+        // The garbage line must not contain the newline delimiter.
+        let garbage_byte = if garbage_byte == b'\n' { b'{' } else { garbage_byte };
+        let limit = 256usize;
+        let mut bytes = Vec::new();
+        for i in 0..before {
+            bytes.extend_from_slice(frame(0, i as u64, "pre").as_bytes());
+            bytes.push(b'\n');
+        }
+        // One line strictly over the frame-size guard.
+        bytes.extend(std::iter::repeat_n(garbage_byte, limit + garbage_extra));
+        bytes.push(b'\n');
+        for i in 0..after {
+            bytes.extend_from_slice(frame(1, i as u64, "post").as_bytes());
+            bytes.push(b'\n');
+        }
+
+        let mut dec = FrameDecoder::new(limit);
+        let mut ok_lines = Vec::new();
+        let mut errors = 0usize;
+        let mut error_at = None;
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            while let Some(f) = dec.next_frame() {
+                match f {
+                    Ok(line) => ok_lines.push(line),
+                    Err(_) => {
+                        errors += 1;
+                        error_at.get_or_insert(ok_lines.len());
+                    }
+                }
+            }
+        }
+        dec.finish();
+        while let Some(f) = dec.next_frame() {
+            match f {
+                Ok(line) => ok_lines.push(line),
+                Err(_) => {
+                    errors += 1;
+                    error_at.get_or_insert(ok_lines.len());
+                }
+            }
+        }
+
+        prop_assert_eq!(errors, 1, "exactly one in-sequence error");
+        prop_assert_eq!(error_at, Some(before), "error lands between the groups");
+        prop_assert_eq!(ok_lines.len(), before + after);
+        for (i, line) in ok_lines.iter().enumerate() {
+            let v = fairsqg::wire::parse(line).unwrap();
+            let (rid, seq) = if i < before { (0, i as u64) } else { (1, (i - before) as u64) };
+            prop_assert_eq!(v.get("rid").and_then(Value::as_u64), Some(rid));
+            prop_assert_eq!(v.get("seq").and_then(Value::as_u64), Some(seq));
+        }
+    }
+}

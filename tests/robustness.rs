@@ -49,6 +49,7 @@ fn spec(graph: &str) -> JobSpec {
         request_key: None,
         priority: fairsqg::service::DEFAULT_PRIORITY,
         client: None,
+        subscribe: false,
     }
 }
 

@@ -40,6 +40,7 @@ fn spec(graph: &str, deadline_ms: Option<u64>) -> JobSpec {
         request_key: None,
         priority: fairsqg::service::DEFAULT_PRIORITY,
         client: None,
+        subscribe: false,
     }
 }
 

@@ -157,6 +157,7 @@ fn run_jobs(registry: Arc<GraphRegistry>, lambdas: &[f64]) -> Vec<String> {
                     request_key: None,
                     priority: fairsqg::service::DEFAULT_PRIORITY,
                     client: None,
+                    subscribe: false,
                 })
                 .unwrap();
             let result = loop {
