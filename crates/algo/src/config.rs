@@ -4,7 +4,7 @@ use crate::archive::{ArchiveObserver, EpsParetoArchive, UpdateOutcome};
 use crate::cancel::CancelToken;
 use crate::evaluator::EvalResult;
 use fairsqg_graph::{CoverageSpec, Graph, GroupSet, NodeId};
-use fairsqg_matcher::{BudgetExceeded, MatchBudget, MatcherStats};
+use fairsqg_matcher::{BudgetExceeded, MatchBudget, MatchPlan, MatcherStats};
 use fairsqg_measures::{DiversityConfig, MeasureCacheStats, SharedDiversityCache};
 use fairsqg_query::Instantiation;
 use fairsqg_query::{QueryTemplate, RefinementDomains};
@@ -63,6 +63,20 @@ pub struct Configuration<'a> {
     /// bit-identical to a cold run. Ignored on the reference path and
     /// when distance caching is disabled.
     pub shared_diversity: Option<&'a Arc<SharedDiversityCache>>,
+    /// Optional pre-planned matching order (see
+    /// [`fairsqg_matcher::plan_matching_order`]), typically the service's
+    /// per-`(template, graph epoch)` warm-pool plan. When unset, each
+    /// evaluator plans once from the root instantiation. A plan never
+    /// changes results — the matcher re-validates it per instance and
+    /// falls back to its in-call greedy order when it doesn't apply.
+    pub match_plan: Option<&'a Arc<MatchPlan>>,
+    /// Run the matcher's cost-based ordering, semi-join candidate
+    /// pruning, and adaptive re-planning (default `true`). `false` keeps
+    /// the indexed candidate path but the pre-optimizer fixed greedy
+    /// order — the `order` benchmark's baseline. Results are
+    /// bit-identical either way; the reference path ignores this flag
+    /// (it always runs un-optimized).
+    pub match_optimizer: bool,
     /// Optional in-run archive-mutation observer. When set, the anytime
     /// loops offer instances via [`offer`](Self::offer), which reports each
     /// accepted update's exact added/removed entries — the service layer's
@@ -111,6 +125,8 @@ impl<'a> Configuration<'a> {
             budget: MatchBudget::UNLIMITED,
             reference_path: false,
             shared_diversity: None,
+            match_plan: None,
+            match_optimizer: true,
             progress: None,
         }
     }
@@ -162,6 +178,27 @@ impl<'a> Configuration<'a> {
     pub fn with_shared_diversity(mut self, shared: &'a Arc<SharedDiversityCache>) -> Self {
         self.shared_diversity = Some(shared);
         self
+    }
+
+    /// Attaches a pre-planned matching order (see
+    /// [`match_plan`](Self::match_plan)).
+    pub fn with_match_plan(mut self, plan: &'a Arc<MatchPlan>) -> Self {
+        self.match_plan = Some(plan);
+        self
+    }
+
+    /// Enables or disables the matcher's cost-based optimizer (see
+    /// [`match_optimizer`](Self::match_optimizer)).
+    pub fn with_match_optimizer(mut self, enabled: bool) -> Self {
+        self.match_optimizer = enabled;
+        self
+    }
+
+    /// Whether verifications should run the matcher's cost-based
+    /// optimizer: on by default, off on the reference path and when
+    /// explicitly disabled for A/B baselines.
+    pub fn matcher_optimized(&self) -> bool {
+        self.match_optimizer && !self.reference_path
     }
 
     /// Attaches an in-run archive observer (see
@@ -247,6 +284,18 @@ pub struct GenStats {
     pub distance_cache_hits: u64,
     /// Pairwise distances computed cold by the diversity measure.
     pub distance_cache_misses: u64,
+    /// Cost-based matching orders planned from index cardinality
+    /// estimates (amortized by the service's warm plan pool).
+    pub order_planned: u64,
+    /// Adaptive mid-enumeration suffix re-plans.
+    pub order_replans: u64,
+    /// Summed estimated candidate cardinalities over planned orders.
+    pub est_candidates: u64,
+    /// Candidates removed by semi-join pruning before backtracking.
+    pub pruned_candidates: u64,
+    /// Candidate sets served from the matcher's cross-call memo instead
+    /// of being recomputed.
+    pub cand_memo_hits: u64,
 }
 
 impl GenStats {
@@ -257,6 +306,11 @@ impl GenStats {
         self.scan_fallbacks += matcher.scan_fallbacks;
         self.pool_restrictions += matcher.pool_restrictions;
         self.shard_skips += matcher.shard_skips;
+        self.order_planned += matcher.order_planned;
+        self.order_replans += matcher.order_replans;
+        self.est_candidates += matcher.est_candidates;
+        self.pruned_candidates += matcher.pruned_candidates;
+        self.cand_memo_hits += matcher.cand_memo_hits;
         self.distance_cache_hits += measure.distance_hits;
         self.distance_cache_misses += measure.distance_misses;
     }

@@ -3,7 +3,8 @@
 use crate::config::{Configuration, GenStats};
 use fairsqg_graph::NodeId;
 use fairsqg_matcher::{
-    try_match_output_set_with, BudgetExceeded, MatchOptions, MatchScratch, MatcherStats,
+    plan_matching_order, try_match_output_set_with, BudgetExceeded, MatchOptions, MatchPlan,
+    MatchScratch, MatcherStats,
 };
 use fairsqg_measures::{coverage_score, is_feasible, DiversityMeasure, Objectives};
 use fairsqg_query::{ConcreteQuery, Instantiation};
@@ -40,6 +41,11 @@ pub struct Evaluator<'a> {
     /// The thread's matcher counters at construction time; the delta
     /// since then is what this evaluator's run contributed.
     matcher_baseline: MatcherStats,
+    /// The cost-based matching order for this template shape, built once
+    /// per evaluator when the configuration did not bring a (warm-pool)
+    /// plan of its own. `None` on the reference path / with the
+    /// optimizer disabled.
+    plan: Option<Arc<MatchPlan>>,
     /// Reusable matcher working memory: one evaluator issues thousands of
     /// verify calls over the same template shape, so candidate vectors,
     /// membership bitsets, and the assignment buffer are allocated once
@@ -60,6 +66,19 @@ impl<'a> Evaluator<'a> {
                 measure.attach_shared_cache(Arc::clone(shared));
             }
         }
+        // Baseline first, then plan: the planning work (order_planned,
+        // est_candidates) is attributed to this evaluator's delta.
+        let matcher_baseline = fairsqg_matcher::matcher_stats();
+        let plan = if cfg.matcher_optimized() && cfg.match_plan.is_none() {
+            let root = ConcreteQuery::materialize(
+                cfg.template,
+                cfg.domains,
+                &Instantiation::root(cfg.domains),
+            );
+            Some(Arc::new(plan_matching_order(cfg.graph, &root)))
+        } else {
+            None
+        };
         Self {
             cfg,
             measure,
@@ -67,7 +86,8 @@ impl<'a> Evaluator<'a> {
             verified: 0,
             cache_hits: 0,
             budget_tripped: None,
-            matcher_baseline: fairsqg_matcher::matcher_stats(),
+            matcher_baseline,
+            plan,
             scratch: MatchScratch::default(),
         }
     }
@@ -141,6 +161,12 @@ impl<'a> Evaluator<'a> {
             MatchOptions {
                 restrict_output: restriction,
                 use_index: !self.cfg.reference_path,
+                optimize: self.cfg.matcher_optimized(),
+                plan: self
+                    .cfg
+                    .match_plan
+                    .map(|p| p.as_ref())
+                    .or(self.plan.as_deref()),
                 stop: self.cfg.hard_stop_flag(),
             },
             &self.cfg.budget,

@@ -19,7 +19,8 @@ use crate::config::{Configuration, GenStats};
 use crate::evaluator::EvalResult;
 use crate::output::Generated;
 use fairsqg_matcher::{
-    take_stats, try_match_output_set_with, BudgetExceeded, MatchOptions, MatchScratch, MatcherStats,
+    plan_matching_order, take_stats, try_match_output_set_with, BudgetExceeded, MatchOptions,
+    MatchScratch, MatcherStats,
 };
 use fairsqg_measures::{
     coverage_score, is_feasible, DiversityMeasure, MeasureCacheStats, Objectives,
@@ -68,6 +69,8 @@ fn verify_standalone(
         MatchOptions {
             restrict_output: cfg.output_restriction,
             use_index: !cfg.reference_path,
+            optimize: cfg.matcher_optimized(),
+            plan: cfg.match_plan.map(|p| p.as_ref()),
             stop: cfg.hard_stop_flag(),
         },
         &cfg.budget,
@@ -117,6 +120,27 @@ fn run_par_enum(cfg: Configuration<'_>, threads: usize) -> Generated {
     let lat = InstanceLattice::new(cfg.domains);
     let all = lat.enumerate();
     let total = all.len();
+
+    // One cost-based matching plan for the whole pool (workers only read
+    // it): planned here when the caller did not bring a warm-pool plan,
+    // with the planning counters captured on this thread (workers reset
+    // their own thread-locals).
+    let plan_baseline = fairsqg_matcher::matcher_stats();
+    let local_plan = if cfg.matcher_optimized() && cfg.match_plan.is_none() {
+        let root = ConcreteQuery::materialize(
+            cfg.template,
+            cfg.domains,
+            &Instantiation::root(cfg.domains),
+        );
+        Some(Arc::new(plan_matching_order(cfg.graph, &root)))
+    } else {
+        None
+    };
+    let plan_delta = fairsqg_matcher::matcher_stats().delta_since(plan_baseline);
+    let cfg = match &local_plan {
+        Some(p) => cfg.with_match_plan(p),
+        None => cfg,
+    };
 
     let cursor = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
@@ -199,7 +223,7 @@ fn run_par_enum(cfg: Configuration<'_>, threads: usize) -> Generated {
     });
 
     let mut budget_tripped = None;
-    let mut matcher = MatcherStats::default();
+    let mut matcher = plan_delta;
     let mut measure_total = MeasureCacheStats::default();
     let mut results: Vec<(usize, EvalResult)> = Vec::with_capacity(total);
     for (shard, tripped, worker_matcher, worker_measure) in shards {
@@ -320,5 +344,42 @@ mod tests {
         assert_eq!(slow.stats.distance_cache_hits, 0);
         assert_eq!(slow.stats.distance_cache_misses, 0);
         assert!(fast.stats.index_candidates > 0 || fast.stats.scan_fallbacks > 0);
+    }
+
+    /// The archive fingerprint — instances, bit-level objectives, and
+    /// match sets — is invariant across worker counts, with the matching
+    /// optimizer both on and off. Regression guard for the cost-based
+    /// ordering: a plan shared across workers (or an adaptive re-plan
+    /// firing on one shard but not another) must never leak into results.
+    #[test]
+    fn archive_fingerprint_invariant_across_thread_counts() {
+        let fx = talent_fixture();
+        for optimize in [true, false] {
+            let cfg = fx.configuration(0.3).with_match_optimizer(optimize);
+            let fingerprint = |out: &Generated| -> Vec<_> {
+                out.entries
+                    .iter()
+                    .map(|e| {
+                        (
+                            e.inst.clone(),
+                            e.objectives().delta.to_bits(),
+                            e.objectives().fcov.to_bits(),
+                            e.result.matches.clone(),
+                        )
+                    })
+                    .collect()
+            };
+            let one = par_enum_qgen_exact(cfg, 1);
+            let base = fingerprint(&one);
+            assert!(!base.is_empty());
+            for workers in [2, 4] {
+                let out = par_enum_qgen_exact(cfg, workers);
+                assert_eq!(
+                    base,
+                    fingerprint(&out),
+                    "archive diverged at {workers} workers (optimize={optimize})"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,46 @@
+//! `order` — runs the PR-10 matching-order A/B benchmark and writes
+//! `BENCH_PR10.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! order [output.json]          # default output: BENCH_PR10.json
+//! FAIRSQG_SCALE=small order    # small|medium|large (default: small)
+//! ```
+//!
+//! Every timed pair is equivalence-gated before timing: the cost-based
+//! adaptive order (+ semi-join pruning) must produce an archive
+//! bit-identical to both the optimizer-off baseline and the brute
+//! reference path, so the emitted speedups are for provably identical
+//! results.
+
+use fairsqg_bench::order::run_order;
+use fairsqg_bench::scales::ExpScale;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
+    let scale_name = std::env::var("FAIRSQG_SCALE").unwrap_or_else(|_| "small".to_string());
+    let scale = match scale_name.as_str() {
+        "small" => ExpScale::SMALL,
+        "medium" => ExpScale::MEDIUM,
+        "large" => ExpScale::LARGE,
+        other => {
+            eprintln!("unknown FAIRSQG_SCALE '{other}' (small|medium|large)");
+            std::process::exit(2);
+        }
+    };
+    let report = run_order(&scale, &scale_name);
+    let json = fairsqg_wire::to_string_pretty(&report);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    let summary = report.get("summary").expect("summary");
+    println!(
+        "order ({scale_name}): min speedup {:.2}x, geomean {:.2}x -> {out_path}",
+        summary.get("min_speedup").and_then(|v| v.as_f64()).unwrap(),
+        summary
+            .get("geomean_speedup")
+            .and_then(|v| v.as_f64())
+            .unwrap(),
+    );
+}

@@ -24,6 +24,7 @@ pub mod fig11;
 pub mod fig9;
 pub mod hotpath;
 pub mod mplex;
+pub mod order;
 pub mod overload;
 pub mod pruning;
 pub mod render;

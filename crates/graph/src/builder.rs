@@ -198,6 +198,7 @@ impl GraphBuilder {
         );
 
         Graph {
+            uid: crate::graph::next_uid(),
             schema: self.schema,
             node_labels: Segment::from_vec(self.node_labels),
             attr_offsets: Segment::from_vec(attr_offsets),

@@ -10,6 +10,13 @@ use crate::schema::Schema;
 use crate::seg::Segment;
 use crate::value::AttrValue;
 
+/// Allocates a fresh process-unique graph uid (see [`Graph::uid`]).
+pub(crate) fn next_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// An immutable attributed directed graph.
 ///
 /// Built through [`GraphBuilder`](crate::GraphBuilder) or reassembled from
@@ -52,6 +59,9 @@ pub struct Graph {
     pub(crate) attr_index: AttrIndex,
     /// Shard partition metadata over the postings.
     pub(crate) partitions: PartitionTable,
+    /// Process-unique identity (see [`Graph::uid`]). Clones keep the
+    /// uid — their data is identical, which is what uid consumers key on.
+    pub(crate) uid: u64,
 }
 
 /// The raw columnar parts of a [`Graph`], the exchange format between the
@@ -130,6 +140,7 @@ impl Graph {
     /// invariants the caller must guarantee).
     pub fn from_parts(parts: GraphParts) -> Self {
         Self {
+            uid: next_uid(),
             schema: parts.schema,
             node_labels: parts.node_labels,
             attr_offsets: parts.attr_offsets,
@@ -144,6 +155,17 @@ impl Graph {
             attr_index: parts.attr_index,
             partitions: parts.partitions,
         }
+    }
+
+    /// A process-unique identity for this graph's *contents*: every
+    /// [`Graph::from_parts`] assembly (and thus every builder `finish` or
+    /// container load) gets a fresh uid; clones share their original's.
+    /// Lets long-lived caches keyed on graph data (e.g. the matcher's
+    /// candidate memo) detect that they are being reused against a
+    /// different graph without holding a borrow.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The graph's schema (labels, attributes, symbols).

@@ -4,14 +4,23 @@
 //! For each candidate `v` of the output node the engine decides whether at
 //! least one injective, label/edge/literal-preserving embedding of the
 //! query maps `u_o` to `v` (existence semantics — exactly what the match
-//! set `q(G)` requires). The search orders query nodes greedily by
-//! candidate-set size while staying connected to the already-matched part,
-//! and drives each extension through the adjacency list of an
-//! already-matched neighbor.
+//! set `q(G)` requires). On the optimized path the search runs a cached
+//! cost-based matching order ([`MatchPlan`]) when one applies, prunes the
+//! candidate space with one-hop semi-joins before backtracking, and
+//! re-plans the order suffix mid-enumeration when per-position failure
+//! counts show the static order misjudged selectivity. With
+//! [`MatchOptions::optimize`] off it falls back to the fixed greedy
+//! connected order (smallest actual candidate set first) with no pruning
+//! — the A/B baseline. Either way each extension is driven through the
+//! adjacency list of an already-matched neighbor, and results are
+//! bit-identical: the output node is always position 0, so no ordering or
+//! (sound) pruning decision can change which root candidates extend.
 
 use crate::budget::{BudgetExceeded, BudgetKind, MatchBudget};
 use crate::candidates::{candidates_from_pool_into, candidates_into, candidates_scan_into};
-use fairsqg_graph::{EdgeLabelId, Graph, NodeBitset, NodeId};
+use crate::plan::MatchPlan;
+use crate::stats;
+use fairsqg_graph::{gallop_intersect, EdgeLabelId, Graph, NodeBitset, NodeId};
 use fairsqg_query::{ConcreteQuery, QNodeId};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -26,6 +35,19 @@ pub struct MatchOptions<'a> {
     /// (default). Disable to force the naive label-population scan — the
     /// reference path used for A/B benchmarking.
     pub use_index: bool,
+    /// Run the cost-based order / semi-join pruning / adaptive re-plan
+    /// machinery (default). Disable to reproduce the fixed greedy
+    /// connected order with no pruning — the pre-optimizer baseline the
+    /// `order` benchmark measures against. Results are bit-identical
+    /// either way.
+    pub optimize: bool,
+    /// A pre-planned matching order (see
+    /// [`plan_matching_order`](crate::plan_matching_order)), typically
+    /// cached per `(template, graph epoch)` by the caller. Used only when
+    /// [`optimize`](Self::optimize) is set and the plan
+    /// [applies to](MatchPlan::applies_to) the concrete instance;
+    /// otherwise the in-call greedy order runs. `None` = always greedy.
+    pub plan: Option<&'a MatchPlan>,
     /// External hard-stop flag, polled every [`STOP_POLL_STEPS`] extension
     /// steps *inside* the backtracking search. When it reads `true` the
     /// search aborts with [`BudgetKind::HardStop`] — the escape hatch for
@@ -40,6 +62,8 @@ impl Default for MatchOptions<'_> {
         Self {
             restrict_output: None,
             use_index: true,
+            optimize: true,
+            plan: None,
             stop: None,
         }
     }
@@ -49,6 +73,48 @@ impl Default for MatchOptions<'_> {
 /// the check compiles to a mask; small enough that escalation latency is
 /// microseconds, large enough that the atomic load is free in the noise.
 pub const STOP_POLL_STEPS: u64 = 1024;
+
+/// Candidate sets at or below this size skip semi-join pruning: the
+/// backtracker disposes of a handful of candidates faster than any
+/// neighbor-image construction could.
+const PRUNE_MIN_CANDIDATES: usize = 16;
+
+/// A semi-join builds the neighbor image of the *source* side; it is
+/// skipped when the source's total relevant adjacency exceeds
+/// `PRUNE_COST_FACTOR * |target| + PRUNE_COST_SLACK` — past that, the
+/// image costs more than the backtracking it could save.
+const PRUNE_COST_FACTOR: usize = 2;
+const PRUNE_COST_SLACK: usize = 64;
+
+/// Memoized candidate sets kept per template node across verify calls.
+/// Range variables take at most a handful of distinct values per node
+/// (`max_values_per_range_var` caps the domain), so a small cap captures
+/// effectively every binding while bounding scratch memory.
+const CAND_MEMO_CAP: usize = 32;
+
+/// A cached plan is used only while every node's actual candidate count
+/// stays within this factor (plus [`PLAN_DRIFT_SLACK`]) of the plan-time
+/// estimate. Refinement binds literals the plan never saw; once
+/// selectivities drift past this band the in-call greedy order — which
+/// sees the real sizes — is the better-informed choice.
+const PLAN_DRIFT_FACTOR: u64 = 2;
+const PLAN_DRIFT_SLACK: u64 = 16;
+
+/// Total extension failures (across positions, since the last plan) that
+/// arm an adaptive suffix re-plan at the next root-candidate boundary.
+const REPLAN_FAIL_THRESHOLD: u64 = 64;
+
+/// An armed re-plan only fires while failures average at least this many
+/// per root candidate processed since the last plan — the signature of a
+/// pathological order. Healthy orders backtrack a few times per root no
+/// matter how well they are arranged; re-planning on absolute counts
+/// alone thrashes dense workloads where nearly every root succeeds.
+const REPLAN_FAILS_PER_ROOT: u64 = 8;
+
+/// Re-plan attempts per match-set computation — mis-estimates are
+/// corrected once or twice; past that the order is as informed as the
+/// fail counters can make it.
+const MAX_REPLANS: u32 = 4;
 
 /// An adjacency constraint between two query nodes, oriented from the point
 /// of view of the node being extended.
@@ -84,6 +150,38 @@ pub struct MatchScratch {
     in_order: Vec<bool>,
     /// Partial embedding, indexed by order position.
     assignment: Vec<NodeId>,
+    /// Extension failures per order position since the last (re-)plan —
+    /// the adaptive reordering signal.
+    fails: Vec<u64>,
+    /// Semi-join neighbor-image buffer.
+    image: Vec<NodeId>,
+    /// Candidate-set memo across verify calls (optimized path only):
+    /// per template node, the degree-filtered candidate sets
+    /// keyed by the node's label and bound literals. Sound because a
+    /// candidate set depends on nothing else; under Lemma-2 refinement
+    /// each node sees only a handful of distinct bindings, so thousands
+    /// of verify calls collapse to memo copies.
+    memo: Vec<Vec<MemoEntry>>,
+    /// `Graph::uid` the memo was filled against. A mismatch clears the
+    /// memo, so reusing one scratch across graphs stays correct.
+    memo_graph: u64,
+}
+
+/// One memoized candidate set (see [`MatchScratch::memo`]).
+#[derive(Debug)]
+struct MemoEntry {
+    label: fairsqg_graph::LabelId,
+    literals: Vec<fairsqg_query::BoundLiteral>,
+    /// The (out, in) degree requirement the set was filtered under —
+    /// part of the key because edge variables change a node's active
+    /// edges, and with them the degree filter.
+    req: (usize, usize),
+    cand: Vec<NodeId>,
+    /// Dense membership bitset over `cand`, built lazily on the first
+    /// memo hit that needs one (set large enough, not the root slot) and
+    /// reused on every later hit — membership construction is the last
+    /// per-call cost the memo can amortize. `None` until then.
+    bits: Option<NodeBitset>,
 }
 
 /// Computes the match set `q(u_o, G)` of the output node, sorted ascending.
@@ -123,7 +221,15 @@ pub fn try_match_output_set_with(
         order,
         in_order,
         assignment,
+        fails,
+        image,
+        memo,
+        memo_graph,
     } = scratch;
+    if *memo_graph != graph.uid() {
+        *memo_graph = graph.uid();
+        memo.clear();
+    }
     let active: Vec<QNodeId> = query.active_nodes().collect();
     debug_assert!(active.contains(&query.output));
 
@@ -137,30 +243,76 @@ pub fn try_match_output_set_with(
     };
 
     // Candidate sets per active query node, computed into the scratch
-    // buffer pool (one reusable allocation per active slot).
+    // buffer pool (one reusable allocation per active slot). Construction
+    // work is charged against the step budget (one step per candidate
+    // kept) so a pathological template cannot burn unbounded time before
+    // the first backtrack step.
+    let mut steps: u64 = 0;
     if cand_pool.len() < active.len() {
         cand_pool.resize_with(active.len(), Vec::new);
     }
     let cand = &mut cand_pool[..active.len()];
+    // Which memo entry (node index, entry index) each slot's candidate
+    // set lives in — lets the membership phase reuse the entry's cached
+    // bitset instead of rebuilding one per call.
+    let mut memo_src: Vec<Option<(usize, usize)>> = vec![None; active.len()];
     for (slot, &u) in active.iter().enumerate() {
         check_stop(opts.stop)?;
         let c = &mut cand[slot];
-        let compute = if opts.use_index {
-            candidates_into
-        } else {
-            candidates_scan_into
-        };
-        if u == query.output {
-            match opts.restrict_output {
-                Some(pool) => candidates_from_pool_into(graph, query, u, pool, c),
-                None => compute(graph, query, u, c),
-            }
-        } else {
-            compute(graph, query, u, c)
-        }
+        let node = &query.nodes[u.index()];
+        // The memo only covers unrestricted sets: the output node under a
+        // `restrict_output` pool sees a different pool per call.
+        let memoable = opts.optimize && (u != query.output || opts.restrict_output.is_none());
         let (out_req, in_req) = degree_req(u);
-        if out_req > 0 || in_req > 0 {
-            c.retain(|&v| graph.out_degree(v) >= out_req && graph.in_degree(v) >= in_req);
+        let hit = if memoable {
+            memo.get(u.index()).and_then(|entries| {
+                entries.iter().position(|e| {
+                    e.label == node.label
+                        && e.req == (out_req, in_req)
+                        && e.literals == node.literals
+                })
+            })
+        } else {
+            None
+        };
+        if let Some(i) = hit {
+            c.clear();
+            c.extend_from_slice(&memo[u.index()][i].cand);
+            memo_src[slot] = Some((u.index(), i));
+            stats::count_cand_memo_hits();
+        } else {
+            let compute = if opts.use_index {
+                candidates_into
+            } else {
+                candidates_scan_into
+            };
+            if u == query.output {
+                match opts.restrict_output {
+                    Some(pool) => candidates_from_pool_into(graph, query, u, pool, c),
+                    None => compute(graph, query, u, c),
+                }
+            } else {
+                compute(graph, query, u, c)
+            }
+            if out_req > 0 || in_req > 0 {
+                c.retain(|&v| graph.out_degree(v) >= out_req && graph.in_degree(v) >= in_req);
+            }
+            if memoable {
+                if memo.len() <= u.index() {
+                    memo.resize_with(u.index() + 1, Vec::new);
+                }
+                let entries = &mut memo[u.index()];
+                if entries.len() < CAND_MEMO_CAP {
+                    entries.push(MemoEntry {
+                        label: node.label,
+                        literals: node.literals.clone(),
+                        req: (out_req, in_req),
+                        cand: c.clone(),
+                        bits: None,
+                    });
+                    memo_src[slot] = Some((u.index(), entries.len() - 1));
+                }
+            }
         }
         if c.is_empty() {
             return Ok(Vec::new());
@@ -173,6 +325,7 @@ pub fn try_match_output_set_with(
                 });
             }
         }
+        charge_steps(&mut steps, c.len() as u64, budget)?;
     }
 
     // Single-node query: the candidate set is the match set.
@@ -189,105 +342,213 @@ pub fn try_match_output_set_with(
         return Ok(matches);
     }
 
-    // Greedy connected matching order starting from the output node.
-    let pos_of = |u: QNodeId, order: &[usize]| -> Option<usize> {
-        order.iter().position(|&i| active[i] == u)
-    };
+    // One-hop semi-join pruning of the root set (optimized path): the
+    // output node's candidates are intersected with the neighbor image of
+    // each constrained peer's candidate set — every root candidate
+    // removed here skips a whole existence search. Sound — in any
+    // embedding the root's image must have the template edge to its
+    // peer's image, which lies in the peer's candidate set — so pruning
+    // never removes a true match. Peer membership bitsets cached in the
+    // memo make the probe-side kernel O(1) per adjacency entry.
+    if opts.optimize {
+        let probe_bits: Vec<Option<&NodeBitset>> = (0..active.len())
+            .map(|s| memo_src[s].and_then(|(ui, ei)| memo[ui][ei].bits.as_ref()))
+            .collect();
+        if !prune_root(
+            graph,
+            query,
+            &active,
+            cand,
+            &probe_bits,
+            image,
+            &mut steps,
+            budget,
+            opts.stop,
+        )? {
+            return Ok(Vec::new());
+        }
+    }
+
     let slot_of = |u: QNodeId| -> usize { active.iter().position(|&a| a == u).unwrap() };
 
-    let out_slot = slot_of(query.output);
+    // Matching order: a cached cost-based plan when one applies, else the
+    // greedy connected order by smallest (now pruned) candidate set —
+    // with a query-degree tiebreak on the optimized path only, so the
+    // un-optimized baseline stays byte-for-byte the old behavior.
     order.clear();
-    order.push(out_slot);
     in_order.clear();
     in_order.resize(active.len(), false);
-    in_order[out_slot] = true;
-    while order.len() < active.len() {
-        // Pick the unmatched active node adjacent to the ordered prefix
-        // with the fewest candidates.
-        let mut best: Option<(usize, usize)> = None; // (slot, cand size)
-        for (slot, &u) in active.iter().enumerate() {
-            if in_order[slot] {
-                continue;
-            }
-            let adjacent = query.edges.iter().any(|&(s, d, _)| {
-                (s == u && in_order[slot_of(d)]) || (d == u && in_order[slot_of(s)])
-            });
-            if !adjacent {
-                continue;
-            }
-            let size = cand[slot].len();
-            if best.is_none_or(|(_, bs)| size < bs) {
-                best = Some((slot, size));
-            }
+    // A plan is trusted only while the actual candidate sizes stay within
+    // [`PLAN_DRIFT_FACTOR`] of its estimates: refinement binds literals
+    // the plan never saw, and once selectivities drift the in-call greedy
+    // order (which sees the real sizes) is the better-informed choice.
+    let drifted = |p: &&MatchPlan| -> bool {
+        p.order().iter().zip(p.estimates()).any(|(&u, &est)| {
+            let actual = cand[slot_of(u)].len() as u64;
+            actual * PLAN_DRIFT_FACTOR + PLAN_DRIFT_SLACK < est
+                || est * PLAN_DRIFT_FACTOR + PLAN_DRIFT_SLACK < actual
+        })
+    };
+    let planned = if opts.optimize {
+        opts.plan
+            .filter(|p| p.applies_to(query, &active) && !drifted(p))
+    } else {
+        None
+    };
+    if let Some(plan) = planned {
+        for &u in plan.order() {
+            let slot = slot_of(u);
+            order.push(slot);
+            in_order[slot] = true;
         }
-        let (slot, _) = best.expect("active component is connected");
-        in_order[slot] = true;
-        order.push(slot);
+    } else {
+        let qdeg = |u: QNodeId| -> usize {
+            query
+                .edges
+                .iter()
+                .filter(|&&(s, d, _)| s == u || d == u)
+                .count()
+        };
+        let out_slot = slot_of(query.output);
+        order.push(out_slot);
+        in_order[out_slot] = true;
+        while order.len() < active.len() {
+            // Pick the unmatched active node adjacent to the ordered
+            // prefix with the fewest candidates.
+            let mut best: Option<(usize, usize, usize)> = None; // (slot, cand size, degree)
+            for (slot, &u) in active.iter().enumerate() {
+                if in_order[slot] {
+                    continue;
+                }
+                let adjacent = query.edges.iter().any(|&(s, d, _)| {
+                    (s == u && in_order[slot_of(d)]) || (d == u && in_order[slot_of(s)])
+                });
+                if !adjacent {
+                    continue;
+                }
+                let size = cand[slot].len();
+                let better = match best {
+                    None => true,
+                    Some((_, bs, bd)) => {
+                        if opts.optimize {
+                            size < bs || (size == bs && qdeg(u) > bd)
+                        } else {
+                            size < bs
+                        }
+                    }
+                };
+                if better {
+                    let dg = if opts.optimize { qdeg(u) } else { 0 };
+                    best = Some((slot, size, dg));
+                }
+            }
+            let (slot, _, _) = best.expect("active component is connected");
+            in_order[slot] = true;
+            order.push(slot);
+        }
     }
 
-    // Constraints of each order position against earlier positions.
-    let mut constraints: Vec<Vec<QConstraint>> = vec![Vec::new(); order.len()];
-    for (pos, &slot) in order.iter().enumerate() {
-        let u = active[slot];
-        for &(s, d, l) in &query.edges {
-            if s == u {
-                if let Some(pp) = pos_of(d, &order[..pos]) {
-                    constraints[pos].push(QConstraint {
-                        peer_pos: pp,
-                        label: l,
-                        outgoing: true,
-                    });
-                }
-            } else if d == u {
-                if let Some(pp) = pos_of(s, &order[..pos]) {
-                    constraints[pos].push(QConstraint {
-                        peer_pos: pp,
-                        label: l,
-                        outgoing: false,
-                    });
-                }
-            }
-        }
-        debug_assert!(pos == 0 || !constraints[pos].is_empty());
+    // Membership tests are keyed by *slot* (not position) so an adaptive
+    // re-plan can permute the order without rebuilding bitsets: an O(1)
+    // dense bitset for large non-root sets (the innermost extension loop
+    // probes membership once per driven neighbor), binary search below
+    // that. The bitsets live in the scratch pool: `reset` keeps their
+    // word allocations across calls.
+    let root_slot = order[0];
+    // Membership source per large slot: the memo entry's cached bitset
+    // when the slot's set came from the memo and survived pruning
+    // untouched (equal length ⟹ identical set, pruning only removes), a
+    // per-call scratch bitset otherwise. Memoized bitsets are built
+    // lazily on the first call that needs one, then reused — the last
+    // per-call construction cost the memo can amortize.
+    #[derive(Clone, Copy)]
+    enum BitsSrc {
+        Memo(usize, usize),
+        Scratch(usize),
+        Search,
     }
-
-    // Candidate sets reordered to matching order, with an O(1) dense
-    // bitset membership test for large non-root sets (the innermost
-    // extension loop probes membership once per driven neighbor). The
-    // bitsets live in the scratch pool: `reset` keeps their word
-    // allocations across calls.
-    let mut bits_of: Vec<Option<usize>> = vec![None; order.len()];
+    let mut bits_of_slot: Vec<BitsSrc> = vec![BitsSrc::Search; active.len()];
     let mut bits_used = 0usize;
-    for (pos, &slot) in order.iter().enumerate() {
-        if pos > 0 && opts.use_index && cand[slot].len() >= BITSET_MIN_CANDIDATES {
-            if bits_used == bitsets.len() {
-                bitsets.push(NodeBitset::new(0));
-            }
-            let b = &mut bitsets[bits_used];
-            b.reset(graph.node_count());
-            for &v in &cand[slot] {
-                b.insert(v);
-            }
-            bits_of[pos] = Some(bits_used);
-            bits_used += 1;
+    for (slot, c) in cand.iter().enumerate() {
+        if slot == root_slot || !opts.use_index || c.len() < BITSET_MIN_CANDIDATES {
+            continue;
         }
+        if let Some((ui, ei)) = memo_src[slot] {
+            let e = &mut memo[ui][ei];
+            if e.cand.len() == c.len() {
+                if e.bits.is_none() {
+                    e.bits = Some(NodeBitset::from_nodes(
+                        graph.node_count(),
+                        c.iter().copied(),
+                    ));
+                }
+                bits_of_slot[slot] = BitsSrc::Memo(ui, ei);
+                continue;
+            }
+        }
+        if bits_used == bitsets.len() {
+            bitsets.push(NodeBitset::new(0));
+        }
+        let b = &mut bitsets[bits_used];
+        b.reset(graph.node_count());
+        for &v in c {
+            b.insert(v);
+        }
+        bits_of_slot[slot] = BitsSrc::Scratch(bits_used);
+        bits_used += 1;
     }
-    let cand_by_pos: Vec<&[NodeId]> = order.iter().map(|&slot| cand[slot].as_slice()).collect();
-    let membership: Vec<Membership> = cand_by_pos
+    let membership_by_slot: Vec<Membership> = cand
         .iter()
         .enumerate()
-        .map(|(pos, &c)| match bits_of[pos] {
-            Some(i) => Membership::Bits(&bitsets[i]),
-            None => Membership::Sorted(c),
+        .map(|(slot, c)| match bits_of_slot[slot] {
+            BitsSrc::Memo(ui, ei) => Membership::Bits(memo[ui][ei].bits.as_ref().unwrap()),
+            BitsSrc::Scratch(i) => Membership::Bits(&bitsets[i]),
+            BitsSrc::Search => Membership::Sorted(c.as_slice()),
         })
         .collect();
+
+    // Per-position views of the current order, rebuilt on re-plan.
+    let mut membership: Vec<Membership> = order.iter().map(|&s| membership_by_slot[s]).collect();
+    let mut constraints: Vec<Vec<QConstraint>> = vec![Vec::new(); order.len()];
+    build_constraints(query, &active, order, &mut constraints);
 
     let mut result = Vec::new();
     assignment.clear();
     assignment.resize(order.len(), NodeId(0));
-    let mut steps: u64 = 0;
-    for &v in cand_by_pos[0] {
+    fails.clear();
+    fails.resize(order.len(), 0);
+    let mut replans_attempted: u32 = 0;
+    let mut roots_since_plan: u64 = 0;
+    let root_cand = cand[root_slot].as_slice();
+    for &v in root_cand {
         check_stop(opts.stop)?;
+        // Adaptive reordering: when accumulated extension failures show
+        // the static order misjudged selectivity, re-plan the suffix
+        // fail-heaviest-first at this root-candidate boundary (each root
+        // candidate is an independent existence check, so the order may
+        // change between them without affecting results). The trigger is
+        // the failure *rate* per root processed, not the absolute count:
+        // a healthy order still backtracks a handful of times per root
+        // (deep positions accumulate failures by sheer try volume), and
+        // only a pathological order fails tens of times per root —
+        // re-planning on absolute counts thrashes dense workloads where
+        // nearly every root succeeds.
+        if opts.optimize && replans_attempted < MAX_REPLANS && order.len() > 2 {
+            let total: u64 = fails.iter().sum();
+            if total >= REPLAN_FAIL_THRESHOLD && total >= REPLAN_FAILS_PER_ROOT * roots_since_plan {
+                replans_attempted += 1;
+                if replan_suffix(query, &active, cand, order, fails) {
+                    stats::count_order_replans();
+                    for (pos, &slot) in order.iter().enumerate() {
+                        membership[pos] = membership_by_slot[slot];
+                    }
+                    build_constraints(query, &active, order, &mut constraints);
+                }
+                fails.fill(0);
+                roots_since_plan = 0;
+            }
+        }
+        roots_since_plan += 1;
         assignment[0] = v;
         if extend(
             graph,
@@ -298,6 +559,7 @@ pub fn try_match_output_set_with(
             &mut steps,
             budget,
             opts.stop,
+            fails,
         )? {
             result.push(v);
             if let Some(max) = budget.max_matches {
@@ -319,6 +581,7 @@ pub fn try_match_output_set_with(
 const BITSET_MIN_CANDIDATES: usize = 64;
 
 /// Membership test over one position's candidate set.
+#[derive(Clone, Copy)]
 enum Membership<'a> {
     Sorted(&'a [NodeId]),
     Bits(&'a NodeBitset),
@@ -334,6 +597,23 @@ impl Membership<'_> {
     }
 }
 
+/// Adds `amount` to the step counter, tripping [`BudgetKind::Steps`] past
+/// the cap. Charged for backtracking extensions *and* candidate
+/// construction / pruning work, so preprocessing is bounded too.
+#[inline]
+fn charge_steps(steps: &mut u64, amount: u64, budget: &MatchBudget) -> Result<(), BudgetExceeded> {
+    *steps += amount;
+    if let Some(max) = budget.max_steps {
+        if *steps > max {
+            return Err(BudgetExceeded {
+                kind: BudgetKind::Steps,
+                limit: max,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Aborts with [`BudgetKind::HardStop`] when the external stop flag fired.
 #[inline]
 fn check_stop(stop: Option<&AtomicBool>) -> Result<(), BudgetExceeded> {
@@ -346,9 +626,247 @@ fn check_stop(stop: Option<&AtomicBool>) -> Result<(), BudgetExceeded> {
     }
 }
 
+/// Constraints of each order position against earlier positions.
+fn build_constraints(
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    order: &[usize],
+    constraints: &mut Vec<Vec<QConstraint>>,
+) {
+    let pos_of = |u: QNodeId, prefix: &[usize]| -> Option<usize> {
+        prefix.iter().position(|&i| active[i] == u)
+    };
+    constraints.resize(order.len(), Vec::new());
+    for (pos, &slot) in order.iter().enumerate() {
+        let u = active[slot];
+        let cons = &mut constraints[pos];
+        cons.clear();
+        for &(s, d, l) in &query.edges {
+            if s == u {
+                if let Some(pp) = pos_of(d, &order[..pos]) {
+                    cons.push(QConstraint {
+                        peer_pos: pp,
+                        label: l,
+                        outgoing: true,
+                    });
+                }
+            } else if d == u {
+                if let Some(pp) = pos_of(s, &order[..pos]) {
+                    cons.push(QConstraint {
+                        peer_pos: pp,
+                        label: l,
+                        outgoing: false,
+                    });
+                }
+            }
+        }
+        debug_assert!(pos == 0 || !cons.is_empty());
+    }
+}
+
+/// One-hop semi-join pass shrinking the **root** (output) candidate set:
+/// for every template edge incident to the output node, root candidates
+/// without a supporting labeled neighbor in the peer's candidate set are
+/// dropped. Only the root set is worth shrinking — the backtracker
+/// iterates root candidates outermost, so every candidate removed here
+/// skips a whole existence search, while non-root sets act purely as
+/// O(1) membership filters during adjacency-driven extension.
+///
+/// Two kernels, chosen per edge by cost: a small peer set is expanded
+/// into its sorted labeled neighbor image and gallop-intersected with the
+/// root set ([`semi_join`]); a large peer set is instead probed per root
+/// candidate through the root's own adjacency, using the peer's memoized
+/// membership bitset when one exists (O(1) per adjacency entry, binary
+/// search otherwise). Tiny root sets skip pruning entirely — the
+/// backtracker disposes of a handful of candidates faster than any set
+/// algebra. Returns `Ok(false)` when the root set empties (no embedding
+/// can exist). All adjacency entries visited are charged against the
+/// step budget.
+#[allow(clippy::too_many_arguments)]
+fn prune_root(
+    graph: &Graph,
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    cand: &mut [Vec<NodeId>],
+    probe_bits: &[Option<&NodeBitset>],
+    image: &mut Vec<NodeId>,
+    steps: &mut u64,
+    budget: &MatchBudget,
+    stop: Option<&AtomicBool>,
+) -> Result<bool, BudgetExceeded> {
+    let slot_of = |u: QNodeId| -> usize { active.iter().position(|&a| a == u).unwrap() };
+    let root = slot_of(query.output);
+    for &(s, d, l) in &query.edges {
+        if cand[root].len() <= PRUNE_MIN_CANDIDATES {
+            return Ok(true);
+        }
+        check_stop(stop)?;
+        let (ss, ds) = (slot_of(s), slot_of(d));
+        if ss == ds || (ss != root && ds != root) {
+            continue;
+        }
+        // From the root's point of view: does the edge leave the root?
+        let (peer, root_outgoing) = if ss == root { (ds, true) } else { (ss, false) };
+        if cand[peer].len() * PRUNE_COST_FACTOR <= cand[root].len() {
+            // Small peer: build its labeled neighbor image and
+            // gallop-intersect with the root set. The image follows the
+            // edge towards the root, so the peer is the semi-join source.
+            if !semi_join(
+                graph,
+                cand,
+                peer,
+                root,
+                l,
+                !root_outgoing,
+                image,
+                steps,
+                budget,
+            )? {
+                return Ok(false);
+            }
+        } else {
+            // Large peer: probe each root candidate's own adjacency for a
+            // supporting neighbor in the peer set.
+            let mut rootset = std::mem::take(&mut cand[root]);
+            let before = rootset.len();
+            let mut visited = 0u64;
+            {
+                let peer_set = cand[peer].as_slice();
+                let bits = probe_bits[peer];
+                rootset.retain(|&v| {
+                    let neighbors = if root_outgoing {
+                        graph.out_neighbors(v)
+                    } else {
+                        graph.in_neighbors(v)
+                    };
+                    visited += neighbors.len() as u64;
+                    neighbors.iter().any(|a| {
+                        a.label() == l
+                            && match bits {
+                                Some(b) => b.contains(a.to()),
+                                None => peer_set.binary_search(&a.to()).is_ok(),
+                            }
+                    })
+                });
+            }
+            stats::count_pruned_candidates((before - rootset.len()) as u64);
+            cand[root] = rootset;
+            charge_steps(steps, visited, budget)?;
+            if cand[root].is_empty() {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Intersects `cand[tgt]` with the image of `cand[src]` through its
+/// `label`-edges (`src_outgoing` picks the direction). Returns `Ok(false)`
+/// when the target empties. Skips itself (leaving the target untouched —
+/// always sound) when the target is tiny or the image too expensive.
+#[allow(clippy::too_many_arguments)]
+fn semi_join(
+    graph: &Graph,
+    cand: &mut [Vec<NodeId>],
+    src: usize,
+    tgt: usize,
+    label: EdgeLabelId,
+    src_outgoing: bool,
+    image: &mut Vec<NodeId>,
+    steps: &mut u64,
+    budget: &MatchBudget,
+) -> Result<bool, BudgetExceeded> {
+    let target_len = cand[tgt].len();
+    if target_len <= PRUNE_MIN_CANDIDATES {
+        return Ok(true);
+    }
+    let cost_cap = PRUNE_COST_FACTOR * target_len + PRUNE_COST_SLACK;
+    image.clear();
+    let mut visited = 0usize;
+    for &x in &cand[src] {
+        let neighbors = if src_outgoing {
+            graph.out_neighbors(x)
+        } else {
+            graph.in_neighbors(x)
+        };
+        visited += neighbors.len();
+        if visited > cost_cap {
+            charge_steps(steps, visited as u64, budget)?;
+            return Ok(true);
+        }
+        for a in neighbors {
+            if a.label() == label {
+                image.push(a.to());
+            }
+        }
+    }
+    charge_steps(steps, visited as u64, budget)?;
+    image.sort_unstable();
+    image.dedup();
+    let kept = gallop_intersect(&cand[tgt], image);
+    let removed = target_len - kept.len();
+    stats::count_pruned_candidates(removed as u64);
+    cand[tgt] = kept;
+    Ok(!cand[tgt].is_empty())
+}
+
+/// Re-plans the order suffix (positions `1..`) greedily by descending
+/// accumulated failures, breaking ties by smaller candidate set then
+/// lower slot — still connectivity-constrained. Returns whether the
+/// order actually changed.
+fn replan_suffix(
+    query: &ConcreteQuery,
+    active: &[QNodeId],
+    cand: &[Vec<NodeId>],
+    order: &mut [usize],
+    fails: &[u64],
+) -> bool {
+    let mut fail_by_slot = vec![0u64; active.len()];
+    for (pos, &slot) in order.iter().enumerate() {
+        fail_by_slot[slot] = fails[pos];
+    }
+    let mut new_order = Vec::with_capacity(order.len());
+    let mut used = vec![false; active.len()];
+    new_order.push(order[0]);
+    used[order[0]] = true;
+    while new_order.len() < order.len() {
+        let mut best: Option<(usize, u64, usize)> = None; // (slot, fails, cand size)
+        for (slot, &u) in active.iter().enumerate() {
+            if used[slot] {
+                continue;
+            }
+            let adjacent = query.edges.iter().any(|&(s, d, _)| {
+                (s == u && used[active.iter().position(|&a| a == d).unwrap()])
+                    || (d == u && used[active.iter().position(|&a| a == s).unwrap()])
+            });
+            if !adjacent {
+                continue;
+            }
+            let (f, cl) = (fail_by_slot[slot], cand[slot].len());
+            let better = match best {
+                None => true,
+                Some((_, bf, bcl)) => f > bf || (f == bf && cl < bcl),
+            };
+            if better {
+                best = Some((slot, f, cl));
+            }
+        }
+        let (slot, _, _) = best.expect("active component is connected");
+        used[slot] = true;
+        new_order.push(slot);
+    }
+    if new_order[..] == order[..] {
+        false
+    } else {
+        order.copy_from_slice(&new_order);
+        true
+    }
+}
+
 /// Tries to extend the partial embedding at `pos`; returns `Ok(true)` on
 /// the first complete embedding, or [`BudgetExceeded`] once the step cap
-/// is reached.
+/// is reached. A fruitless extension bumps `fails[pos]` — the adaptive
+/// re-plan signal.
 #[allow(clippy::too_many_arguments)]
 fn extend(
     graph: &Graph,
@@ -359,6 +877,7 @@ fn extend(
     steps: &mut u64,
     budget: &MatchBudget,
     stop: Option<&AtomicBool>,
+    fails: &mut [u64],
 ) -> Result<bool, BudgetExceeded> {
     if pos == membership.len() {
         return Ok(true);
@@ -443,9 +962,11 @@ fn extend(
             steps,
             budget,
             stop,
+            fails,
         )? {
             return Ok(true);
         }
     }
+    fails[pos] += 1;
     Ok(false)
 }

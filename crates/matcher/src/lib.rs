@@ -5,10 +5,13 @@
 //! "Matches"), with support for incremental re-verification of refined
 //! instances (`incVerify`, Section IV).
 //!
-//! The engine uses candidate filtering (label index + literal predicates)
-//! followed by connected, candidate-size-ordered backtracking with
-//! adjacency-driven extension. A brute-force reference implementation
-//! ([`match_output_set_bruteforce`]) validates it in tests.
+//! The engine uses candidate filtering (label index + literal predicates),
+//! one-hop semi-join pruning of the candidate space, and connected
+//! backtracking with adjacency-driven extension under a cost-based
+//! matching order ([`plan_matching_order`]) that adapts mid-enumeration
+//! when failure counts show it misjudged selectivity. A brute-force
+//! reference implementation ([`match_output_set_bruteforce`]) validates
+//! it in tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +21,7 @@ mod budget;
 mod candidates;
 mod multi_output;
 mod node_matches;
+mod plan;
 mod reference;
 mod stats;
 
@@ -29,6 +33,7 @@ pub use budget::{BudgetExceeded, BudgetKind, MatchBudget};
 pub use candidates::{candidates, candidates_from_pool, candidates_scan, satisfies_literals};
 pub use multi_output::match_output_tuples;
 pub use node_matches::{count_embeddings, match_node_set};
+pub use plan::{plan_matching_order, MatchPlan};
 pub use reference::match_output_set_bruteforce;
 pub use stats::{matcher_stats, take_stats, MatcherStats};
 

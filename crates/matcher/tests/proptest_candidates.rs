@@ -5,12 +5,22 @@
 //! it is a pure performance substitution.
 
 use fairsqg_graph::{AttrValue, CmpOp, Graph, GraphBuilder, NodeId};
-use fairsqg_matcher::{candidates, candidates_from_pool, candidates_scan, satisfies_literals};
+use fairsqg_matcher::{
+    candidates, candidates_from_pool, candidates_scan, match_output_set,
+    match_output_set_bruteforce, plan_matching_order, satisfies_literals, MatchOptions,
+};
 use fairsqg_query::{BoundLiteral, ConcreteNode, ConcreteQuery, QNodeId};
 use proptest::prelude::*;
 
 /// One random attribute: `(attr, value, as_string)`.
 type RawAttr = (u8, i64, bool);
+
+/// Raw random multi-node query: per-node `(label, literals)` plus, for
+/// every node past the first, an edge to an earlier node (random peer
+/// pick, direction, and label) so the shape is always connected — the
+/// matcher only ever sees connected components.
+type RawQueryNode = (u8, Vec<(u8, u8, i64)>);
+type RawQueryEdge = (u8, bool, u8);
 
 /// Raw random graph: nodes as `(label, attrs)`. Values mix ints and
 /// interned strings to exercise the `AttrValue` total order
@@ -32,6 +42,12 @@ fn arb_raw() -> impl Strategy<Value = RawGraph> {
 }
 
 fn build(raw: &RawGraph) -> Graph {
+    build_edged(raw, &[])
+}
+
+/// Builds the random graph, plus random edges given as
+/// `(src, dst, label)` raw indices reduced modulo the node count.
+fn build_edged(raw: &RawGraph, edges: &[(u8, u8, u8)]) -> Graph {
     let mut b = GraphBuilder::new();
     let labels = ["l0", "l1", "l2"];
     let attrs = ["a0", "a1", "a2"];
@@ -43,6 +59,10 @@ fn build(raw: &RawGraph) -> Graph {
     for a in attrs {
         b.schema_mut().attr(a);
     }
+    for e in ["e0", "e1"] {
+        b.schema_mut().edge_label(e);
+    }
+    let mut ids = Vec::new();
     for (l, at) in &raw.nodes {
         let named: Vec<(&str, AttrValue)> = at
             .iter()
@@ -55,7 +75,12 @@ fn build(raw: &RawGraph) -> Graph {
                 (attrs[a as usize], value)
             })
             .collect();
-        b.add_named_node(labels[*l as usize], &named);
+        ids.push(b.add_named_node(labels[*l as usize], &named));
+    }
+    for &(src, dst, label) in edges {
+        let src = ids[src as usize % ids.len()];
+        let dst = ids[dst as usize % ids.len()];
+        b.add_named_edge(src, dst, if label % 2 == 0 { "e0" } else { "e1" });
     }
     b.finish()
 }
@@ -83,6 +108,50 @@ fn query_for(graph: &Graph, label: u8, lits: &[(u8, u8, i64, bool)]) -> Concrete
         }],
         active: vec![true],
         edges: Vec::new(),
+        output: QNodeId(0),
+    }
+}
+
+/// A connected multi-node concrete query. Node `i > 0` gets one edge to
+/// peer `raw_edge.0 % i` (direction/label from the raw edge), so every
+/// node reaches the output and the whole query is one component.
+fn multi_query_for(graph: &Graph, nodes: &[RawQueryNode], edges: &[RawQueryEdge]) -> ConcreteQuery {
+    let s = graph.schema();
+    let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt];
+    let concrete: Vec<ConcreteNode> = nodes
+        .iter()
+        .map(|(label, lits)| ConcreteNode {
+            label: s.find_node_label(&format!("l{label}")).unwrap(),
+            literals: lits
+                .iter()
+                .map(|&(a, op, c)| BoundLiteral {
+                    attr: s.find_attr(&format!("a{a}")).unwrap(),
+                    op: ops[op as usize % ops.len()],
+                    value: AttrValue::Int(c),
+                })
+                .collect(),
+        })
+        .collect();
+    let q_edges = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(peer, outgoing, label))| {
+            let this = QNodeId(i as u8 + 1);
+            let peer = QNodeId(peer % (i as u8 + 1));
+            let label = s
+                .find_edge_label(if label % 2 == 0 { "e0" } else { "e1" })
+                .unwrap();
+            if outgoing {
+                (this, peer, label)
+            } else {
+                (peer, this, label)
+            }
+        })
+        .collect();
+    ConcreteQuery {
+        active: vec![true; concrete.len()],
+        nodes: concrete,
+        edges: q_edges,
         output: QNodeId(0),
     }
 }
@@ -163,5 +232,44 @@ proptest! {
             .filter(|&v| satisfies_literals(&g, v, &q.nodes[0].literals))
             .collect();
         prop_assert_eq!(from_pool, reference);
+    }
+
+    /// The optimized backtracker (cost-based order + semi-join pruning),
+    /// the pre-optimizer greedy baseline, and an explicitly pre-planned
+    /// order all return exactly the brute-force match set on random
+    /// edged graphs and random connected multi-node queries. Graphs are
+    /// kept small (≤ 24 nodes, ≤ 3 query nodes) so the exponential
+    /// oracle stays tractable.
+    #[test]
+    fn optimized_match_set_equals_bruteforce(
+        raw in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec((0u8..3, -5i64..5, Just(false)), 0..2)),
+            1..24,
+        ).prop_map(|nodes| RawGraph { nodes }),
+        graph_edges in proptest::collection::vec((0u8..255, 0u8..255, 0u8..2), 0..48),
+        q_nodes in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec((0u8..3, 0u8..5, -5i64..5), 0..2)),
+            1..4,
+        ),
+        q_edges in proptest::collection::vec((0u8..255, any::<bool>(), 0u8..2), 2),
+    ) {
+        let g = build_edged(&raw, &graph_edges);
+        let q = multi_query_for(&g, &q_nodes, &q_edges[..q_nodes.len() - 1]);
+        let oracle = match_output_set_bruteforce(&g, &q);
+        let optimized = match_output_set(&g, &q, MatchOptions::default());
+        prop_assert_eq!(&optimized, &oracle, "optimized path diverged");
+        let baseline = match_output_set(
+            &g,
+            &q,
+            MatchOptions { optimize: false, ..MatchOptions::default() },
+        );
+        prop_assert_eq!(&baseline, &oracle, "greedy baseline diverged");
+        let plan = plan_matching_order(&g, &q);
+        let planned = match_output_set(
+            &g,
+            &q,
+            MatchOptions { plan: Some(&plan), ..MatchOptions::default() },
+        );
+        prop_assert_eq!(&planned, &oracle, "pre-planned order diverged");
     }
 }

@@ -344,6 +344,20 @@ struct Counters {
     // Per-evaluator memoization totals, summed over completed jobs.
     eval_verified: AtomicU64,
     eval_cache_hits: AtomicU64,
+    // Matcher hot-path totals, summed over completed jobs: the candidate
+    // computation paths plus the cost-based ordering / semi-join pruning
+    // machinery (order plans amortize across jobs via the warm pool, so
+    // `order_planned` stays near the distinct-template count).
+    match_index_candidates: AtomicU64,
+    match_scan_candidates: AtomicU64,
+    match_scan_fallbacks: AtomicU64,
+    match_pool_restrictions: AtomicU64,
+    match_shard_skips: AtomicU64,
+    match_order_planned: AtomicU64,
+    match_order_replans: AtomicU64,
+    match_est_candidates: AtomicU64,
+    match_pruned_candidates: AtomicU64,
+    match_cand_memo_hits: AtomicU64,
     // Robustness counters.
     job_panics: AtomicU64,
     worker_respawns: AtomicU64,
@@ -1314,6 +1328,51 @@ impl Engine {
                 ]),
             ),
             (
+                "matching",
+                Value::object([
+                    (
+                        "index_candidates",
+                        Value::from(c.match_index_candidates.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "scan_candidates",
+                        Value::from(c.match_scan_candidates.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "scan_fallbacks",
+                        Value::from(c.match_scan_fallbacks.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "pool_restrictions",
+                        Value::from(c.match_pool_restrictions.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "shard_skips",
+                        Value::from(c.match_shard_skips.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "order_planned",
+                        Value::from(c.match_order_planned.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "order_replans",
+                        Value::from(c.match_order_replans.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "est_candidates",
+                        Value::from(c.match_est_candidates.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "pruned_candidates",
+                        Value::from(c.match_pruned_candidates.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "cand_memo_hits",
+                        Value::from(c.match_cand_memo_hits.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
                 "latency",
                 Value::object([
                     ("queue_wait", lat.queue_wait.to_value()),
@@ -1802,6 +1861,21 @@ fn run_job(shared: &Shared, id: u64) {
             .counters
             .eval_cache_hits
             .fetch_add(out.stats.cache_hits, Ordering::Relaxed);
+        let c = &shared.counters;
+        for (counter, value) in [
+            (&c.match_index_candidates, out.stats.index_candidates),
+            (&c.match_scan_candidates, out.stats.scan_candidates),
+            (&c.match_scan_fallbacks, out.stats.scan_fallbacks),
+            (&c.match_pool_restrictions, out.stats.pool_restrictions),
+            (&c.match_shard_skips, out.stats.shard_skips),
+            (&c.match_order_planned, out.stats.order_planned),
+            (&c.match_order_replans, out.stats.order_replans),
+            (&c.match_est_candidates, out.stats.est_candidates),
+            (&c.match_pruned_candidates, out.stats.pruned_candidates),
+            (&c.match_cand_memo_hits, out.stats.cand_memo_hits),
+        ] {
+            counter.fetch_add(value, Ordering::Relaxed);
+        }
         if out.stats.budget_tripped.is_some() {
             shared.counters.budget_trips.fetch_add(1, Ordering::Relaxed);
         }

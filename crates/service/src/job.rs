@@ -308,12 +308,7 @@ pub fn plan_spec<'g>(graph: &'g Graph, spec: &JobSpec) -> Result<Plan<'g>, Strin
     let coverage = CoverageSpec::equal_opportunity(groups.len(), spec.cover);
     let domains = RefinementDomains::build(&template, graph, DomainConfig::default());
     Ok(Plan {
-        warm: Arc::new(WarmPlan {
-            template,
-            domains,
-            groups,
-            spec: coverage,
-        }),
+        warm: Arc::new(WarmPlan::new(template, domains, groups, coverage)),
         graph,
     })
 }
@@ -414,6 +409,14 @@ pub fn run_plan_observed(
 ) -> Generated {
     let budget = overrides.map_or(spec.budget, |o| o.budget);
     let diversity = diversity_for_spec_with(spec, overrides.and_then(|o| o.pair_cap));
+    // The warm skeleton's cost-based matching order: built by the first
+    // job on this skeleton, reused by every later one (same template,
+    // same graph epoch). Capture the planning counters here — the
+    // evaluators snapshot their own baselines after this point, so a
+    // cold build would otherwise vanish from the job's stats.
+    let plan_baseline = fairsqg_matcher::matcher_stats();
+    let match_plan = plan.match_plan(plan.graph);
+    let plan_delta = fairsqg_matcher::matcher_stats().delta_since(plan_baseline);
     let mut cfg = Configuration::new(
         plan.graph,
         &plan.template,
@@ -424,21 +427,25 @@ pub fn run_plan_observed(
         diversity,
     )
     .with_cancel(cancel)
-    .with_budget(budget);
+    .with_budget(budget)
+    .with_match_plan(&match_plan);
     if let Some(shared) = shared {
         cfg = cfg.with_shared_diversity(shared);
     }
     if let Some(obs) = observer {
         cfg = cfg.with_progress(obs);
     }
-    match spec.algo {
+    let mut out = match spec.algo {
         AlgoKind::EnumQGen => enum_qgen(cfg, false),
         AlgoKind::Kungs => kungs(cfg),
         AlgoKind::Cbm => cbm(cfg, CbmOptions::default()),
         AlgoKind::RfQGen => rfqgen(cfg, RfQGenOptions::default()),
         AlgoKind::BiQGen => biqgen(cfg, BiQGenOptions::default()),
         AlgoKind::ParEnum => par_enum_qgen(cfg, spec.threads),
-    }
+    };
+    out.stats
+        .record_hot_path(plan_delta, fairsqg_measures::MeasureCacheStats::default());
+    out
 }
 
 /// How a brownout-degraded run was constrained, for the result's
@@ -577,6 +584,20 @@ pub fn generated_to_value_with(
                     Value::from(out.stats.pool_restrictions as i64),
                 ),
                 ("shard_skips", Value::from(out.stats.shard_skips as i64)),
+                ("order_planned", Value::from(out.stats.order_planned as i64)),
+                ("order_replans", Value::from(out.stats.order_replans as i64)),
+                (
+                    "est_candidates",
+                    Value::from(out.stats.est_candidates as i64),
+                ),
+                (
+                    "pruned_candidates",
+                    Value::from(out.stats.pruned_candidates as i64),
+                ),
+                (
+                    "cand_memo_hits",
+                    Value::from(out.stats.cand_memo_hits as i64),
+                ),
                 (
                     "distance_cache_hits",
                     Value::from(out.stats.distance_cache_hits as i64),

@@ -114,13 +114,24 @@ fn wire_roundtrip_cache_deadline_cancel() {
     let id4 = client.submit(&spec("slow", None)).unwrap();
     client.cancel(id4).unwrap();
     match client.wait(id4, Duration::from_secs(60)) {
-        // Ran before the cancel landed: must be flagged truncated.
-        Ok(r) => assert_eq!(
-            r.get("result")
-                .and_then(|x| x.get("truncated"))
-                .and_then(Value::as_bool),
-            Some(true)
-        ),
+        // The cancel raced the run. Either it landed mid-run (truncated
+        // partial) or the run finished first (complete archive) — both
+        // are legal; what matters is the worker is freed afterwards.
+        Ok(r) => {
+            let body = r.get("result").expect("result body");
+            match body.get("truncated").and_then(Value::as_bool) {
+                Some(true) => {}
+                Some(false) => assert!(
+                    !body
+                        .get("entries")
+                        .and_then(Value::as_array)
+                        .unwrap()
+                        .is_empty(),
+                    "a run that beat the cancel must return a full archive"
+                ),
+                None => panic!("missing truncated flag"),
+            }
+        }
         // Cancelled while still queued.
         Err(e) => assert!(e.to_string().contains("cancelled"), "unexpected: {e}"),
     }
